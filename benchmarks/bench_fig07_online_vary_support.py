@@ -1,0 +1,70 @@
+"""Figure 7: online processing time of Q1/Q3 while *minsupp* varies.
+
+Paper series: for each dataset, the time to answer a rule-trajectory
+query (Q1: rules matching a setting in the latest window, with their
+parameter values across the previous windows) as the minimum support
+varies at fixed confidence — for TARA, TARA-S, TARA-R (Q3) and the
+three competitors.  Expected shape: TARA variants answer in
+sub-millisecond index time, H-Mine pays query-time rule derivation,
+DCTAR and PARAS pay full re-mining — orders of magnitude apart.
+
+The baselines run on two datasets (the paper's four) to keep the suite
+inside a laptop-minutes budget; TARA runs on all four.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import datasets as data
+from benchmarks.conftest import format_time, mean_seconds, report
+from repro.core import ParameterSetting
+from repro.data import PeriodSpec
+
+FIGURE = "Figure 7 - Q1/Q3 time vs minsupp (fixed minconf)"
+
+TARA_SYSTEMS = ("TARA", "TARA-S", "TARA-R")
+BASELINE_SYSTEMS = ("H-Mine", "PARAS", "DCTAR")
+BASELINE_DATASETS = ("retail", "T5k")
+
+CASES = [
+    (dataset, system, supp)
+    for dataset in data.DATASETS
+    for system in TARA_SYSTEMS + BASELINE_SYSTEMS
+    for supp in data.SUPPORT_SWEEP[dataset]
+    if system in TARA_SYSTEMS or dataset in BASELINE_DATASETS
+]
+
+
+def _query(dataset: str, system: str, setting: ParameterSetting):
+    anchor = data.BATCHES - 1
+    spec = PeriodSpec.window_range(0, data.BATCHES - 1)
+    if system == "TARA":
+        explorer = data.tara_explorer(dataset)
+        return lambda: explorer.trajectories(setting, anchor, spec)
+    if system == "TARA-S":
+        explorer = data.tara_explorer(dataset, item_index=True)
+        items = sorted(data.database(dataset).unique_items())[:3]
+        return lambda: explorer.content(setting, items, spec)
+    if system == "TARA-R":
+        explorer = data.tara_explorer(dataset)
+        return lambda: explorer.recommend(setting, anchor)
+    baseline = data.baseline(dataset, system)
+    return lambda: baseline.trajectory(setting, anchor, spec)
+
+
+@pytest.mark.parametrize(
+    "dataset,system,supp",
+    CASES,
+    ids=[f"{d}-{s}-supp{v}" for d, s, v in CASES],
+)
+def test_fig07_online_vary_support(benchmark, dataset, system, supp):
+    setting = ParameterSetting(supp, data.FIXED_CONFIDENCE[dataset])
+    query = _query(dataset, system, setting)
+    rounds = 1 if system in ("DCTAR", "PARAS") else 3
+    benchmark.pedantic(query, rounds=rounds, iterations=1, warmup_rounds=0)
+    report(
+        FIGURE,
+        f"{dataset:<8} {system:<7} minsupp={supp:<6} "
+        f"{format_time(mean_seconds(benchmark))}",
+    )

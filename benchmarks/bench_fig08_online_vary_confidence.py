@@ -1,0 +1,66 @@
+"""Figure 8: online processing time of Q1/Q3 while *minconf* varies.
+
+Same query mix as Figure 7 with the axes swapped: support fixed at the
+dataset's generation threshold, confidence swept.  Expected shape is
+identical — the TARA variants stay flat in index time while the
+competitors pay per-query derivation/mining costs orders of magnitude
+above.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import datasets as data
+from benchmarks.conftest import format_time, mean_seconds, report
+from repro.core import ParameterSetting
+from repro.data import PeriodSpec
+
+FIGURE = "Figure 8 - Q1/Q3 time vs minconf (fixed minsupp)"
+
+TARA_SYSTEMS = ("TARA", "TARA-S", "TARA-R")
+BASELINE_SYSTEMS = ("H-Mine", "PARAS", "DCTAR")
+BASELINE_DATASETS = ("retail", "T5k")
+
+CASES = [
+    (dataset, system, conf)
+    for dataset in data.DATASETS
+    for system in TARA_SYSTEMS + BASELINE_SYSTEMS
+    for conf in data.CONFIDENCE_SWEEP
+    if system in TARA_SYSTEMS or dataset in BASELINE_DATASETS
+]
+
+
+def _query(dataset: str, system: str, setting: ParameterSetting):
+    anchor = data.BATCHES - 1
+    spec = PeriodSpec.window_range(0, data.BATCHES - 1)
+    if system == "TARA":
+        explorer = data.tara_explorer(dataset)
+        return lambda: explorer.trajectories(setting, anchor, spec)
+    if system == "TARA-S":
+        explorer = data.tara_explorer(dataset, item_index=True)
+        items = sorted(data.database(dataset).unique_items())[:3]
+        return lambda: explorer.content(setting, items, spec)
+    if system == "TARA-R":
+        explorer = data.tara_explorer(dataset)
+        return lambda: explorer.recommend(setting, anchor)
+    baseline = data.baseline(dataset, system)
+    return lambda: baseline.trajectory(setting, anchor, spec)
+
+
+@pytest.mark.parametrize(
+    "dataset,system,conf",
+    CASES,
+    ids=[f"{d}-{s}-conf{v}" for d, s, v in CASES],
+)
+def test_fig08_online_vary_confidence(benchmark, dataset, system, conf):
+    supp = data.SUPPORT_SWEEP[dataset][0]
+    setting = ParameterSetting(supp, conf)
+    query = _query(dataset, system, setting)
+    rounds = 1 if system in ("DCTAR", "PARAS") else 3
+    benchmark.pedantic(query, rounds=rounds, iterations=1, warmup_rounds=0)
+    report(
+        FIGURE,
+        f"{dataset:<8} {system:<7} minconf={conf:<4} "
+        f"{format_time(mean_seconds(benchmark))}",
+    )

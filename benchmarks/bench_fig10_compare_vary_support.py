@@ -1,0 +1,60 @@
+"""Figure 10: ruleset-comparison (Q2) time while the 2nd *minsupp* varies.
+
+Paper setup: Q2 in *exact match* mode returns the differences of two
+parameter settings across 4 windows; the first setting is fixed, the
+second setting's support sweeps upward, so the rulesets diverge more
+and more.  Expected shape: TARA answers from the index in
+sub-millisecond time that grows mildly with the deviation; the
+competitors re-derive or re-mine the union ruleset per window and sit
+orders of magnitude above.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import datasets as data
+from benchmarks.conftest import format_time, mean_seconds, report
+from repro.core import MatchMode, ParameterSetting
+from repro.data import PeriodSpec
+
+FIGURE = "Figure 10 - Q2 comparison time vs 2nd minsupp (exact match)"
+
+SYSTEMS = ("TARA", "H-Mine", "PARAS", "DCTAR")
+BASELINE_DATASETS = ("retail", "T5k")
+
+CASES = [
+    (dataset, system, supp2)
+    for dataset in data.DATASETS
+    for system in SYSTEMS
+    for supp2 in data.SUPPORT_SWEEP[dataset]
+    if system == "TARA" or dataset in BASELINE_DATASETS
+]
+
+
+@pytest.mark.parametrize(
+    "dataset,system,supp2",
+    CASES,
+    ids=[f"{d}-{s}-supp2_{v}" for d, s, v in CASES],
+)
+def test_fig10_compare_vary_support(benchmark, dataset, system, supp2):
+    base_supp = data.SUPPORT_SWEEP[dataset][0]
+    conf = data.FIXED_CONFIDENCE[dataset]
+    first = ParameterSetting(base_supp, conf)
+    second = ParameterSetting(supp2, conf)
+    spec = PeriodSpec.window_range(1, data.BATCHES - 1)  # 4 windows
+
+    if system == "TARA":
+        explorer = data.tara_explorer(dataset)
+        query = lambda: explorer.compare(first, second, spec, MatchMode.EXACT)
+        rounds = 3
+    else:
+        baseline = data.baseline(dataset, system)
+        query = lambda: baseline.compare(first, second, spec, MatchMode.EXACT)
+        rounds = 1
+    benchmark.pedantic(query, rounds=rounds, iterations=1, warmup_rounds=0)
+    report(
+        FIGURE,
+        f"{dataset:<8} {system:<7} minsupp2={supp2:<6} "
+        f"{format_time(mean_seconds(benchmark))}",
+    )

@@ -1,0 +1,57 @@
+"""Figure 11: ruleset-comparison (Q2) time while the 2nd *minconf* varies.
+
+The confidence-axis twin of Figure 10: the first setting is fixed, the
+second setting's confidence sweeps, exact-match mode over 4 windows.
+Expected shape matches Figures 10's: TARA several orders of magnitude
+below every competitor at every point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import datasets as data
+from benchmarks.conftest import format_time, mean_seconds, report
+from repro.core import MatchMode, ParameterSetting
+from repro.data import PeriodSpec
+
+FIGURE = "Figure 11 - Q2 comparison time vs 2nd minconf (exact match)"
+
+SYSTEMS = ("TARA", "H-Mine", "PARAS", "DCTAR")
+BASELINE_DATASETS = ("retail", "T5k")
+
+CASES = [
+    (dataset, system, conf2)
+    for dataset in data.DATASETS
+    for system in SYSTEMS
+    for conf2 in data.CONFIDENCE_SWEEP
+    if system == "TARA" or dataset in BASELINE_DATASETS
+]
+
+
+@pytest.mark.parametrize(
+    "dataset,system,conf2",
+    CASES,
+    ids=[f"{d}-{s}-conf2_{v}" for d, s, v in CASES],
+)
+def test_fig11_compare_vary_confidence(benchmark, dataset, system, conf2):
+    supp = data.SUPPORT_SWEEP[dataset][0]
+    base_conf = data.FIXED_CONFIDENCE[dataset]
+    first = ParameterSetting(supp, base_conf)
+    second = ParameterSetting(supp, conf2)
+    spec = PeriodSpec.window_range(1, data.BATCHES - 1)
+
+    if system == "TARA":
+        explorer = data.tara_explorer(dataset)
+        query = lambda: explorer.compare(first, second, spec, MatchMode.EXACT)
+        rounds = 3
+    else:
+        baseline = data.baseline(dataset, system)
+        query = lambda: baseline.compare(first, second, spec, MatchMode.EXACT)
+        rounds = 1
+    benchmark.pedantic(query, rounds=rounds, iterations=1, warmup_rounds=0)
+    report(
+        FIGURE,
+        f"{dataset:<8} {system:<7} minconf2={conf2:<4} "
+        f"{format_time(mean_seconds(benchmark))}",
+    )

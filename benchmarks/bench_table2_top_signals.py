@@ -1,0 +1,91 @@
+"""Table 2: top-5 MDAR signals — Confidence vs Reporting Ratio vs MARAS.
+
+Paper claims reproduced here on a synthetic quarter:
+
+* the confidence and reporting-ratio rankings are dominated by
+  *redundant* signals (many near-identical drug/ADR combinations);
+* MARAS's top signals are diverse and hit planted interactions;
+* the interactions MARAS ranks on top sit far down the baseline
+  rankings (the paper's "ranked 2,436th by confidence" observation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.datagen import faers_quarter
+from repro.maras import (
+    MarasAnalyzer,
+    MarasConfig,
+    enumerate_candidate_pool,
+    rank_by_confidence,
+    rank_by_reporting_ratio,
+    rank_of_association,
+)
+
+TABLE = "Table 2 - top-5 signals by Confidence / Reporting Ratio / MARAS"
+
+
+def _diversity(associations) -> int:
+    """Distinct drug sets among a ranking prefix (redundancy inverse)."""
+    return len({frozenset(a.drugs) for a in associations})
+
+
+@pytest.mark.parametrize("quarter", ["2015-Q3"])
+def test_table2_top_signals(benchmark, quarter):
+    database, reference, _ = faers_quarter(seed=353, report_count=4000)
+
+    def rank_all():
+        signals = MarasAnalyzer(database, MarasConfig(min_count=5)).signals()
+        pool = enumerate_candidate_pool(
+            database, min_count=5, max_drugs=3, max_adrs=2
+        )
+        return (
+            signals,
+            rank_by_confidence(database, pool=pool),
+            rank_by_reporting_ratio(database, pool=pool),
+        )
+
+    signals, by_confidence, by_rr = benchmark.pedantic(
+        rank_all, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    report(TABLE, f"synthetic quarter {quarter}: top 5 of each method")
+    for rank in range(5):
+        conf_assoc = by_confidence[rank][0]
+        rr_assoc = by_rr[rank][0]
+        maras_signal = signals[rank]
+        hit = "*" if reference.is_hit(maras_signal.association) else " "
+        report(
+            TABLE,
+            f"  #{rank + 1}  conf: {conf_assoc.format(database):<44} "
+            f"RR: {rr_assoc.format(database):<44} "
+            f"MARAS{hit}: {maras_signal.association.format(database)}",
+        )
+
+    conf_diversity = _diversity([a for a, _ in by_confidence[:5]])
+    rr_diversity = _diversity([a for a, _ in by_rr[:5]])
+    maras_diversity = _diversity([s.association for s in signals[:5]])
+    report(
+        TABLE,
+        f"  distinct drug sets in the top 5: confidence={conf_diversity}, "
+        f"RR={rr_diversity}, MARAS={maras_diversity}",
+    )
+
+    buried = []
+    for signal in signals[:3]:
+        conf_rank = rank_of_association(by_confidence, signal.association)
+        rr_rank = rank_of_association(by_rr, signal.association)
+        buried.append(
+            f"MARAS top signal buried at confidence rank "
+            f"{conf_rank if conf_rank else '>pool'} / RR rank "
+            f"{rr_rank if rr_rank else '>pool'} (pool {len(by_confidence)})"
+        )
+    for line in buried:
+        report(TABLE, f"  {line}")
+
+    # Reproduced qualitative claims.
+    assert maras_diversity >= conf_diversity
+    top_hits = sum(1 for s in signals[:5] if reference.is_hit(s.association))
+    assert top_hits >= 2, "MARAS top-5 should hit planted interactions"

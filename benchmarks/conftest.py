@@ -1,0 +1,57 @@
+"""Benchmark-suite plumbing: the paper-figure report registry.
+
+Every benchmark records the series points it measured through
+:func:`report`; after the run, ``pytest_terminal_summary`` prints each
+figure's series in the shape the paper reports them (and the asserted
+orders-of-magnitude relationships), so ``pytest benchmarks/
+--benchmark-only`` ends with a readable reproduction summary in
+addition to pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List
+
+_SERIES: Dict[str, List[str]] = defaultdict(list)
+
+
+def report(figure: str, line: str) -> None:
+    """Record one line of a figure's reproduction output."""
+    _SERIES[figure].append(line)
+
+
+def mean_seconds(benchmark) -> float:
+    """Mean measured seconds of a completed ``benchmark`` fixture run."""
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:
+        return math.nan
+    inner = getattr(stats, "stats", None)
+    if inner is not None and hasattr(inner, "mean"):
+        return inner.mean
+    try:
+        return stats["mean"]
+    except Exception:  # pragma: no cover - version drift fallback
+        return math.nan
+
+
+def format_time(seconds: float) -> str:
+    """Engineering-friendly time rendering for the summary lines."""
+    if math.isnan(seconds):
+        return "     n/a"
+    if seconds >= 1.0:
+        return f"{seconds:7.2f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:7.2f}ms"
+    return f"{seconds * 1e6:7.1f}us"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _SERIES:
+        return
+    terminalreporter.write_sep("=", "paper figure/table reproduction output")
+    for figure in sorted(_SERIES):
+        terminalreporter.write_sep("-", figure)
+        for line in _SERIES[figure]:
+            terminalreporter.write_line(line)

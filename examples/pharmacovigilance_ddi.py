@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Pharmacovigilance: multi-drug adverse-reaction signals with MARAS.
+
+Reproduces the paper's drug-safety workflow on a synthetic FAERS
+quarter with planted, ground-truth drug-drug interactions:
+
+1. learn the non-spurious Drug-ADR associations (closed = explicit ∪
+   implicit, Lemma 1);
+2. score each multi-drug association by the contrast measure;
+3. report the top signals with their evidence, next to the confidence
+   and reporting-ratio baselines (the Table 2 comparison);
+4. evaluate precision@K against the planted reference knowledge base
+   (the Figure 6 curve).
+
+Run:  python examples/pharmacovigilance_ddi.py
+"""
+
+from repro.datagen import faers_quarter
+from repro.maras import (
+    MarasAnalyzer,
+    MarasConfig,
+    precision_at_k,
+    rank_by_confidence,
+    rank_by_reporting_ratio,
+    rank_of_association,
+    recall_of_known,
+)
+
+
+def main() -> None:
+    database, reference, truth = faers_quarter(seed=97, report_count=6000)
+    print(
+        f"synthetic FAERS quarter: {len(database)} reports, "
+        f"{database.drug_count} drugs, {database.adr_count} ADRs, "
+        f"{len(reference)} planted interactions\n"
+    )
+
+    analyzer = MarasAnalyzer(database, MarasConfig(min_count=5))
+    signals = analyzer.signals()
+    print(f"MARAS produced {len(signals)} ranked MDAR signals\n")
+
+    print("== top 5 MARAS signals ==")
+    for rank, signal in enumerate(signals[:5], start=1):
+        hit = "known DDI" if reference.is_hit(signal.association) else "novel"
+        print(f"  #{rank} [{hit:9}] {signal.describe(database)}")
+        worst = max(signal.cluster.contextual_confidences())
+        print(f"       strongest contextual confidence: {worst:.3f}")
+
+    # -- baseline comparison (Table 2's point) ---------------------------
+    print("\n== where the baselines rank MARAS's top signals ==")
+    pool = None
+    from repro.maras import enumerate_candidate_pool
+
+    pool = enumerate_candidate_pool(database, min_count=5, max_drugs=3, max_adrs=2)
+    by_confidence = rank_by_confidence(database, pool=pool)
+    by_rr = rank_by_reporting_ratio(database, pool=pool)
+    for rank, signal in enumerate(signals[:3], start=1):
+        confidence_rank = rank_of_association(by_confidence, signal.association)
+        rr_rank = rank_of_association(by_rr, signal.association)
+        print(
+            f"  MARAS #{rank}: confidence rank "
+            f"{confidence_rank if confidence_rank else '>pool'}, "
+            f"reporting-ratio rank {rr_rank if rr_rank else '>pool'} "
+            f"(pool of {len(pool)})"
+        )
+
+    # -- case-study dossier (Section 2.5.1 style) -------------------------
+    from repro.maras.case_studies import build_case_study
+
+    print("\n== evidence dossier for the top signal ==")
+    print(build_case_study(signals[0], database, reference).render())
+
+    # -- precision@K (Figure 6) ------------------------------------------
+    ks = [1, 5, 10, 20, 30, 50]
+    curve = precision_at_k(signals, reference, ks)
+    print("\n== precision@K against the reference knowledge base ==")
+    for k, precision in zip(curve.ks, curve.precisions):
+        bar = "#" * int(precision * 40)
+        print(f"  P@{k:<3} {precision:5.2f}  {bar}")
+    print(
+        f"\nrecall of planted interactions: "
+        f"{recall_of_known(signals, reference):.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Quickstart: build a TARA knowledge base and explore it interactively.
+
+Walks the full offline -> online pipeline of the paper on a synthetic
+retail dataset:
+
+1. generate timestamped baskets and split them into tumbling windows;
+2. run the offline phase (mine -> derive -> archive -> EPS index);
+3. answer a traditional mining request from the index;
+4. ask for a parameter recommendation (the enclosing stable region);
+5. compare two parameter settings across all windows;
+6. follow one rule's trajectory through time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    GenerationConfig,
+    MatchMode,
+    ParameterSetting,
+    TaraExplorer,
+    build_knowledge_base,
+)
+from repro.data import WindowedDatabase
+from repro.datagen import retail_dataset
+
+
+def main() -> None:
+    # -- 1. data ------------------------------------------------------
+    database = retail_dataset(transaction_count=4000, seed=11)
+    windows = WindowedDatabase.partition_by_count(database, 5)
+    print(
+        f"dataset: {len(database)} transactions, "
+        f"{len(database.unique_items())} items, "
+        f"{windows.window_count} windows"
+    )
+
+    # -- 2. offline phase ----------------------------------------------
+    config = GenerationConfig(min_support=0.005, min_confidence=0.1)
+    knowledge_base = build_knowledge_base(windows, config)
+    print(
+        f"knowledge base: {len(knowledge_base.catalog)} distinct rules, "
+        f"{knowledge_base.archive.entry_count()} archived entries "
+        f"({knowledge_base.archive.encoded_size_bytes()} bytes encoded)"
+    )
+    print(knowledge_base.timer.report("offline phase breakdown"))
+
+    # -- 3. traditional mining request ----------------------------------
+    explorer = TaraExplorer(knowledge_base)
+    setting = ParameterSetting(min_support=0.01, min_confidence=0.4)
+    latest = windows.window_count - 1
+    mined = explorer.mine(setting)[latest]
+    print(f"\nmining at (supp={setting.min_support}, conf={setting.min_confidence}),"
+          f" window {latest}: {len(mined)} rules; top 5 by confidence:")
+    for rule in sorted(mined, key=lambda m: -m.confidence)[:5]:
+        print(
+            f"  {rule.rule.format():<28} supp={rule.support:.4f} "
+            f"conf={rule.confidence:.3f}"
+        )
+
+    # -- 4. parameter recommendation (Q3) --------------------------------
+    recommendation = explorer.recommend(setting)
+    region = recommendation.region
+    print(
+        f"\nstable region around the setting: any (supp, conf) in "
+        f"({float(region.support_floor):.4f}, {region.cut.support_float:.4f}] x "
+        f"({float(region.confidence_floor):.4f}, {region.cut.confidence_float:.4f}] "
+        f"yields the same {region.ruleset_size} rules"
+    )
+    for direction in ("looser_support", "tighter_support"):
+        delta = recommendation.ruleset_delta(direction)
+        if delta is not None:
+            print(f"  {direction:<18} changes the ruleset by {delta:+d} rules")
+
+    # -- 5. evolving ruleset comparison (Q2) ------------------------------
+    tighter = ParameterSetting(min_support=0.02, min_confidence=0.4)
+    comparison = explorer.compare(setting, tighter, mode=MatchMode.SINGLE)
+    print(
+        f"\ncomparing against (supp={tighter.min_support}, "
+        f"conf={tighter.min_confidence}): {comparison.difference_size} rules "
+        f"differ in at least one window"
+    )
+
+    # -- 6. rule trajectory (Q1) -----------------------------------------
+    trajectories = explorer.trajectories(setting, anchor_window=latest)
+    trajectory = max(
+        trajectories, key=lambda t: len(t.present_windows())
+    )
+    print(f"\ntrajectory of {trajectory.rule.format()}:")
+    for window, measure in sorted(trajectory.measures.items()):
+        if measure is None:
+            print(f"  window {window}: below generation thresholds")
+        else:
+            print(
+                f"  window {window}: supp={measure.support:.4f} "
+                f"conf={measure.confidence:.3f}"
+            )
+    summary = explorer.summarize(trajectory.rule_id)
+    print(
+        f"  coverage={summary.coverage:.2f} stability={summary.stability:.3f} "
+        f"trend={summary.trend:+.4f}"
+    )
+
+    # -- 7. the rule-centric panorama -------------------------------------
+    from repro.core.panorama import render_slice, render_trajectory
+
+    print("\n" + render_slice(knowledge_base.slice(latest), width=24, height=8))
+    spark = render_trajectory(
+        [trajectory.measures[w] for w in sorted(trajectory.measures)]
+    )
+    print(f"\nconfidence sparkline of {trajectory.rule.format()}: {spark}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Evolving data: incremental knowledge-base maintenance (iPARAS-style).
+
+Batches of transactions arrive over time; each batch becomes a new
+basic window.  The incremental builder mines and indexes *only the new
+batch* — all previous windows' archive series and EPS slices are reused
+— and the explorer stays queryable between arrivals.  The final state
+is bit-identical to a from-scratch build over the same data, which the
+script verifies.
+
+Run:  python examples/streaming_updates.py
+"""
+
+import time
+
+from repro.core import (
+    GenerationConfig,
+    IncrementalTara,
+    ParameterSetting,
+    build_knowledge_base,
+)
+from repro.data import WindowedDatabase
+from repro.datagen import retail_dataset
+
+
+def main() -> None:
+    database = retail_dataset(transaction_count=5000, seed=29)
+    windows = WindowedDatabase.partition_by_count(database, 5)
+    config = GenerationConfig(min_support=0.01, min_confidence=0.2)
+    setting = ParameterSetting(0.02, 0.4)
+
+    incremental = IncrementalTara(config)
+    print("appending batches as they 'arrive':")
+    for index in range(windows.window_count):
+        batch = windows.window(index)
+        start = time.perf_counter()
+        incremental.append_batch(batch)
+        elapsed = (time.perf_counter() - start) * 1e3
+        explorer = incremental.explorer()
+        latest_rules = explorer.ruleset(setting, index)
+        print(
+            f"  batch {index}: {len(batch)} transactions ingested in "
+            f"{elapsed:7.1f} ms -> {len(latest_rules)} rules valid at "
+            f"(supp={setting.min_support}, conf={setting.min_confidence})"
+        )
+
+    # Verify equivalence with the one-shot batch build.
+    batch_kb = build_knowledge_base(windows, config)
+    incremental_kb = incremental.knowledge_base
+    matching = 0
+    for window in range(windows.window_count):
+        inc_rules = {
+            (incremental_kb.catalog.get(r).antecedent,
+             incremental_kb.catalog.get(r).consequent)
+            for r in incremental_kb.slice(window).collect(setting)
+        }
+        batch_rules = {
+            (batch_kb.catalog.get(r).antecedent,
+             batch_kb.catalog.get(r).consequent)
+            for r in batch_kb.slice(window).collect(setting)
+        }
+        assert inc_rules == batch_rules, f"window {window} diverged"
+        matching += len(inc_rules)
+    print(
+        f"\nincremental state verified against the from-scratch build: "
+        f"{matching} rule answers identical across "
+        f"{windows.window_count} windows"
+    )
+
+    # The incremental advantage: per-batch cost stays flat because only
+    # the new window is processed.
+    per_window = incremental_kb.timer.totals["frequent itemset generation"]
+    print(
+        f"total itemset-mining time spent incrementally: "
+        f"{per_window * 1e3:.1f} ms across "
+        f"{incremental_kb.timer.counts['frequent itemset generation']} batches"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quarter-over-quarter MDAR surveillance (MeDIAR-style tracking).
+
+FAERS arrives quarterly; the reviewer's question is what is *emerging*.
+This example feeds four synthetic quarters to the temporal tracker and
+prints, per quarter, the change digest (new / strengthened / vanished
+signals), then the signals persisting across every quarter — the
+strongest evidence an SRS can produce — and the freshly emerged ones.
+
+Run:  python examples/temporal_signals.py
+"""
+
+from repro.datagen import faers_quarter
+from repro.maras import MarasConfig, TemporalSignalTracker
+
+
+def main() -> None:
+    tracker = TemporalSignalTracker(
+        MarasConfig(min_count=5), top_k=40, strengthen_threshold=0.02
+    )
+    quarters = [(f"Q{i + 1}", 500 + i) for i in range(4)]
+
+    latest_database = None
+    for label, seed in quarters:
+        database, reference, _ = faers_quarter(seed=seed, report_count=3000)
+        latest_database = database
+        digest = tracker.add_period(database)
+        print(
+            f"{label}: +{len(digest.new_signals)} new  "
+            f"^{len(digest.strengthened)} strengthened  "
+            f"v{len(digest.weakened)} weakened  "
+            f"-{len(digest.vanished)} vanished"
+        )
+
+    print("\n== signals present in every quarter ==")
+    for trajectory in tracker.persistent_signals()[:5]:
+        ranks = " -> ".join(str(s.rank) for s in trajectory.snapshots)
+        print(
+            f"  {trajectory.association.format(latest_database):<48} "
+            f"ranks {ranks}  score {trajectory.latest.score:.3f}"
+        )
+
+    print("\n== signals that first appeared in the latest quarter ==")
+    for trajectory in tracker.emerging_signals(last_periods=1)[:5]:
+        print(
+            f"  {trajectory.association.format(latest_database):<48} "
+            f"rank {trajectory.latest.rank}  score {trajectory.latest.score:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — reproduction of *Interactive Temporal Association Analytics* (EDBT'16).
+
+Public API overview
+===================
+
+Data substrate
+    :class:`~repro.data.TransactionDatabase`,
+    :class:`~repro.data.WindowedDatabase`, :class:`~repro.data.PeriodSpec`.
+
+Offline phase (the TARA knowledge base)
+    :class:`~repro.core.TaraBuilder` mines each window, archives rule
+    parameter values into the :class:`~repro.core.TarArchive` and builds
+    the :class:`~repro.core.EvolvingParameterSpace` index; the result is
+    a :class:`~repro.core.TaraKnowledgeBase`.
+
+Online phase (interactive exploration)
+    :class:`~repro.core.TaraExplorer` answers mining, trajectory,
+    parameter-recommendation, ruleset-comparison, content and
+    roll-up/drill-down queries from the knowledge base in index time.
+
+Baselines
+    :mod:`repro.baselines` — DCTAR, H-Mine(online), PARAS.
+
+MARAS
+    :mod:`repro.maras` — Drug-ADR association learning and the
+    *contrast* interestingness measure for multi-drug adverse-reaction
+    signals.
+
+Synthetic data
+    :mod:`repro.datagen` — IBM Quest-style, retail-style, webdocs-style
+    transaction generators and the FAERS-style ADR report generator.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

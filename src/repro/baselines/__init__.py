@@ -1,0 +1,31 @@
+"""State-of-the-art competitor systems the paper evaluates against.
+
+* :class:`Dctar` — mines from the raw data on every request;
+* :class:`HMineOnline` — pregenerated itemsets, query-time rules;
+* :class:`Paras` — parameter-space index on the latest window only.
+"""
+
+from repro.baselines.base import (
+    BaselineSystem,
+    Measures,
+    RuleKey,
+    count_rule_measures,
+    rule_key,
+    ruleset_keys,
+)
+from repro.baselines.dctar import Dctar
+from repro.baselines.hmine_online import HMineOnline
+from repro.baselines.paras import Paras
+
+__all__ = [
+    "BaselineSystem",
+    "Dctar",
+    "HMineOnline",
+    "Measures",
+    "Paras",
+    "RuleKey",
+    "count_rule_measures",
+    "rule_key",
+    "rule_key",
+    "ruleset_keys",
+]

@@ -1,0 +1,183 @@
+"""Shared protocol of the state-of-the-art competitor systems.
+
+The paper compares TARA against DCTAR, H-Mine and PARAS on the same
+online operations.  To make rulesets comparable *across* systems —
+including TARA, whose rules live in a catalog — baselines key rules by
+``(antecedent, consequent)`` tuples and report each rule together with
+the (support, confidence) it measured.
+
+The generic implementations of trajectory (Q1) and comparison (Q2)
+queries live here; each system only supplies its own strategy for
+(a) producing the ruleset of a setting in one window and (b) measuring
+given rules' parameter values in a window.  That mirrors the paper's
+experimental setup, where the competitors answer Q1/Q2 through their
+rule-derivation machinery ("we implement a subroutine in their rule
+derivation module", Section 2.5.4).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import QueryError
+from repro.core.queries import MatchMode
+from repro.core.regions import ParameterSetting
+from repro.data.items import Itemset
+from repro.data.periods import PeriodSpec
+from repro.data.transactions import Transaction
+from repro.data.windows import WindowedDatabase
+from repro.mining.rules import Rule
+
+RuleKey = Tuple[Itemset, Itemset]
+Measures = Tuple[float, float]  # (support, confidence)
+
+
+def rule_key(rule: Rule) -> RuleKey:
+    """The cross-system identity of a rule."""
+    return (rule.antecedent, rule.consequent)
+
+
+def count_rule_measures(
+    transactions: Sequence[Transaction], rules: Iterable[RuleKey]
+) -> Dict[RuleKey, Optional[Measures]]:
+    """Measure rules by direct counting over raw transactions.
+
+    This is the from-scratch fallback used by DCTAR (always) and PARAS
+    (for windows other than the latest): one pass per window counting
+    each rule's full itemset and antecedent.
+    """
+    rules = list(rules)
+    n = len(transactions)
+    itemset_counts = [0] * len(rules)
+    antecedent_counts = [0] * len(rules)
+    wanted = [(set(a) | set(c), set(a)) for a, c in rules]
+    for transaction in transactions:
+        present = set(transaction.items)
+        for index, (full, antecedent) in enumerate(wanted):
+            if antecedent.issubset(present):
+                antecedent_counts[index] += 1
+                if full.issubset(present):
+                    itemset_counts[index] += 1
+    result: Dict[RuleKey, Optional[Measures]] = {}
+    for index, key in enumerate(rules):
+        if n == 0 or antecedent_counts[index] == 0 or itemset_counts[index] == 0:
+            result[key] = None
+        else:
+            result[key] = (
+                itemset_counts[index] / n,
+                itemset_counts[index] / antecedent_counts[index],
+            )
+    return result
+
+
+class BaselineSystem(abc.ABC):
+    """A competitor system bound to one windowed database."""
+
+    #: Human-readable system name used in benchmark output.
+    name: str = "baseline"
+
+    def __init__(self, windows: WindowedDatabase) -> None:
+        self.windows = windows
+
+    # ------------------------------------------------------------------
+    # offline phase
+    # ------------------------------------------------------------------
+    def preprocess(self) -> None:
+        """Run the system's offline phase (no-op for DCTAR)."""
+
+    # ------------------------------------------------------------------
+    # system-specific primitives
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def ruleset(
+        self, setting: ParameterSetting, window: int
+    ) -> Dict[RuleKey, Measures]:
+        """Rules valid at *setting* in *window*, with their measures."""
+
+    @abc.abstractmethod
+    def rule_measures(
+        self, rules: Iterable[RuleKey], window: int
+    ) -> Dict[RuleKey, Optional[Measures]]:
+        """Parameter values of the given rules in *window* (None = absent)."""
+
+    # ------------------------------------------------------------------
+    # generic online operations (Q1 / Q2)
+    # ------------------------------------------------------------------
+    def trajectory(
+        self,
+        setting: ParameterSetting,
+        anchor_window: int,
+        spec: PeriodSpec,
+    ) -> Dict[RuleKey, Dict[int, Optional[Measures]]]:
+        """Q1: rules matching in the anchor window, measured across *spec*."""
+        anchor = self.ruleset(setting, anchor_window)
+        keys = list(anchor)
+        result: Dict[RuleKey, Dict[int, Optional[Measures]]] = {
+            key: {} for key in keys
+        }
+        for window in spec:
+            if window == anchor_window:
+                for key in keys:
+                    result[key][window] = anchor[key]
+                continue
+            measured = self.rule_measures(keys, window)
+            for key in keys:
+                result[key][window] = measured[key]
+        return result
+
+    def compare(
+        self,
+        first: ParameterSetting,
+        second: ParameterSetting,
+        spec: PeriodSpec,
+        mode: MatchMode = MatchMode.SINGLE,
+    ) -> Tuple[Set[RuleKey], Set[RuleKey]]:
+        """Q2: rules on which the two settings disagree, per *mode*.
+
+        Returns ``(only_first, only_second)`` aggregated over *spec*.
+        The implementation avoids generating the overlapping ruleset
+        twice per window by deriving at the looser of the two settings
+        and splitting by thresholds — the "optimized subroutine" the
+        paper adds to the competitors.
+        """
+        loose = ParameterSetting(
+            min(first.min_support, second.min_support),
+            min(first.min_confidence, second.min_confidence),
+        )
+        first_votes: Dict[RuleKey, int] = {}
+        second_votes: Dict[RuleKey, int] = {}
+        for window in spec:
+            union_rules = self.ruleset(loose, window)
+            for key, (support, confidence) in union_rules.items():
+                in_first = (
+                    support >= first.min_support
+                    and confidence >= first.min_confidence
+                )
+                in_second = (
+                    support >= second.min_support
+                    and confidence >= second.min_confidence
+                )
+                if in_first and not in_second:
+                    first_votes[key] = first_votes.get(key, 0) + 1
+                elif in_second and not in_first:
+                    second_votes[key] = second_votes.get(key, 0) + 1
+        needed = len(spec) if mode is MatchMode.EXACT else 1
+        only_first = {key for key, votes in first_votes.items() if votes >= needed}
+        only_second = {key for key, votes in second_votes.items() if votes >= needed}
+        return only_first, only_second
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_window(self, window: int) -> None:
+        if not 0 <= window < self.windows.window_count:
+            raise QueryError(
+                f"window {window} out of range "
+                f"[0, {self.windows.window_count})"
+            )
+
+
+def ruleset_keys(rules: Dict[RuleKey, Measures]) -> List[RuleKey]:
+    """Sorted rule keys of a ruleset answer (stable comparison order)."""
+    return sorted(rules)

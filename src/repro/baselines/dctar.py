@@ -1,0 +1,51 @@
+"""DCTAR baseline: direct computation of temporal association rules.
+
+The paper's weakest competitor "derives the ruleset directly from the
+raw data given a parameter configuration.  It computes the associations
+from scratch whenever a new batch of data arrives" — i.e. every online
+request is a full mining run over the requested window's transactions,
+and trajectory requests re-scan the raw transactions of every other
+requested window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.baselines.base import (
+    BaselineSystem,
+    Measures,
+    RuleKey,
+    count_rule_measures,
+    rule_key,
+)
+from repro.core.regions import ParameterSetting
+from repro.mining.apriori import mine_apriori
+from repro.mining.rules import derive_rules
+
+
+class Dctar(BaselineSystem):
+    """From-scratch miner: no offline phase, no reuse between requests."""
+
+    name = "DCTAR"
+
+    def ruleset(
+        self, setting: ParameterSetting, window: int
+    ) -> Dict[RuleKey, Measures]:
+        """Mine the window's raw transactions at the query thresholds."""
+        self._check_window(window)
+        transactions = self.windows.window(window)
+        itemsets = mine_apriori(transactions, setting.min_support)
+        scored = derive_rules(itemsets, setting.min_confidence)
+        return {
+            rule_key(s.rule): (s.support, s.confidence)
+            for s in scored
+            if s.support >= setting.min_support
+        }
+
+    def rule_measures(
+        self, rules: Iterable[RuleKey], window: int
+    ) -> Dict[RuleKey, Optional[Measures]]:
+        """Measure by re-scanning the window's raw transactions."""
+        self._check_window(window)
+        return count_rule_measures(self.windows.window(window), rules)

@@ -1,0 +1,290 @@
+"""Command-line interface to the reproduction.
+
+Covers the full workflow without writing Python:
+
+``repro generate``
+    Emit a synthetic dataset (quest / retail / webdocs as timed-FIMI
+    transactions, faers as an ADR-report TSV).
+``repro build``
+    Run the offline phase over a FIMI file and save the knowledge base.
+``repro mine``
+    Traditional mining request against a saved knowledge base.
+``repro recommend``
+    Q3 parameter recommendation (the enclosing stable region).
+``repro compare``
+    Q2 ruleset comparison between two settings.
+``repro maras``
+    Rank MDAR signals from an ADR-report TSV.
+
+Every subcommand prints plain text to stdout; exit code 0 on success,
+2 on argument errors (argparse convention), 1 on domain errors with the
+message on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro._version import __version__
+from repro.common.errors import ReproError
+from repro.core import (
+    GenerationConfig,
+    MatchMode,
+    ParameterSetting,
+    TaraExplorer,
+    build_knowledge_base,
+    load_knowledge_base,
+    save_knowledge_base,
+)
+from repro.data import WindowedDatabase
+from repro.data.io import read_fimi, read_reports, write_fimi, write_reports
+from repro.datagen import (
+    QuestParameters,
+    RetailParameters,
+    WebdocsParameters,
+    generate_faers,
+    generate_quest,
+    generate_retail,
+    generate_webdocs,
+    FaersParameters,
+)
+from repro.maras import MarasAnalyzer, MarasConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argparse tree (exposed for --help testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Interactive temporal association analytics (EDBT'16 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="emit a synthetic dataset"
+    )
+    generate.add_argument(
+        "dataset", choices=("quest", "retail", "webdocs", "faers")
+    )
+    generate.add_argument("--out", required=True, help="output file path")
+    generate.add_argument("--size", type=int, default=5000,
+                          help="transactions / documents / reports to generate")
+    generate.add_argument("--items", type=int, default=500,
+                          help="item universe size (transaction datasets)")
+    generate.add_argument("--seed", type=int, default=1)
+
+    build = commands.add_parser(
+        "build", help="run the offline phase over a FIMI file"
+    )
+    build.add_argument("--input", required=True, help="timed or plain FIMI file")
+    build.add_argument("--out", required=True, help="knowledge-base output path")
+    build.add_argument("--batches", type=int, default=5,
+                       help="number of equal count-based windows")
+    build.add_argument("--min-support", type=float, required=True)
+    build.add_argument("--min-confidence", type=float, required=True)
+    build.add_argument("--miner", default="fpgrowth",
+                       choices=("apriori", "eclat", "fpgrowth", "hmine"))
+    build.add_argument("--item-index", action="store_true",
+                       help="build the TARA-S per-region item index")
+
+    mine = commands.add_parser("mine", help="mine a saved knowledge base")
+    mine.add_argument("--kb", required=True)
+    mine.add_argument("--min-support", type=float, required=True)
+    mine.add_argument("--min-confidence", type=float, required=True)
+    mine.add_argument("--window", type=int, default=None,
+                      help="basic window index (default: latest)")
+    mine.add_argument("--top", type=int, default=20,
+                      help="print at most this many rules")
+
+    recommend = commands.add_parser(
+        "recommend", help="Q3: stable region around a setting"
+    )
+    recommend.add_argument("--kb", required=True)
+    recommend.add_argument("--min-support", type=float, required=True)
+    recommend.add_argument("--min-confidence", type=float, required=True)
+    recommend.add_argument("--window", type=int, default=None)
+
+    compare = commands.add_parser(
+        "compare", help="Q2: difference of two settings"
+    )
+    compare.add_argument("--kb", required=True)
+    compare.add_argument("--first", nargs=2, type=float, required=True,
+                         metavar=("SUPP", "CONF"))
+    compare.add_argument("--second", nargs=2, type=float, required=True,
+                         metavar=("SUPP", "CONF"))
+    compare.add_argument("--mode", choices=("single", "exact"), default="single")
+
+    maras = commands.add_parser(
+        "maras", help="rank MDAR signals from an ADR-report TSV"
+    )
+    maras.add_argument("--reports", required=True)
+    maras.add_argument("--min-count", type=int, default=5)
+    maras.add_argument("--top", type=int, default=10)
+    maras.add_argument("--theta", type=float, default=0.75)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "quest":
+        database = generate_quest(
+            QuestParameters(
+                transaction_count=args.size,
+                avg_transaction_size=10.0,
+                item_count=args.items,
+                seed=args.seed,
+            )
+        )
+        count = write_fimi(database, args.out)
+    elif args.dataset == "retail":
+        database, _ = generate_retail(
+            RetailParameters(
+                transaction_count=args.size, item_count=args.items, seed=args.seed
+            )
+        )
+        count = write_fimi(database, args.out)
+    elif args.dataset == "webdocs":
+        database = generate_webdocs(
+            WebdocsParameters(
+                document_count=args.size,
+                vocabulary_size=max(args.items, 1000),
+                seed=args.seed,
+            )
+        )
+        count = write_fimi(database, args.out)
+    else:  # faers
+        reports, reference, _ = generate_faers(
+            FaersParameters(report_count=args.size, seed=args.seed)
+        )
+        count = write_reports(reports, args.out)
+        print(f"planted interactions: {len(reference)}")
+    print(f"wrote {count} records to {args.out}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    database = read_fimi(args.input)
+    windows = WindowedDatabase.partition_by_count(database, args.batches)
+    config = GenerationConfig(
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        miner=args.miner,
+        build_item_index=args.item_index,
+    )
+    knowledge_base = build_knowledge_base(windows, config)
+    written = save_knowledge_base(knowledge_base, args.out)
+    print(
+        f"built {knowledge_base.window_count} windows, "
+        f"{len(knowledge_base.catalog)} rules, "
+        f"{knowledge_base.archive.entry_count()} archive entries; "
+        f"saved {written} bytes to {args.out}"
+    )
+    print(knowledge_base.timer.report("offline phase"))
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    knowledge_base = load_knowledge_base(args.kb)
+    explorer = TaraExplorer(knowledge_base)
+    from repro.data import PeriodSpec
+
+    window = (
+        args.window if args.window is not None else knowledge_base.window_count - 1
+    )
+    setting = ParameterSetting(args.min_support, args.min_confidence)
+    mined = explorer.mine(setting, PeriodSpec.single(window))[window]
+    mined.sort(key=lambda rule: (-rule.confidence, -rule.support))
+    print(f"{len(mined)} rules in window {window} at "
+          f"(supp>={setting.min_support}, conf>={setting.min_confidence})")
+    for rule in mined[: args.top]:
+        print(
+            f"  {rule.rule.format():<40} supp={rule.support:.4f} "
+            f"conf={rule.confidence:.3f}"
+        )
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    knowledge_base = load_knowledge_base(args.kb)
+    explorer = TaraExplorer(knowledge_base)
+    setting = ParameterSetting(args.min_support, args.min_confidence)
+    recommendation = explorer.recommend(setting, args.window)
+    region = recommendation.region
+    if region.is_empty:
+        print("no rules at or above this setting in the window")
+        return 0
+    print(
+        f"window {recommendation.window}: same {region.ruleset_size} rules for any "
+        f"supp in ({float(region.support_floor):.5f}, "
+        f"{region.cut.support_float:.5f}] and conf in "
+        f"({float(region.confidence_floor):.5f}, "
+        f"{region.cut.confidence_float:.5f}]"
+    )
+    for direction, neighbor in recommendation.neighbors.items():
+        delta = neighbor.ruleset_size - region.ruleset_size
+        print(f"  {direction:<18} -> {neighbor.ruleset_size} rules ({delta:+d})")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    knowledge_base = load_knowledge_base(args.kb)
+    explorer = TaraExplorer(knowledge_base)
+    first = ParameterSetting(*args.first)
+    second = ParameterSetting(*args.second)
+    mode = MatchMode.EXACT if args.mode == "exact" else MatchMode.SINGLE
+    result = explorer.compare(first, second, mode=mode)
+    print(
+        f"{len(result.only_first)} rules only under the first setting, "
+        f"{len(result.only_second)} only under the second "
+        f"({args.mode} match over {len(result.per_window)} windows)"
+    )
+    for diff in result.per_window:
+        print(
+            f"  window {diff.window}: +{len(diff.only_first)} "
+            f"-{len(diff.only_second)} ={len(diff.common)}"
+        )
+    return 0
+
+
+def _cmd_maras(args: argparse.Namespace) -> int:
+    database = read_reports(args.reports)
+    analyzer = MarasAnalyzer(
+        database, MarasConfig(min_count=args.min_count, theta=args.theta)
+    )
+    signals = analyzer.signals(top_k=args.top)
+    print(
+        f"{len(database)} reports, {database.drug_count} drugs, "
+        f"{database.adr_count} ADRs -> top {len(signals)} signals:"
+    )
+    for rank, signal in enumerate(signals, start=1):
+        print(f"  #{rank} {signal.describe(database)}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "mine": _cmd_mine,
+    "recommend": _cmd_recommend,
+    "compare": _cmd_compare,
+    "maras": _cmd_maras,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

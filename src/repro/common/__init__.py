@@ -1,0 +1,23 @@
+"""Cross-cutting utilities: errors, validation, timing, codecs, statistics."""
+
+from repro.common.errors import (
+    CodecError,
+    DataFormatError,
+    NotBuiltError,
+    QueryError,
+    ReproError,
+    UnknownRuleError,
+    UnknownWindowError,
+    ValidationError,
+)
+
+__all__ = [
+    "CodecError",
+    "DataFormatError",
+    "NotBuiltError",
+    "QueryError",
+    "ReproError",
+    "UnknownRuleError",
+    "UnknownWindowError",
+    "ValidationError",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers embedding the library can catch a single
+base class.  Subclasses separate the main failure domains: invalid user
+input, malformed data, codec failures, and queries that reference state
+the knowledge base does not hold.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument supplied by the caller is outside its legal domain.
+
+    Also a :class:`ValueError` so that idiomatic ``except ValueError``
+    call sites keep working.
+    """
+
+
+class DataFormatError(ReproError, ValueError):
+    """Raw input data (transactions, reports, files) is malformed."""
+
+
+class CodecError(ReproError):
+    """Encoding or decoding of an archived byte stream failed."""
+
+
+class UnknownRuleError(ReproError, KeyError):
+    """A rule identifier was requested that the archive does not hold."""
+
+
+class UnknownWindowError(ReproError, KeyError):
+    """A time window was requested that the knowledge base does not cover."""
+
+
+class QueryError(ReproError):
+    """An online query is inconsistent (e.g. empty period set, bad mode)."""
+
+
+class NotBuiltError(ReproError, RuntimeError):
+    """An online operation ran before the offline knowledge base was built."""

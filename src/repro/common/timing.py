@@ -1,0 +1,113 @@
+"""Instrumentation for the offline/online phase breakdowns.
+
+The paper's Figure 9 reports the offline preprocessing time *stacked by
+task* (frequent-itemset generation, rule derivation, archival, EPS index
+update).  :class:`PhaseTimer` collects named, nestable phase durations so
+both the knowledge-base builder and the benchmark harness can report the
+same per-task decomposition.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock durations per named phase.
+
+    Phases accumulate: timing the same name twice adds the durations,
+    which is the behaviour wanted when the same task runs once per
+    window.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    _order: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager measuring one execution of the phase *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self.totals:
+                self.totals[name] = 0.0
+                self.counts[name] = 0
+                self._order.append(name)
+            self.totals[name] += elapsed
+            self.counts[name] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record *seconds* against phase *name* without a context manager."""
+        if name not in self.totals:
+            self.totals[name] = 0.0
+            self.counts[name] = 0
+            self._order.append(name)
+        self.totals[name] += seconds
+        self.counts[name] += 1
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase durations in seconds."""
+        return sum(self.totals.values())
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's phases into this one (used across windows)."""
+        for name in other._order:
+            self.add(name, other.totals[name])
+            # ``add`` counted one execution; fix up to the real count.
+            self.counts[name] += other.counts[name] - 1
+
+    def breakdown(self) -> Dict[str, float]:
+        """Phase name -> seconds, in first-recorded order."""
+        return {name: self.totals[name] for name in self._order}
+
+    def report(self, title: str = "phase breakdown") -> str:
+        """Human-readable multi-line report of the breakdown."""
+        lines = [title]
+        width = max((len(name) for name in self._order), default=0)
+        for name in self._order:
+            share = self.totals[name] / self.total if self.total else 0.0
+            lines.append(
+                f"  {name.ljust(width)}  {self.totals[name] * 1e3:10.3f} ms"
+                f"  ({share:6.1%}, n={self.counts[name]})"
+            )
+        lines.append(f"  {'total'.ljust(width)}  {self.total * 1e3:10.3f} ms")
+        return "\n".join(lines)
+
+
+@contextmanager
+def stopwatch() -> Iterator["Stopwatch"]:
+    """Measure a block's wall-clock duration.
+
+    Usage::
+
+        with stopwatch() as clock:
+            work()
+        print(clock.seconds)
+    """
+    clock = Stopwatch()
+    clock._start = time.perf_counter()
+    try:
+        yield clock
+    finally:
+        clock.seconds = time.perf_counter() - clock._start
+
+
+class Stopwatch:
+    """Holds the duration measured by :func:`stopwatch`."""
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.seconds = 0.0
+
+    @property
+    def millis(self) -> float:
+        """Measured duration in milliseconds."""
+        return self.seconds * 1e3

@@ -1,0 +1,76 @@
+"""Small argument-validation helpers used throughout the library.
+
+These helpers keep the public API functions short and make error messages
+uniform: every check raises :class:`~repro.common.errors.ValidationError`
+naming the offending parameter and the constraint it violated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.common.errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_fraction(value: float, name: str, *, allow_zero: bool = True) -> float:
+    """Validate that *value* is a finite fraction in ``[0, 1]``.
+
+    Parameters such as *minimum support* and *minimum confidence* are
+    fractions by definition (Formulas 1-2 of the paper).
+
+    Returns the value unchanged so checks can be inlined in assignments.
+    """
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if math.isnan(value) or math.isinf(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    low = 0.0 if allow_zero else 0.0 + 0.0
+    if value < low or value > 1.0 or (not allow_zero and value == 0.0):
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValidationError(f"{name} must be in {bound}, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is an ``int`` strictly greater than zero."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Validate that *value* is an ``int`` greater than or equal to zero."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_non_empty(items: Sequence | Iterable, name: str) -> None:
+    """Validate that a sized or iterable argument holds at least one element."""
+    try:
+        size = len(items)  # type: ignore[arg-type]
+    except TypeError:
+        size = sum(1 for _ in items)
+    if size == 0:
+        raise ValidationError(f"{name} must not be empty")
+
+
+def check_sorted_unique(values: Sequence[int], name: str) -> None:
+    """Validate that *values* is strictly increasing (sorted, no duplicates)."""
+    for earlier, later in zip(values, values[1:]):
+        if earlier >= later:
+            raise ValidationError(
+                f"{name} must be strictly increasing; "
+                f"saw {earlier!r} before {later!r}"
+            )

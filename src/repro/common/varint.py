@@ -1,0 +1,99 @@
+"""Variable-length integer codec used by the TAR Archive.
+
+The paper stores each rule's per-window parameter values in a compact
+archive ("our specially designed encoding and decoding strategies achieve
+fast access", Section 2.1.5).  We realize that design with the classic
+LEB128-style *varint*: small non-negative integers occupy one byte, and
+each additional 7 bits of magnitude costs one more byte.  Combined with
+delta-encoding of window ids and counts (see
+:mod:`repro.core.archive`), the typical archived value fits in 1-2 bytes.
+
+A zigzag transform maps signed deltas onto unsigned varints so that small
+negative deltas stay small on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.common.errors import CodecError
+
+_CONTINUATION = 0x80
+_PAYLOAD = 0x7F
+
+
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append the unsigned varint encoding of *value* to *out*."""
+    if value < 0:
+        raise CodecError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & _PAYLOAD
+        value >>= 7
+        if value:
+            out.append(byte | _CONTINUATION)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode one unsigned varint from *data* starting at *offset*.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise CodecError("truncated uvarint")
+        byte = data[position]
+        position += 1
+        result |= (byte & _PAYLOAD) << shift
+        if not byte & _CONTINUATION:
+            return result, position
+        shift += 7
+        if shift > 63:
+            raise CodecError("uvarint too long (more than 64 bits)")
+
+
+def zigzag(value: int) -> int:
+    """Map a signed integer to an unsigned one with small magnitudes first.
+
+    ``0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...``
+    """
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_svarint(value: int, out: bytearray) -> None:
+    """Append the zigzag varint encoding of a signed *value* to *out*."""
+    encode_uvarint(zigzag(value), out)
+
+
+def decode_svarint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode one signed (zigzag) varint; returns ``(value, next_offset)``."""
+    raw, position = decode_uvarint(data, offset)
+    return unzigzag(raw), position
+
+
+def encode_uvarint_sequence(values: Iterable[int]) -> bytes:
+    """Encode an iterable of unsigned integers as concatenated varints."""
+    out = bytearray()
+    for value in values:
+        encode_uvarint(value, out)
+    return bytes(out)
+
+
+def decode_uvarint_sequence(data: bytes) -> List[int]:
+    """Decode a buffer written by :func:`encode_uvarint_sequence`."""
+    values: List[int] = []
+    offset = 0
+    while offset < len(data):
+        value, offset = decode_uvarint(data, offset)
+        values.append(value)
+    return values

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: the TARA framework.
+
+Offline phase: :class:`TaraBuilder` / :func:`build_knowledge_base`
+produce a :class:`TaraKnowledgeBase` (rule catalog + TAR Archive + EPS
+index).  Online phase: :class:`TaraExplorer`.  Incremental maintenance:
+:class:`IncrementalTara`.
+"""
+
+from repro.core.archive import RolledUpMeasure, TarArchive, WindowMeasure
+from repro.core.builder import (
+    GenerationConfig,
+    TaraBuilder,
+    TaraKnowledgeBase,
+    build_knowledge_base,
+)
+from repro.core.explorer import TaraExplorer
+from repro.core.incremental import IncrementalTara
+from repro.core.locations import Location, group_by_location, location_of
+from repro.core.persistence import load_knowledge_base, save_knowledge_base
+from repro.core.queries import (
+    ComparisonResult,
+    MatchMode,
+    MinedRule,
+    Recommendation,
+    RollupAnswer,
+    RolledUpRule,
+    RuleTrajectory,
+    WindowDiff,
+)
+from repro.core.regions import ParameterSetting, StableRegion, WindowSlice
+from repro.core.rollup import max_support_error, rolled_up_mine
+from repro.core.trajectory import TrajectorySummary, summarize_trajectory
+
+__all__ = [
+    "ComparisonResult",
+    "GenerationConfig",
+    "IncrementalTara",
+    "Location",
+    "MatchMode",
+    "MinedRule",
+    "ParameterSetting",
+    "Recommendation",
+    "RolledUpMeasure",
+    "RolledUpRule",
+    "RollupAnswer",
+    "RuleTrajectory",
+    "StableRegion",
+    "TarArchive",
+    "TaraBuilder",
+    "TaraExplorer",
+    "TaraKnowledgeBase",
+    "TrajectorySummary",
+    "WindowDiff",
+    "WindowMeasure",
+    "WindowSlice",
+    "build_knowledge_base",
+    "group_by_location",
+    "load_knowledge_base",
+    "location_of",
+    "save_knowledge_base",
+    "max_support_error",
+    "rolled_up_mine",
+    "summarize_trajectory",
+]

@@ -1,0 +1,93 @@
+"""Temporal parametric locations in the Evolving Parameter Space.
+
+Definition 9 of the paper associates every rule, per time window, with
+its *temporal parametric location* — the point in the (support,
+confidence) plane given by the rule's measured values in that window.
+Rules with identical parameter values share one location (Lemma 2
+guarantees rules at distinct locations are distinct).
+
+Equality of parameter values must be *exact* for the space partitioning
+to be sound, so locations are keyed by rational values
+(``fractions.Fraction`` of the underlying integer counts), never by
+floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common.errors import ValidationError
+from repro.mining.rules import RuleId, ScoredRule
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """One parametric location: exact (support, confidence) coordinates."""
+
+    support: Fraction
+    confidence: Fraction
+
+    def __post_init__(self) -> None:
+        for name, value in (("support", self.support), ("confidence", self.confidence)):
+            if not 0 <= value <= 1:
+                raise ValidationError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def support_float(self) -> float:
+        """Support as a float (display/benchmark convenience)."""
+        return float(self.support)
+
+    @property
+    def confidence_float(self) -> float:
+        """Confidence as a float (display/benchmark convenience)."""
+        return float(self.confidence)
+
+    def dominates(self, other: "Location") -> bool:
+        """Definition 13's order: both coordinates less than or equal.
+
+        The *dominating* location imposes the weaker thresholds, hence
+        admits a superset of the rules (Lemma 4).
+        """
+        return self.support <= other.support and self.confidence <= other.confidence
+
+
+def location_of(scored: ScoredRule) -> Location:
+    """The exact parametric location of one scored rule."""
+    if scored.window_size == 0:
+        raise ValidationError("cannot locate a rule mined from an empty window")
+    return Location(
+        support=Fraction(scored.rule_count, scored.window_size),
+        confidence=Fraction(scored.rule_count, scored.antecedent_count),
+    )
+
+
+def group_by_location(
+    scored_rules: Iterable[ScoredRule],
+) -> Dict[Location, List[RuleId]]:
+    """Map each distinct location to the ids of the rules sitting on it.
+
+    This is the Lemma 2 grouping: within one window a rule has exactly
+    one location, and all rules on a location share exact parameter
+    values.
+    """
+    groups: Dict[Location, List[RuleId]] = {}
+    for scored in scored_rules:
+        groups.setdefault(location_of(scored), []).append(scored.rule_id)
+    for rule_ids in groups.values():
+        rule_ids.sort()
+    return groups
+
+
+def distinct_axes(
+    locations: Iterable[Location],
+) -> Tuple[List[Fraction], List[Fraction]]:
+    """Sorted distinct support and confidence values of the locations.
+
+    These are the coordinates of the *cut locations* (Definition 12):
+    the grid formed by projecting every location onto both axes.
+    """
+    supports = sorted({location.support for location in locations})
+    confidences = sorted({location.confidence for location in locations})
+    return supports, confidences

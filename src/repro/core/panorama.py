@@ -1,0 +1,202 @@
+"""Text rendering of the "rule-centric panorama" (Section 2.1.4).
+
+TARA's pitch is that the EPS index gives analysts "an innovative
+rule-centric panorama into the temporal associations".  The original
+system rendered it in a Qt GUI; this module provides terminal-friendly
+equivalents used by the examples and handy in notebooks:
+
+* :func:`render_slice` — a density heat-grid of one window's parameter
+  space: each cell shows how many rules a setting in that cell yields
+  (computed exactly via 2-D suffix sums over the parametric locations);
+* :func:`render_trajectory` — a sparkline of a rule's confidence or
+  support across windows, gaps marked;
+* :func:`render_window_sizes` — ruleset-size bars across windows for a
+  fixed setting (the "evolving dataset at a glance" strip).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.errors import QueryError, ValidationError
+from repro.core.archive import WindowMeasure
+from repro.core.builder import TaraKnowledgeBase
+from repro.core.regions import ParameterSetting, WindowSlice
+
+# Density glyphs from empty to dense.
+_SHADES = " .:-=+*#%@"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _shade(value: int, maximum: int) -> str:
+    if maximum <= 0 or value <= 0:
+        return _SHADES[0]
+    index = 1 + int((len(_SHADES) - 2) * (value / maximum))
+    return _SHADES[min(index, len(_SHADES) - 1)]
+
+
+def rule_count_grid(
+    window_slice: WindowSlice,
+    *,
+    width: int = 12,
+    height: int = 8,
+    max_support: Optional[float] = None,
+) -> List[List[int]]:
+    """Exact ruleset sizes over a width x height grid of settings.
+
+    Cell ``(row, col)`` holds the number of rules valid at the setting
+    whose support/confidence are the cell's lower-left corner.  Computed
+    with one pass of 2-D suffix sums over the occupied locations, so the
+    cost is O(locations + width*height), independent of ruleset sizes.
+
+    ``max_support`` clips the rendered support axis (real datasets have
+    heavy-tailed supports that would otherwise waste most columns on a
+    near-empty tail); ``None`` spans up to the largest location.
+    """
+    if width < 1 or height < 1:
+        raise ValidationError("grid dimensions must be positive")
+    supports = window_slice.supports
+    confidences = window_slice.confidences
+    if not supports or not confidences:
+        return [[0] * width for _ in range(height)]
+
+    # counts[si][ci] = rules at that exact location; suffix-sum it so
+    # counts[si][ci] = rules with support rank >= si and conf rank >= ci.
+    counts = [[0] * (len(confidences) + 1) for _ in range(len(supports) + 1)]
+    for location, rule_ids in window_slice.locations():
+        si = supports.index(location.support)
+        ci = confidences.index(location.confidence)
+        counts[si][ci] += len(rule_ids)
+    for si in range(len(supports) - 1, -1, -1):
+        for ci in range(len(confidences) - 1, -1, -1):
+            counts[si][ci] += counts[si + 1][ci] + counts[si][ci + 1]
+            counts[si][ci] -= counts[si + 1][ci + 1]
+
+    gen = window_slice.generation_setting
+    supp_hi = float(supports[-1]) if max_support is None else max_support
+    supp_lo = gen.min_support
+    conf_lo, conf_hi = gen.min_confidence, float(confidences[-1])
+    from bisect import bisect_left
+
+    grid: List[List[int]] = []
+    for row in range(height):
+        # Top row = highest confidence (plot orientation).
+        conf = conf_lo + (conf_hi - conf_lo) * (height - 1 - row) / max(height - 1, 1)
+        grid_row: List[int] = []
+        for col in range(width):
+            supp = supp_lo + (supp_hi - supp_lo) * col / max(width - 1, 1)
+            si = bisect_left(supports, _approx_fraction(supp))
+            ci = bisect_left(confidences, _approx_fraction(conf))
+            grid_row.append(counts[si][ci])
+        grid.append(grid_row)
+    return grid
+
+
+def _approx_fraction(value: float):
+    from fractions import Fraction
+
+    return Fraction(value).limit_denominator(10**12)
+
+
+def render_slice(
+    window_slice: WindowSlice,
+    *,
+    width: int = 12,
+    height: int = 8,
+    support_quantile: float = 0.9,
+) -> str:
+    """The heat-grid of one window's parameter space as text art.
+
+    The support axis spans up to the *support_quantile* of the occupied
+    locations' supports (1.0 = full range) so the heavy tail of a few
+    ultra-frequent rules does not flatten the picture.
+    """
+    if not 0.0 < support_quantile <= 1.0:
+        raise ValidationError("support_quantile must be in (0, 1]")
+    supports = window_slice.supports
+    confidences = window_slice.confidences
+    max_support = None
+    if supports and support_quantile < 1.0:
+        index = min(
+            int(support_quantile * (len(supports) - 1)), len(supports) - 1
+        )
+        max_support = float(supports[index])
+    grid = rule_count_grid(
+        window_slice, width=width, height=height, max_support=max_support
+    )
+    maximum = max((value for row in grid for value in row), default=0)
+    gen = window_slice.generation_setting
+    lines = [
+        f"window {window_slice.window}: ruleset sizes over "
+        f"supp x conf (max {maximum} rules, '@' = densest)"
+    ]
+    for row_index, row in enumerate(grid):
+        conf_hi = float(confidences[-1]) if confidences else 1.0
+        conf = gen.min_confidence + (conf_hi - gen.min_confidence) * (
+            (height - 1 - row_index) / max(height - 1, 1)
+        )
+        cells = "".join(_shade(value, maximum) for value in row)
+        lines.append(f"  conf {conf:6.3f} |{cells}|")
+    supp_hi = (
+        max_support
+        if max_support is not None
+        else (float(supports[-1]) if supports else 1.0)
+    )
+    lines.append(
+        f"  supp: {gen.min_support:.4f} .. {supp_hi:.4f} (left to right)"
+    )
+    return "\n".join(lines)
+
+
+def render_trajectory(
+    measures: Sequence[Optional[WindowMeasure]], *, metric: str = "confidence"
+) -> str:
+    """A sparkline of one rule's metric across windows ('·' = absent)."""
+    if metric not in ("confidence", "support", "lift"):
+        raise QueryError(f"unknown trajectory metric {metric!r}")
+    values = [
+        getattr(measure, metric) if measure is not None else None
+        for measure in measures
+    ]
+    present = [value for value in values if value is not None]
+    if not present:
+        return "·" * len(values)
+    low, high = min(present), max(present)
+    span = high - low
+    glyphs: List[str] = []
+    for value in values:
+        if value is None:
+            glyphs.append("·")
+            continue
+        if span == 0:
+            glyphs.append(_SPARKS[len(_SPARKS) // 2])
+        else:
+            index = int((len(_SPARKS) - 1) * (value - low) / span)
+            glyphs.append(_SPARKS[index])
+    return "".join(glyphs)
+
+
+def render_window_sizes(
+    knowledge_base: TaraKnowledgeBase,
+    setting: ParameterSetting,
+    *,
+    bar_width: int = 40,
+) -> str:
+    """Per-window ruleset-size bars for one setting."""
+    if bar_width < 1:
+        raise ValidationError("bar_width must be positive")
+    sizes = [
+        len(knowledge_base.slice(window).collect(setting))
+        for window in range(knowledge_base.window_count)
+    ]
+    maximum = max(sizes, default=0)
+    lines = [
+        f"ruleset sizes at (supp>={setting.min_support}, "
+        f"conf>={setting.min_confidence}):"
+    ]
+    for window, size in enumerate(sizes):
+        filled = int(bar_width * size / maximum) if maximum else 0
+        lines.append(
+            f"  window {window}: {'█' * filled}{' ' * (bar_width - filled)} {size}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Saving and loading TARA knowledge bases.
+
+The offline phase is the expensive part of TARA; a deployment builds
+the knowledge base once per batch and serves analysts from it for the
+rest of the window's lifetime.  This module persists a built
+:class:`~repro.core.builder.TaraKnowledgeBase` to a single file and
+restores it byte-exactly, so the online explorer can start without
+re-mining anything.
+
+Format: a JSON header (version, config, window bookkeeping, catalog)
+followed by the archive's sealed per-rule blobs, all inside one
+JSON-compatible envelope.  The archive blobs are base85-encoded — they
+are already delta+varint compressed, so the ~25% base85 overhead on an
+already-small payload beats adding a binary container format.  No
+pickle anywhere: the file is inspectable and safe to load.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.common.errors import DataFormatError
+from repro.core.archive import TarArchive, _decode_series, _encode_series
+from repro.core.builder import GenerationConfig, TaraKnowledgeBase
+from repro.core.locations import group_by_location
+from repro.core.regions import WindowSlice
+from repro.common.timing import PhaseTimer
+from repro.mining.rules import Rule, RuleCatalog, ScoredRule
+
+FORMAT_VERSION = 1
+
+
+def save_knowledge_base(
+    knowledge_base: TaraKnowledgeBase, path: Union[str, Path]
+) -> int:
+    """Write *knowledge_base* to *path*; returns bytes written.
+
+    The archive is sealed as a side effect (sealing is idempotent and
+    required so every series has its canonical encoding).
+    """
+    knowledge_base.archive.seal()
+    archive = knowledge_base.archive
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "min_support": knowledge_base.config.min_support,
+            "min_confidence": knowledge_base.config.min_confidence,
+            "miner": knowledge_base.config.miner,
+            "build_item_index": knowledge_base.config.build_item_index,
+            "max_itemset_size": knowledge_base.config.max_itemset_size,
+        },
+        "window_sizes": knowledge_base.window_sizes,
+        "missing_count_bounds": [
+            archive.missing_count_bound(w) for w in range(archive.window_count)
+        ],
+        "rules_in_window": knowledge_base.rules_in_window,
+        "catalog": [
+            {"antecedent": list(rule.antecedent), "consequent": list(rule.consequent)}
+            for rule in knowledge_base.catalog
+        ],
+        "archive": {
+            str(rule_id): base64.b85encode(
+                _encode_series(archive._entries(rule_id))
+            ).decode("ascii")
+            for rule_id in archive.rule_ids()
+        },
+    }
+    text = json.dumps(payload, separators=(",", ":"))
+    Path(path).write_text(text, encoding="utf-8")
+    return len(text.encode("utf-8"))
+
+
+def load_knowledge_base(path: Union[str, Path]) -> TaraKnowledgeBase:
+    """Restore a knowledge base written by :func:`save_knowledge_base`.
+
+    The EPS slices are rebuilt from the archived counts (they are a
+    deterministic function of them), so the restored object answers
+    every query identically to the original — verified by the test
+    suite.  The build timer is not persisted (it described the original
+    machine's offline run).
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise DataFormatError(f"cannot read knowledge base from {path}: {error}")
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise DataFormatError(
+            f"unsupported knowledge-base format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+
+    config = GenerationConfig(
+        min_support=payload["config"]["min_support"],
+        min_confidence=payload["config"]["min_confidence"],
+        miner=payload["config"]["miner"],
+        build_item_index=payload["config"]["build_item_index"],
+        max_itemset_size=payload["config"]["max_itemset_size"],
+    )
+    catalog = RuleCatalog()
+    for entry in payload["catalog"]:
+        catalog.intern(
+            Rule(
+                antecedent=tuple(entry["antecedent"]),
+                consequent=tuple(entry["consequent"]),
+            )
+        )
+
+    window_sizes = list(payload["window_sizes"])
+    bounds = list(payload["missing_count_bounds"])
+    rules_in_window = [list(rule_ids) for rule_ids in payload["rules_in_window"]]
+    if not (len(window_sizes) == len(bounds) == len(rules_in_window)):
+        raise DataFormatError("inconsistent window bookkeeping in saved file")
+
+    # Decode every rule's series once; group per window for the slices.
+    series_by_rule = {}
+    for rule_id_text, blob_text in payload["archive"].items():
+        rule_id = int(rule_id_text)
+        blob = base64.b85decode(blob_text.encode("ascii"))
+        series_by_rule[rule_id] = _decode_series(blob)
+
+    archive = TarArchive()
+    per_window_scored: list[list[ScoredRule]] = [[] for _ in window_sizes]
+    for rule_id, series in series_by_rule.items():
+        rule = catalog.get(rule_id)
+        for window, rule_count, antecedent_count, consequent_count in series:
+            if not 0 <= window < len(window_sizes):
+                raise DataFormatError(
+                    f"rule {rule_id} references unknown window {window}"
+                )
+            n = window_sizes[window]
+            per_window_scored[window].append(
+                ScoredRule(
+                    rule_id=rule_id,
+                    rule=rule,
+                    support=rule_count / n if n else 0.0,
+                    confidence=(
+                        rule_count / antecedent_count if antecedent_count else 0.0
+                    ),
+                    rule_count=rule_count,
+                    antecedent_count=antecedent_count,
+                    window_size=n,
+                    consequent_count=consequent_count,
+                )
+            )
+
+    knowledge_base = TaraKnowledgeBase(
+        config=config, catalog=catalog, archive=archive, timer=PhaseTimer()
+    )
+    for window, (size, bound) in enumerate(zip(window_sizes, bounds)):
+        archive.begin_window(size, bound)
+        scored = sorted(per_window_scored[window], key=lambda s: s.rule_id)
+        archive.record(window, scored)
+        item_source = (
+            {s.rule_id: s.rule.items for s in scored}
+            if config.build_item_index
+            else None
+        )
+        knowledge_base.slices.append(
+            WindowSlice(
+                window,
+                group_by_location(scored),
+                generation_setting=config.setting,
+                item_index_source=item_source,
+            )
+        )
+        knowledge_base.rules_in_window.append(rules_in_window[window])
+        knowledge_base.window_sizes.append(size)
+    archive.seal()
+    return knowledge_base

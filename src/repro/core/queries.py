@@ -1,0 +1,159 @@
+"""Query and result types of the TARA online explorer.
+
+The paper's online phase supports several operation classes (Section
+2.1.4/2.5): traditional mining with time specification, rule-trajectory
+and parameter-recommendation queries (Q1/Q3), evolving ruleset
+comparisons (Q2), content-based exploration (Q5) and trajectory
+summarization (Q4).  This module defines the value objects those
+operations accept and return; the logic lives in
+:mod:`repro.core.explorer`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.archive import RolledUpMeasure, WindowMeasure
+from repro.core.regions import ParameterSetting, StableRegion
+from repro.mining.rules import Rule, RuleId
+
+
+class MatchMode(enum.Enum):
+    """How a multi-window comparison aggregates per-window differences.
+
+    ``EXACT``  — a rule counts as *differing* only if it differs in
+    every requested window (the paper's *exact match* mode).
+    ``SINGLE`` — a rule counts as differing if it differs in at least
+    one requested window (*single match*).
+    """
+
+    EXACT = "exact"
+    SINGLE = "single"
+
+
+@dataclass(frozen=True)
+class MinedRule:
+    """One rule in a mining answer, with the measures that qualified it."""
+
+    rule_id: RuleId
+    rule: Rule
+    support: float
+    confidence: float
+
+
+@dataclass(frozen=True)
+class RuleTrajectory:
+    """Q1 answer element: a rule's parameter values across windows.
+
+    ``measures[w]`` is ``None`` for windows where the rule was not
+    archived (below generation thresholds there).
+    """
+
+    rule_id: RuleId
+    rule: Rule
+    measures: Dict[int, Optional[WindowMeasure]]
+
+    def present_windows(self) -> Tuple[int, ...]:
+        """Windows (sorted) in which the rule had archived values."""
+        return tuple(
+            sorted(w for w, measure in self.measures.items() if measure is not None)
+        )
+
+    def support_series(self) -> List[float]:
+        """Supports over present windows, in window order."""
+        return [
+            self.measures[w].support  # type: ignore[union-attr]
+            for w in self.present_windows()
+        ]
+
+    def confidence_series(self) -> List[float]:
+        """Confidences over present windows, in window order."""
+        return [
+            self.measures[w].confidence  # type: ignore[union-attr]
+            for w in self.present_windows()
+        ]
+
+
+@dataclass(frozen=True)
+class WindowDiff:
+    """Per-window difference of two rulesets (Q2 building block)."""
+
+    window: int
+    only_first: Tuple[RuleId, ...]
+    only_second: Tuple[RuleId, ...]
+    common: Tuple[RuleId, ...]
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Q2 answer: differences between two settings over shared periods."""
+
+    first: ParameterSetting
+    second: ParameterSetting
+    mode: MatchMode
+    per_window: Tuple[WindowDiff, ...]
+    only_first: Tuple[RuleId, ...]
+    only_second: Tuple[RuleId, ...]
+
+    @property
+    def difference_size(self) -> int:
+        """Total number of rules reported as differing."""
+        return len(self.only_first) + len(self.only_second)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Q3 answer: the enclosing stable region plus its axis neighbors.
+
+    ``region`` tells the analyst how far each threshold can move without
+    changing the answer; each entry of ``neighbors`` describes what
+    happens one region further in that direction (key is the direction
+    name, e.g. ``"looser_support"``).
+    """
+
+    window: int
+    setting: ParameterSetting
+    region: StableRegion
+    neighbors: Dict[str, StableRegion]
+
+    def ruleset_delta(self, direction: str) -> Optional[int]:
+        """Ruleset-size change when crossing into *direction*'s region."""
+        neighbor = self.neighbors.get(direction)
+        if neighbor is None:
+            return None
+        return neighbor.ruleset_size - self.region.ruleset_size
+
+
+@dataclass(frozen=True)
+class RolledUpRule:
+    """A rule qualified over a merged (rolled-up) period."""
+
+    rule_id: RuleId
+    rule: Rule
+    measure: RolledUpMeasure
+
+
+@dataclass(frozen=True)
+class RollupAnswer:
+    """Roll-up mining answer with the paper's approximation guarantee.
+
+    ``certain`` rules satisfy the setting even under the pessimistic
+    bounds; ``possible`` rules satisfy it only under the optimistic
+    bounds.  When every candidate's archive series covers every
+    requested window the two lists coincide and the answer is exact.
+    """
+
+    setting: ParameterSetting
+    windows: Tuple[int, ...]
+    certain: Tuple[RolledUpRule, ...]
+    possible: Tuple[RolledUpRule, ...]
+    max_support_error: float
+
+    @property
+    def is_exact(self) -> bool:
+        """True when optimistic and pessimistic answers coincide."""
+        certain_ids = {r.rule_id for r in self.certain}
+        possible_ids = {r.rule_id for r in self.possible}
+        return certain_ids == possible_ids

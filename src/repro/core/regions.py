@@ -1,0 +1,377 @@
+"""Time-aware stable regions: the per-window parameter-space partition.
+
+Definition 11 of the paper: within one time window, the (support,
+confidence) plane splits into finitely many *stable regions* — maximal
+boxes within which any parameter setting produces the identical ruleset.
+Region boundaries are the distinct support/confidence values of the
+window's parametric locations; the upper-right corner of each region is
+its *cut location* (Definition 12).
+
+:class:`WindowSlice` is one window's share of the EPS index.  It stores
+the locations bucketed by support value (rows sorted by confidence), so
+
+* finding the enclosing stable region of a setting is two binary
+  searches, and
+* collecting the ruleset of a setting — the union of the rules at every
+  location the setting's cut location dominates (Lemma 4) — is a
+  staircase scan over the dominated part of the grid.
+
+A breadth-first traversal of the domination grid is provided as the
+paper-literal alternative ("iterating over its dominating regions");
+the staircase scan is the default because it touches only occupied
+locations.  Both return identical rulesets (property-tested).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import QueryError, ValidationError
+from repro.core.locations import Location, distinct_axes
+from repro.data.items import ItemId
+from repro.mining.rules import RuleId
+
+
+@dataclass(frozen=True)
+class ParameterSetting:
+    """A user-chosen (minimum support, minimum confidence) pair."""
+
+    min_support: float
+    min_confidence: float
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("min_support", self.min_support),
+            ("min_confidence", self.min_confidence),
+        ):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValidationError(f"{name} must be a number, got {value!r}")
+            if not 0.0 <= float(value) <= 1.0:
+                raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class StableRegion:
+    """One time-aware stable region of a window's parameter space.
+
+    ``support_floor``/``confidence_floor`` are the largest distinct
+    values strictly below the cut (or the generation threshold when the
+    cut is the smallest value): the region is the half-open box
+    ``(support_floor, cut.support] x (confidence_floor, cut.confidence]``.
+    An empty region (setting above every location) has ``cut is None``.
+    """
+
+    window: int
+    cut: Optional[Location]
+    support_floor: Fraction
+    confidence_floor: Fraction
+    ruleset_size: int
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no rules satisfy any setting inside this region."""
+        return self.cut is None
+
+    def contains(self, setting: ParameterSetting) -> bool:
+        """True if *setting* falls inside this region's half-open box."""
+        supp = Fraction(setting.min_support).limit_denominator(10**12)
+        conf = Fraction(setting.min_confidence).limit_denominator(10**12)
+        supp_ok = supp > self.support_floor and (
+            self.cut is None or supp <= self.cut.support
+        )
+        conf_ok = conf > self.confidence_floor and (
+            self.cut is None or conf <= self.cut.confidence
+        )
+        return supp_ok and conf_ok
+
+
+class WindowSlice:
+    """The EPS index slice of a single basic window.
+
+    Args:
+        window: basic window index this slice belongs to.
+        groups: parametric location -> rule ids (Lemma 2 grouping).
+        item_index_source: optional mapping rule id -> rule items; when
+            given, each location additionally carries an inverted
+            item -> rules index (the TARA-S variant enabling content
+            queries, at extra build and merge cost).
+        generation_setting: the offline thresholds the window was mined
+            at; queries below them would be answered incompletely and
+            are rejected.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        groups: Dict[Location, List[RuleId]],
+        *,
+        generation_setting: ParameterSetting,
+        item_index_source: Optional[Dict[RuleId, Sequence[ItemId]]] = None,
+    ) -> None:
+        self.window = window
+        self.generation_setting = generation_setting
+        self.location_count = len(groups)
+        self.supports: List[Fraction]
+        self.confidences: List[Fraction]
+        self.supports, self.confidences = distinct_axes(groups)
+        self._support_rank = {value: i for i, value in enumerate(self.supports)}
+        self._confidence_rank = {value: i for i, value in enumerate(self.confidences)}
+
+        # rows[si] = sorted list of (confidence rank, rule-id tuple)
+        self._rows: List[List[Tuple[int, Tuple[RuleId, ...]]]] = [
+            [] for _ in self.supports
+        ]
+        self._rule_count = 0
+        for location, rule_ids in groups.items():
+            si = self._support_rank[location.support]
+            ci = self._confidence_rank[location.confidence]
+            self._rows[si].append((ci, tuple(rule_ids)))
+            self._rule_count += len(rule_ids)
+        for row in self._rows:
+            row.sort()
+
+        # TARA-S: per-location inverted item index.
+        self._item_index: Optional[
+            List[List[Tuple[int, Dict[ItemId, Tuple[RuleId, ...]]]]]
+        ] = None
+        if item_index_source is not None:
+            self._item_index = []
+            for row in self._rows:
+                indexed_row: List[Tuple[int, Dict[ItemId, Tuple[RuleId, ...]]]] = []
+                for ci, rule_ids in row:
+                    inverted: Dict[ItemId, List[RuleId]] = {}
+                    for rule_id in rule_ids:
+                        for item in item_index_source[rule_id]:
+                            inverted.setdefault(item, []).append(rule_id)
+                    indexed_row.append(
+                        (ci, {item: tuple(ids) for item, ids in inverted.items()})
+                    )
+                self._item_index.append(indexed_row)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def rule_count(self) -> int:
+        """Number of (rule, location) pairs indexed in this window."""
+        return self._rule_count
+
+    @property
+    def has_item_index(self) -> bool:
+        """True when built as the TARA-S variant."""
+        return self._item_index is not None
+
+    def locations(self) -> Iterator[Tuple[Location, Tuple[RuleId, ...]]]:
+        """Iterate every occupied location with its rules."""
+        for si, row in enumerate(self._rows):
+            for ci, rule_ids in row:
+                yield (
+                    Location(self.supports[si], self.confidences[ci]),
+                    rule_ids,
+                )
+
+    # ------------------------------------------------------------------
+    # region identification
+    # ------------------------------------------------------------------
+    def _cut_ranks(self, setting: ParameterSetting) -> Tuple[int, int]:
+        """Grid ranks of the setting's cut location (may be one past end)."""
+        self._check_setting(setting)
+        supp = Fraction(setting.min_support).limit_denominator(10**12)
+        conf = Fraction(setting.min_confidence).limit_denominator(10**12)
+        return bisect_left(self.supports, supp), bisect_left(self.confidences, conf)
+
+    def _check_setting(self, setting: ParameterSetting) -> None:
+        gen = self.generation_setting
+        if (
+            setting.min_support < gen.min_support
+            or setting.min_confidence < gen.min_confidence
+        ):
+            raise QueryError(
+                f"setting {setting} lies below the generation thresholds "
+                f"({gen.min_support}, {gen.min_confidence}); the index only "
+                "covers the space above them"
+            )
+
+    def region_for(self, setting: ParameterSetting) -> StableRegion:
+        """The stable region containing *setting* (Q3's primitive).
+
+        The region's cut location is the smallest grid point whose both
+        coordinates are >= the setting; its floors are the next smaller
+        distinct values (or the generation thresholds).
+        """
+        si, ci = self._cut_ranks(setting)
+        gen_supp = Fraction(self.generation_setting.min_support).limit_denominator(
+            10**12
+        )
+        gen_conf = Fraction(
+            self.generation_setting.min_confidence
+        ).limit_denominator(10**12)
+        support_floor = self.supports[si - 1] if si > 0 else gen_supp
+        confidence_floor = self.confidences[ci - 1] if ci > 0 else gen_conf
+        if si >= len(self.supports) or ci >= len(self.confidences):
+            return StableRegion(
+                window=self.window,
+                cut=None,
+                support_floor=support_floor,
+                confidence_floor=confidence_floor,
+                ruleset_size=0,
+            )
+        cut = Location(self.supports[si], self.confidences[ci])
+        ruleset_size = sum(
+            len(rule_ids) for _, rule_ids in self._iter_dominated_rules(si, ci)
+        )
+        return StableRegion(
+            window=self.window,
+            cut=cut,
+            support_floor=support_floor,
+            confidence_floor=confidence_floor,
+            ruleset_size=ruleset_size,
+        )
+
+    # ------------------------------------------------------------------
+    # ruleset collection
+    # ------------------------------------------------------------------
+    def _iter_dominated(self, si: int, ci: int) -> Iterator[Tuple[int, int]]:
+        """Grid coordinates of occupied locations dominated by rank (si, ci)."""
+        for row_index in range(si, len(self._rows)):
+            row = self._rows[row_index]
+            start = bisect_left(row, (ci, ()))
+            for position in range(start, len(row)):
+                yield row_index, position
+
+    def _iter_dominated_rules(
+        self, si: int, ci: int
+    ) -> Iterator[Tuple[Tuple[int, int], Tuple[RuleId, ...]]]:
+        for row_index, position in self._iter_dominated(si, ci):
+            yield (row_index, position), self._rows[row_index][position][1]
+
+    def collect(self, setting: ParameterSetting) -> List[RuleId]:
+        """All rules valid at *setting* in this window (staircase scan).
+
+        This is the TARA answer to a traditional mining request: a pure
+        index lookup, no re-derivation.
+        """
+        si, ci = self._cut_ranks(setting)
+        result: List[RuleId] = []
+        for _, rule_ids in self._iter_dominated_rules(si, ci):
+            result.extend(rule_ids)
+        result.sort()
+        return result
+
+    def _row_maps(self) -> List[Dict[int, Tuple[RuleId, ...]]]:
+        """Cached dict view of each row (confidence rank -> rule ids)."""
+        cached = getattr(self, "_row_maps_cache", None)
+        if cached is None:
+            cached = [dict(row) for row in self._rows]
+            self._row_maps_cache = cached
+        return cached
+
+    def collect_bfs(self, setting: ParameterSetting) -> List[RuleId]:
+        """Same ruleset via breadth-first walk of the domination grid.
+
+        Paper-literal strategy: start at the query's region and visit
+        every region it dominates through the (si+1, ci) / (si, ci+1)
+        neighbor edges.  Kept for the ablation benchmark.
+        """
+        si, ci = self._cut_ranks(setting)
+        result: List[RuleId] = []
+        seen: Set[Tuple[int, int]] = set()
+        frontier: List[Tuple[int, int]] = [(si, ci)]
+        row_maps = self._row_maps()
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            row_index, conf_index = node
+            if row_index >= len(self.supports) or conf_index >= len(self.confidences):
+                continue
+            rule_ids = row_maps[row_index].get(conf_index)
+            if rule_ids:
+                result.extend(rule_ids)
+            frontier.append((row_index + 1, conf_index))
+            frontier.append((row_index, conf_index + 1))
+        result.sort()
+        return result
+
+    def collect_items(
+        self, setting: ParameterSetting, items: Sequence[ItemId]
+    ) -> List[RuleId]:
+        """Q5 content query: valid rules mentioning *any* of *items*.
+
+        Requires the TARA-S item index; merges the per-location inverted
+        indexes of every dominated location.
+        """
+        if self._item_index is None:
+            raise QueryError(
+                "content queries need the TARA-S item index "
+                "(build with build_item_index=True)"
+            )
+        si, ci = self._cut_ranks(setting)
+        wanted = set(items)
+        result: Set[RuleId] = set()
+        for row_index in range(si, len(self._rows)):
+            row = self._rows[row_index]
+            start = bisect_left(row, (ci, ()))
+            indexed_row = self._item_index[row_index]
+            for position in range(start, len(row)):
+                inverted = indexed_row[position][1]
+                for item in wanted:
+                    ids = inverted.get(item)
+                    if ids:
+                        result.update(ids)
+        return sorted(result)
+
+    # ------------------------------------------------------------------
+    # recommendation support
+    # ------------------------------------------------------------------
+    def neighbor_regions(
+        self, setting: ParameterSetting
+    ) -> Dict[str, StableRegion]:
+        """Adjacent stable regions in the four axis directions.
+
+        Used by parameter recommendation: each neighbor tells the
+        analyst what changes if they loosen/tighten one threshold past
+        the region boundary.  Directions without a neighbor (already at
+        the edge of the indexed space) are omitted.
+        """
+        si, ci = self._cut_ranks(setting)
+        neighbors: Dict[str, StableRegion] = {}
+
+        def region_at(new_si: int, new_ci: int) -> Optional[StableRegion]:
+            if new_si < 0 or new_ci < 0:
+                return None
+            supp = (
+                float(self.supports[new_si])
+                if new_si < len(self.supports)
+                else float(self.supports[-1]) + 1e-9 if self.supports else None
+            )
+            conf = (
+                float(self.confidences[new_ci])
+                if new_ci < len(self.confidences)
+                else float(self.confidences[-1]) + 1e-9 if self.confidences else None
+            )
+            if supp is None or conf is None:
+                return None
+            probe = ParameterSetting(min(supp, 1.0), min(conf, 1.0))
+            try:
+                return self.region_for(probe)
+            except QueryError:
+                return None
+
+        looser_supp = region_at(si - 1, ci)
+        if looser_supp is not None and si > 0:
+            neighbors["looser_support"] = looser_supp
+        tighter_supp = region_at(si + 1, ci)
+        if tighter_supp is not None and si + 1 <= len(self.supports):
+            neighbors["tighter_support"] = tighter_supp
+        looser_conf = region_at(si, ci - 1)
+        if looser_conf is not None and ci > 0:
+            neighbors["looser_confidence"] = looser_conf
+        tighter_conf = region_at(si, ci + 1)
+        if tighter_conf is not None and ci + 1 <= len(self.confidences):
+            neighbors["tighter_confidence"] = tighter_conf
+        return neighbors

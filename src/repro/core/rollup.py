@@ -1,0 +1,101 @@
+"""Roll-up and drill-down over time granularities.
+
+TARA pregenerates associations per *basic* window; a query over a
+coarser period (a month over daily windows) is answered from the
+archived counts (Section 2.4.1).  Because counts are additive this is
+exact whenever the rule was archived in every covered window.  Windows
+where the rule fell below the generation thresholds contribute an
+unknown count bounded by those thresholds, giving the paper's
+approximation bound:
+
+    A rule unarchived in window ``w`` was pruned either by support
+    (count < ceil(supp_g · n_w)) or by confidence
+    (count < conf_g · antecedent ≤ conf_g · n_w), so its count there is
+    at most ``B_w − 1`` with ``B_w = max(ceil(supp_g·n_w),
+    ceil(conf_g·n_w))``.  For a rolled-up period ``P`` of windows ``W``
+    with total size ``N = Σ_{w∈W} n_w``, the archived support
+    under-estimates the true support by at most
+
+        err(P) = Σ_{w ∈ missing(rule)} (B_w − 1) / N
+               ≤ max(supp_g, conf_g),
+
+    and is exact when ``missing(rule) = ∅``.
+
+The explorer exposes both the *certain* answer (rules that qualify even
+pessimistically) and the *possible* answer (rules that could qualify
+optimistically); their gap is the practical effect of the bound.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.archive import TarArchive
+from repro.core.builder import TaraKnowledgeBase
+from repro.core.queries import RollupAnswer, RolledUpRule
+from repro.core.regions import ParameterSetting
+from repro.data.periods import PeriodSpec
+
+
+def max_support_error(archive: TarArchive, spec: PeriodSpec) -> float:
+    """Worst-case support under-estimation for a roll-up over *spec*.
+
+    This is the theoretical bound above with ``missing = W`` (every
+    window missing) — the loosest case any rule can hit.
+    """
+    total = sum(archive.window_size(w) for w in spec)
+    if total == 0:
+        return 0.0
+    worst_missing = sum(
+        max(archive.missing_count_bound(w) - 1, 0) for w in spec
+    )
+    return worst_missing / total
+
+
+def rolled_up_mine(
+    knowledge_base: TaraKnowledgeBase,
+    setting: ParameterSetting,
+    spec: PeriodSpec,
+) -> RollupAnswer:
+    """Mine rules qualifying at *setting* over the merged windows of *spec*.
+
+    Candidates are the rules archived in at least one covered window;
+    each is rolled up exactly on counts, then classified:
+
+    * **certain** — qualifies even with missing windows contributing
+      nothing to support and everything to the confidence denominator;
+    * **possible** — qualifies when missing windows contribute the
+      maximal counts the generation threshold allows.
+
+    ``certain ⊆ possible`` always holds.
+    """
+    archive = knowledge_base.archive
+    candidates = knowledge_base.candidate_rules(spec)
+    certain: List[RolledUpRule] = []
+    possible: List[RolledUpRule] = []
+    for rule_id in candidates:
+        measure = archive.rolled_up(rule_id, spec)
+        entry = RolledUpRule(
+            rule_id=rule_id,
+            rule=knowledge_base.catalog.get(rule_id),
+            measure=measure,
+        )
+        pessimistic_ok = (
+            measure.support_low >= setting.min_support
+            and measure.confidence_low >= setting.min_confidence
+        )
+        optimistic_ok = (
+            measure.support_high >= setting.min_support
+            and measure.confidence_high >= setting.min_confidence
+        )
+        if pessimistic_ok:
+            certain.append(entry)
+        if optimistic_ok:
+            possible.append(entry)
+    return RollupAnswer(
+        setting=setting,
+        windows=tuple(spec),
+        certain=tuple(certain),
+        possible=tuple(possible),
+        max_support_error=max_support_error(archive, spec),
+    )

@@ -1,0 +1,112 @@
+"""Trajectory measures: summarizing a rule's evolution across windows.
+
+Definition 10 of the paper calls the stream of a rule's parametric
+locations its *trajectory*, and notes it "allows us to compute different
+measures about the rule that summarize its evolving patterns like
+coverage, stability and standard deviation".  This module implements
+those summaries over the archive's decoded series.
+
+Definitions used here:
+
+coverage
+    Fraction of the requested windows in which the rule was archived.
+stability
+    ``1 / (1 + population_std(confidences))`` over the present windows —
+    a monotone transform of the standard deviation onto ``(0, 1]`` where
+    1 means perfectly constant confidence.  (The paper defers to [67]
+    for the exact functional form; any strictly decreasing transform of
+    dispersion induces the same ranking, which is what the Q4-style
+    "most stable rules" queries consume.)
+trend
+    Least-squares slope of confidence against window index: positive for
+    strengthening rules, negative for fading ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.errors import ValidationError
+from repro.common.stats import mean, population_std
+from repro.core.archive import WindowMeasure
+from repro.mining.rules import RuleId
+
+
+@dataclass(frozen=True)
+class TrajectorySummary:
+    """Aggregated evolution measures of one rule over a window set."""
+
+    rule_id: RuleId
+    windows_requested: int
+    windows_present: int
+    coverage: float
+    mean_support: float
+    mean_confidence: float
+    support_std: float
+    confidence_std: float
+    stability: float
+    trend: float
+
+    @property
+    def is_persistent(self) -> bool:
+        """True when the rule was archived in every requested window."""
+        return self.windows_present == self.windows_requested
+
+
+def summarize_trajectory(
+    rule_id: RuleId,
+    measures: Sequence[Optional[WindowMeasure]],
+) -> TrajectorySummary:
+    """Summarize a rule's per-window measures (``None`` = absent).
+
+    Raises :class:`ValidationError` for an empty window list; a rule
+    absent from *every* window yields coverage 0 and zero-valued
+    statistics (there is nothing to average).
+    """
+    if not measures:
+        raise ValidationError("cannot summarize a trajectory over zero windows")
+    present = [(i, m) for i, m in enumerate(measures) if m is not None]
+    requested = len(measures)
+    if not present:
+        return TrajectorySummary(
+            rule_id=rule_id,
+            windows_requested=requested,
+            windows_present=0,
+            coverage=0.0,
+            mean_support=0.0,
+            mean_confidence=0.0,
+            support_std=0.0,
+            confidence_std=0.0,
+            stability=0.0,
+            trend=0.0,
+        )
+    supports = [m.support for _, m in present]
+    confidences = [m.confidence for _, m in present]
+    confidence_std = population_std(confidences)
+    return TrajectorySummary(
+        rule_id=rule_id,
+        windows_requested=requested,
+        windows_present=len(present),
+        coverage=len(present) / requested,
+        mean_support=mean(supports),
+        mean_confidence=mean(confidences),
+        support_std=population_std(supports),
+        confidence_std=confidence_std,
+        stability=1.0 / (1.0 + confidence_std),
+        trend=_slope([i for i, _ in present], confidences),
+    )
+
+
+def _slope(xs: Sequence[int], ys: Sequence[float]) -> float:
+    """Least-squares slope; 0.0 when under-determined (single point)."""
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0.0:
+        return 0.0
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return numerator / denominator

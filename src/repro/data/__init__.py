@@ -1,0 +1,39 @@
+"""Data substrate: items, transactions, time periods, windowed databases."""
+
+from repro.data.database import TransactionDatabase
+from repro.data.items import (
+    ItemId,
+    Itemset,
+    ItemVocabulary,
+    canonical_itemset,
+    itemset_issubset,
+    itemset_union,
+)
+from repro.data.periods import (
+    PeriodSpec,
+    TimePeriod,
+    align_period_to_windows,
+    coarsen,
+    refine,
+    windows_to_period,
+)
+from repro.data.transactions import Transaction
+from repro.data.windows import WindowedDatabase
+
+__all__ = [
+    "ItemId",
+    "Itemset",
+    "ItemVocabulary",
+    "PeriodSpec",
+    "TimePeriod",
+    "Transaction",
+    "TransactionDatabase",
+    "WindowedDatabase",
+    "align_period_to_windows",
+    "canonical_itemset",
+    "coarsen",
+    "itemset_issubset",
+    "itemset_union",
+    "refine",
+    "windows_to_period",
+]

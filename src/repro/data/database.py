@@ -1,0 +1,149 @@
+"""The evolving transaction database and its selection primitive.
+
+Implements ``F(X, D, [t_i, t_j])`` from the paper's foundation: the set
+of transactions within a closed time range that contain a given itemset.
+Transactions are kept sorted by timestamp so range selection is a binary
+search plus a contiguous slice.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.common.errors import DataFormatError, ValidationError
+from repro.data.items import ItemId, Itemset, canonical_itemset
+from repro.data.periods import TimePeriod
+from repro.data.transactions import Transaction
+
+
+class TransactionDatabase:
+    """An append-friendly, time-sorted collection of transactions.
+
+    The class is the single source of raw data for the offline builders
+    and the from-scratch baselines (DCTAR re-mines it on every request).
+    """
+
+    def __init__(self, transactions: Iterable[Transaction] = ()) -> None:
+        self._transactions: List[Transaction] = sorted(
+            transactions, key=lambda t: t.time
+        )
+        self._times: List[int] = [t.time for t in self._transactions]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_itemlists(
+        cls,
+        itemlists: Sequence[Iterable[ItemId]],
+        times: Optional[Sequence[int]] = None,
+    ) -> "TransactionDatabase":
+        """Build a database from plain item lists.
+
+        When *times* is omitted, transactions get the dense clock
+        ``0..n-1`` in input order — the convention of all the synthetic
+        generators in :mod:`repro.datagen`.
+        """
+        if times is not None and len(times) != len(itemlists):
+            raise DataFormatError(
+                f"{len(itemlists)} transactions but {len(times)} timestamps"
+            )
+        stamps = times if times is not None else range(len(itemlists))
+        return cls(
+            Transaction.create(items, int(stamp))
+            for items, stamp in zip(itemlists, stamps)
+        )
+
+    def append(self, transaction: Transaction) -> None:
+        """Append a transaction; it must not precede the current maximum time.
+
+        The evolving-data model receives batches in time order; enforcing
+        monotonicity keeps the internal sort invariant O(1) per append.
+        """
+        if self._times and transaction.time < self._times[-1]:
+            raise DataFormatError(
+                f"out-of-order append: time {transaction.time} precedes "
+                f"current maximum {self._times[-1]}"
+            )
+        self._transactions.append(transaction)
+        self._times.append(transaction.time)
+
+    def extend(self, transactions: Iterable[Transaction]) -> None:
+        """Append several transactions (each checked for time order)."""
+        for transaction in transactions:
+            self.append(transaction)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> Transaction:
+        return self._transactions[index]
+
+    @property
+    def time_span(self) -> TimePeriod:
+        """Closed period from the earliest to the latest timestamp."""
+        if not self._transactions:
+            raise ValidationError("empty database has no time span")
+        return TimePeriod(self._times[0], self._times[-1])
+
+    def unique_items(self) -> Set[ItemId]:
+        """The set of distinct items appearing anywhere in the database."""
+        items: Set[ItemId] = set()
+        for transaction in self._transactions:
+            items.update(transaction.items)
+        return items
+
+    def average_transaction_length(self) -> float:
+        """Mean itemset size; 0.0 for an empty database."""
+        if not self._transactions:
+            return 0.0
+        return sum(len(t) for t in self._transactions) / len(self._transactions)
+
+    # ------------------------------------------------------------------
+    # the F(X, D, [t_i, t_j]) selection primitive
+    # ------------------------------------------------------------------
+    def slice(self, period: TimePeriod) -> List[Transaction]:
+        """All transactions with ``period.start <= time <= period.end``."""
+        lo = bisect_left(self._times, period.start)
+        hi = bisect_right(self._times, period.end)
+        return self._transactions[lo:hi]
+
+    def matching(self, itemset: Itemset, period: TimePeriod) -> List[Transaction]:
+        """``F(X, D, [t_i, t_j])``: range transactions containing *itemset*."""
+        canonical = canonical_itemset(itemset)
+        return [t for t in self.slice(period) if t.contains(canonical)]
+
+    def count(self, itemset: Itemset, period: TimePeriod) -> int:
+        """``|F(X, D, [t_i, t_j])|`` — with ``X = ()`` the range size."""
+        canonical = canonical_itemset(itemset)
+        if not canonical:
+            lo = bisect_left(self._times, period.start)
+            hi = bisect_right(self._times, period.end)
+            return hi - lo
+        return sum(1 for t in self.slice(period) if t.contains(canonical))
+
+    def support(self, itemset: Itemset, period: TimePeriod) -> float:
+        """Formula 1 restricted to an itemset: fraction of range transactions
+        containing it.  0.0 when the range is empty."""
+        total = self.count((), period)
+        if total == 0:
+            return 0.0
+        return self.count(itemset, period) / total
+
+    def item_frequencies(self, period: Optional[TimePeriod] = None) -> Dict[ItemId, int]:
+        """Occurrence count per item, over the whole database or a range."""
+        transactions = (
+            self._transactions if period is None else self.slice(period)
+        )
+        counts: Dict[ItemId, int] = {}
+        for transaction in transactions:
+            for item in transaction.items:
+                counts[item] = counts.get(item, 0) + 1
+        return counts

@@ -1,0 +1,156 @@
+"""Reading and writing transaction databases and ADR reports.
+
+Two interchange formats:
+
+* **FIMI** — the format of the Frequent Itemset Mining Implementations
+  repository that distributes the paper's real datasets (``retail``,
+  ``webdocs``): one transaction per line, items as whitespace-separated
+  non-negative integers.  Plain FIMI has no timestamps; the *timed*
+  variant used here prefixes each line with ``<time>:``.  Reading
+  auto-detects which variant a file uses.
+* **ADR report TSV** — ``time<TAB>drug;drug<TAB>adr;adr`` with
+  free-form names, the closest simple analogue of a FAERS extract.
+  Vocabularies are built on read (ids assigned in first-seen order).
+
+These let a deployment swap the synthetic generators for the real files
+without touching anything downstream.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.common.errors import DataFormatError
+from repro.data.database import TransactionDatabase
+from repro.data.items import ItemVocabulary
+from repro.data.transactions import Transaction
+from repro.maras.reports import Report, ReportDatabase
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# FIMI transactions
+# ----------------------------------------------------------------------
+def write_fimi(
+    database: TransactionDatabase,
+    path: PathLike,
+    *,
+    include_times: bool = True,
+) -> int:
+    """Write *database* in (timed) FIMI format; returns lines written.
+
+    With ``include_times=False`` the output is plain FIMI and the
+    timestamps are lost (reading it back assigns the dense clock).
+    """
+    lines: List[str] = []
+    for transaction in database:
+        items = " ".join(str(item) for item in transaction.items)
+        if include_times:
+            lines.append(f"{transaction.time}: {items}")
+        else:
+            lines.append(items)
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""), "utf-8")
+    return len(lines)
+
+
+def read_fimi(path: PathLike) -> TransactionDatabase:
+    """Read a plain or timed FIMI file into a transaction database.
+
+    Blank lines are skipped.  Timed and plain lines must not be mixed;
+    malformed lines raise :class:`DataFormatError` with the line number.
+    """
+    text = Path(path).read_text("utf-8")
+    transactions: List[Transaction] = []
+    timed: bool | None = None
+    dense_clock = 0
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        has_time = ":" in line
+        if timed is None:
+            timed = has_time
+        elif timed != has_time:
+            raise DataFormatError(
+                f"{path}:{line_number}: mixed timed and plain FIMI lines"
+            )
+        try:
+            if has_time:
+                time_text, _, items_text = line.partition(":")
+                time = int(time_text.strip())
+            else:
+                time = dense_clock
+                items_text = line
+            items = [int(token) for token in items_text.split()]
+        except ValueError as error:
+            raise DataFormatError(
+                f"{path}:{line_number}: malformed FIMI line: {error}"
+            ) from None
+        if not items:
+            raise DataFormatError(f"{path}:{line_number}: empty transaction")
+        transactions.append(Transaction.create(items, time))
+        dense_clock += 1
+    if not transactions:
+        raise DataFormatError(f"{path}: no transactions found")
+    return TransactionDatabase(transactions)
+
+
+# ----------------------------------------------------------------------
+# ADR report TSV
+# ----------------------------------------------------------------------
+def write_reports(database: ReportDatabase, path: PathLike) -> int:
+    """Write ADR reports as ``time<TAB>drugs<TAB>adrs`` (names, ``;``-joined)."""
+    lines: List[str] = []
+    for report in database:
+        drugs = ";".join(database.drug_name(d) for d in report.drugs)
+        adrs = ";".join(database.adr_name(a) for a in report.adrs)
+        lines.append(f"{report.time}\t{drugs}\t{adrs}")
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""), "utf-8")
+    return len(lines)
+
+
+def read_reports(path: PathLike) -> ReportDatabase:
+    """Read a report TSV back, rebuilding drug/ADR vocabularies."""
+    text = Path(path).read_text("utf-8")
+    drug_vocabulary = ItemVocabulary()
+    adr_vocabulary = ItemVocabulary()
+    reports: List[Report] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip("\n")
+        if not line.strip():
+            continue
+        fields = line.split("\t")
+        if len(fields) != 3:
+            raise DataFormatError(
+                f"{path}:{line_number}: expected 3 tab-separated fields, "
+                f"got {len(fields)}"
+            )
+        time_text, drugs_text, adrs_text = fields
+        try:
+            time = int(time_text)
+        except ValueError:
+            raise DataFormatError(
+                f"{path}:{line_number}: bad timestamp {time_text!r}"
+            ) from None
+        drug_names = [name for name in drugs_text.split(";") if name]
+        adr_names = [name for name in adrs_text.split(";") if name]
+        if not drug_names or not adr_names:
+            raise DataFormatError(
+                f"{path}:{line_number}: a report needs drugs and ADRs"
+            )
+        reports.append(
+            Report.create(
+                (drug_vocabulary.encode(name) for name in drug_names),
+                (adr_vocabulary.encode(name) for name in adr_names),
+                time,
+            )
+        )
+    if not reports:
+        raise DataFormatError(f"{path}: no reports found")
+    return ReportDatabase(
+        reports,
+        drug_vocabulary=drug_vocabulary,
+        adr_vocabulary=adr_vocabulary,
+    )

@@ -1,0 +1,122 @@
+"""Item identity and the vocabulary mapping names to dense integer ids.
+
+All mining code operates on dense non-negative integer item ids: set
+operations on small ints are fast, and dense ids let generators and
+indexes use arrays.  :class:`ItemVocabulary` performs the (optional)
+translation between human-readable item names (product names, drug names,
+ADR terms) and ids at the edges of the system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.common.errors import ValidationError
+
+ItemId = int
+Itemset = Tuple[ItemId, ...]
+
+
+def canonical_itemset(items: Iterable[ItemId]) -> Itemset:
+    """Return *items* as the canonical sorted, duplicate-free tuple.
+
+    Every itemset stored or hashed by the library goes through this
+    function, so identical item collections always compare and hash
+    equal regardless of input order or container type.
+    """
+    unique = sorted(set(items))
+    for item in unique:
+        if not isinstance(item, int) or isinstance(item, bool) or item < 0:
+            raise ValidationError(f"item ids must be non-negative ints, got {item!r}")
+    return tuple(unique)
+
+
+def itemset_union(left: Itemset, right: Itemset) -> Itemset:
+    """Sorted union of two canonical itemsets (merge of sorted tuples)."""
+    result: List[ItemId] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        a, b = left[i], right[j]
+        if a == b:
+            result.append(a)
+            i += 1
+            j += 1
+        elif a < b:
+            result.append(a)
+            i += 1
+        else:
+            result.append(b)
+            j += 1
+    result.extend(left[i:])
+    result.extend(right[j:])
+    return tuple(result)
+
+
+def itemset_issubset(small: Itemset, big: Itemset) -> bool:
+    """True if every item of *small* occurs in *big* (both canonical)."""
+    if len(small) > len(big):
+        return False
+    j = 0
+    for item in small:
+        while j < len(big) and big[j] < item:
+            j += 1
+        if j >= len(big) or big[j] != item:
+            return False
+        j += 1
+    return True
+
+
+class ItemVocabulary:
+    """Bidirectional mapping between item names and dense integer ids.
+
+    Ids are assigned in first-seen order starting at 0.  Lookup of an
+    unknown name via :meth:`encode` registers it; :meth:`id_of` does not.
+    """
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._name_to_id: Dict[str, ItemId] = {}
+        self._id_to_name: List[str] = []
+        for name in names:
+            self.encode(name)
+
+    def __len__(self) -> int:
+        return len(self._id_to_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_name)
+
+    def encode(self, name: str) -> ItemId:
+        """Return the id for *name*, assigning a new one if unseen."""
+        if not isinstance(name, str) or not name:
+            raise ValidationError(f"item names must be non-empty strings, got {name!r}")
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        item_id = len(self._id_to_name)
+        self._name_to_id[name] = item_id
+        self._id_to_name.append(name)
+        return item_id
+
+    def encode_many(self, names: Iterable[str]) -> Itemset:
+        """Encode several names and return the canonical itemset."""
+        return canonical_itemset(self.encode(name) for name in names)
+
+    def id_of(self, name: str) -> ItemId:
+        """Id of a known name; raises :class:`ValidationError` if unseen."""
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise ValidationError(f"unknown item name {name!r}") from None
+
+    def name_of(self, item_id: ItemId) -> str:
+        """Name of a known id; raises :class:`ValidationError` if out of range."""
+        if 0 <= item_id < len(self._id_to_name):
+            return self._id_to_name[item_id]
+        raise ValidationError(f"unknown item id {item_id!r}")
+
+    def decode(self, items: Iterable[ItemId]) -> Tuple[str, ...]:
+        """Map an itemset back to its names, preserving itemset order."""
+        return tuple(self.name_of(item) for item in items)

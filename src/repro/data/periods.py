@@ -1,0 +1,211 @@
+"""Time periods and the window-aligned period algebra of the TARA model.
+
+Section 2.4.1 of the paper partitions the timeline into disjoint,
+consecutive *basic* time periods of width ``w`` (the finest granularity),
+and supports any coarser time specification that is a union of
+consecutive basic periods (Definition 8, *time availability*).  This
+module provides:
+
+* :class:`TimePeriod` — a closed integer interval ``[start, end]``;
+* :class:`PeriodSpec` — a (possibly non-contiguous) set of basic-window
+  indexes, the canonical form in which online queries address time;
+* helpers to convert between raw timestamp intervals and window indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.common.errors import QueryError, ValidationError
+
+
+@dataclass(frozen=True, order=True)
+class TimePeriod:
+    """A closed interval ``[start, end]`` on the integer timeline."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValidationError(
+                f"period end {self.end} precedes start {self.start}"
+            )
+
+    def __contains__(self, timestamp: int) -> bool:
+        return self.start <= timestamp <= self.end
+
+    @property
+    def length(self) -> int:
+        """Number of integer timestamps covered by the period."""
+        return self.end - self.start + 1
+
+    def overlaps(self, other: "TimePeriod") -> bool:
+        """True if the two closed intervals share at least one timestamp."""
+        return self.start <= other.end and other.start <= self.end
+
+    def merge(self, other: "TimePeriod") -> "TimePeriod":
+        """Smallest period covering both; requires overlap or adjacency."""
+        if not (self.overlaps(other) or self._adjacent(other)):
+            raise ValidationError(f"cannot merge disjoint periods {self} and {other}")
+        return TimePeriod(min(self.start, other.start), max(self.end, other.end))
+
+    def _adjacent(self, other: "TimePeriod") -> bool:
+        return self.end + 1 == other.start or other.end + 1 == self.start
+
+
+class PeriodSpec:
+    """A set of basic-window indexes — the time argument of every query.
+
+    The paper's queries name one or more time periods; after alignment to
+    the basic window size every period becomes a set of window indexes.
+    ``PeriodSpec`` stores them sorted and unique, and offers the
+    convenience constructors used by the explorer API.
+    """
+
+    __slots__ = ("_windows",)
+
+    def __init__(self, windows: Iterable[int]) -> None:
+        cleaned = sorted(set(windows))
+        if not cleaned:
+            raise QueryError("a period specification must name at least one window")
+        for window in cleaned:
+            if not isinstance(window, int) or isinstance(window, bool) or window < 0:
+                raise ValidationError(
+                    f"window indexes must be non-negative ints, got {window!r}"
+                )
+        self._windows: Tuple[int, ...] = tuple(cleaned)
+
+    @classmethod
+    def single(cls, window: int) -> "PeriodSpec":
+        """The spec naming exactly one basic window."""
+        return cls((window,))
+
+    @classmethod
+    def window_range(cls, first: int, last: int) -> "PeriodSpec":
+        """All windows from *first* to *last* inclusive."""
+        if last < first:
+            raise ValidationError(f"range end {last} precedes start {first}")
+        return cls(range(first, last + 1))
+
+    @classmethod
+    def latest(cls, window_count: int, span: int = 1) -> "PeriodSpec":
+        """The most recent *span* windows of a database with *window_count*."""
+        if span < 1 or span > window_count:
+            raise ValidationError(
+                f"span must be in [1, {window_count}], got {span}"
+            )
+        return cls(range(window_count - span, window_count))
+
+    @property
+    def windows(self) -> Tuple[int, ...]:
+        """The sorted, unique window indexes."""
+        return self._windows
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._windows)
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __contains__(self, window: int) -> bool:
+        return window in set(self._windows)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PeriodSpec) and self._windows == other._windows
+
+    def __hash__(self) -> int:
+        return hash(self._windows)
+
+    def __repr__(self) -> str:
+        return f"PeriodSpec({list(self._windows)!r})"
+
+    def is_contiguous(self) -> bool:
+        """True if the windows form one unbroken run."""
+        return self._windows[-1] - self._windows[0] + 1 == len(self._windows)
+
+    def runs(self) -> List[Tuple[int, int]]:
+        """Maximal contiguous runs as ``(first, last)`` index pairs."""
+        result: List[Tuple[int, int]] = []
+        run_start = previous = self._windows[0]
+        for window in self._windows[1:]:
+            if window == previous + 1:
+                previous = window
+                continue
+            result.append((run_start, previous))
+            run_start = previous = window
+        result.append((run_start, previous))
+        return result
+
+    def union(self, other: "PeriodSpec") -> "PeriodSpec":
+        """Spec covering every window of either operand."""
+        return PeriodSpec(self._windows + other._windows)
+
+    def restrict_to(self, window_count: int) -> "PeriodSpec":
+        """Drop windows outside ``[0, window_count)``; error if none remain."""
+        kept = [w for w in self._windows if w < window_count]
+        if not kept:
+            raise QueryError(
+                f"period {self!r} lies entirely outside the {window_count} "
+                "available windows"
+            )
+        return PeriodSpec(kept)
+
+
+def align_period_to_windows(
+    period: TimePeriod, window_width: int, origin: int = 0
+) -> PeriodSpec:
+    """Map a raw-timestamp period to the basic windows that overlap it.
+
+    The basic window ``i`` covers timestamps
+    ``[origin + i*w, origin + (i+1)*w - 1]`` (tumbling windows of width
+    ``w``, Figure 3 of the paper).
+    """
+    if window_width <= 0:
+        raise ValidationError(f"window width must be positive, got {window_width}")
+    if period.end < origin:
+        raise QueryError(f"period {period} precedes the timeline origin {origin}")
+    first = max(0, (period.start - origin) // window_width)
+    last = (period.end - origin) // window_width
+    return PeriodSpec.window_range(first, last)
+
+
+def windows_to_period(
+    spec: PeriodSpec, window_width: int, origin: int = 0
+) -> TimePeriod:
+    """Smallest raw-timestamp period covering every window in *spec*."""
+    first, last = spec.windows[0], spec.windows[-1]
+    return TimePeriod(
+        origin + first * window_width,
+        origin + (last + 1) * window_width - 1,
+    )
+
+
+def coarsen(spec: PeriodSpec, factor: int) -> PeriodSpec:
+    """Roll a window spec up by *factor*: indexes in the coarser granularity.
+
+    Window ``i`` at the basic granularity belongs to coarse window
+    ``i // factor``.  Used by the explorer's roll-up operation.
+    """
+    if factor <= 0:
+        raise ValidationError(f"roll-up factor must be positive, got {factor}")
+    return PeriodSpec(window // factor for window in spec)
+
+
+def refine(spec: PeriodSpec, factor: int, window_count: int) -> PeriodSpec:
+    """Drill a coarse window spec down to basic-window indexes.
+
+    Coarse window ``j`` expands to basic windows
+    ``[j*factor, (j+1)*factor) ∩ [0, window_count)``.
+    """
+    if factor <= 0:
+        raise ValidationError(f"drill-down factor must be positive, got {factor}")
+    basic: List[int] = []
+    for coarse in spec:
+        for window in range(coarse * factor, (coarse + 1) * factor):
+            if window < window_count:
+                basic.append(window)
+    if not basic:
+        raise QueryError("drill-down produced no in-range basic windows")
+    return PeriodSpec(basic)

@@ -1,0 +1,53 @@
+"""Timestamped transactions — the raw input of temporal association mining.
+
+Matches the paper's foundation (Section 2.2.1): a transaction database
+``D`` is a collection of item subsets, each carrying a timestamp drawn
+from a linearly ordered set of times.  Timestamps here are plain ints
+(the generators use a dense ``0..n-1`` clock; real data would map epoch
+seconds or report dates onto ints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.common.errors import DataFormatError
+from repro.data.items import Itemset, canonical_itemset
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One transaction: a canonical itemset plus its timestamp.
+
+    Instances are immutable and hashable so they can live in sets and be
+    shared freely between windows, miners and baselines.
+    """
+
+    items: Itemset
+    time: int
+
+    @classmethod
+    def create(cls, items: Iterable[int], time: int) -> "Transaction":
+        """Build a transaction, canonicalizing *items* and checking them.
+
+        An empty transaction is rejected: it can never support any
+        association and only distorts window sizes.
+        """
+        canonical = canonical_itemset(items)
+        if not canonical:
+            raise DataFormatError("a transaction must contain at least one item")
+        if not isinstance(time, int) or isinstance(time, bool):
+            raise DataFormatError(f"timestamps must be ints, got {time!r}")
+        return cls(items=canonical, time=time)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def contains(self, itemset: Itemset) -> bool:
+        """True if every item of the canonical *itemset* occurs here."""
+        transaction_items = self.items
+        if len(itemset) > len(transaction_items):
+            return False
+        item_positions = set(transaction_items)
+        return all(item in item_positions for item in itemset)

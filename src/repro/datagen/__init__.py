@@ -1,0 +1,51 @@
+"""Synthetic dataset generators standing in for the paper's data sources."""
+
+from repro.datagen.faers import (
+    CASE_STUDY_INTERACTIONS,
+    FaersGroundTruth,
+    FaersParameters,
+    faers_quarter,
+    generate_faers,
+)
+from repro.datagen.quest import (
+    QuestParameters,
+    generate_quest,
+    quest_t2k_scaled,
+    quest_t5k_scaled,
+)
+from repro.datagen.retail import (
+    RetailGroundTruth,
+    RetailParameters,
+    generate_retail,
+    replicate,
+    retail_dataset,
+)
+from repro.datagen.seeds import make_rng, poisson, zipf_weights
+from repro.datagen.webdocs import (
+    WebdocsParameters,
+    generate_webdocs,
+    webdocs_dataset,
+)
+
+__all__ = [
+    "CASE_STUDY_INTERACTIONS",
+    "FaersGroundTruth",
+    "FaersParameters",
+    "QuestParameters",
+    "RetailGroundTruth",
+    "RetailParameters",
+    "WebdocsParameters",
+    "faers_quarter",
+    "generate_faers",
+    "generate_quest",
+    "generate_retail",
+    "generate_webdocs",
+    "make_rng",
+    "poisson",
+    "quest_t2k_scaled",
+    "quest_t5k_scaled",
+    "replicate",
+    "retail_dataset",
+    "webdocs_dataset",
+    "zipf_weights",
+]

@@ -1,0 +1,95 @@
+"""MARAS: multi-drug adverse-reaction signals via the contrast measure."""
+
+from repro.maras.associations import (
+    DrugAdrAssociation,
+    LearnedAssociation,
+    SupportKind,
+    is_explicitly_supported,
+    is_implicitly_supported,
+    learn_associations,
+)
+from repro.maras.baselines import (
+    enumerate_candidate_pool,
+    rank_by_confidence,
+    rank_by_reporting_ratio,
+    rank_of_association,
+)
+from repro.maras.cac import (
+    ContextualAssociation,
+    ContextualAssociationCluster,
+    build_cluster,
+)
+from repro.maras.disproportionality import (
+    ContingencyTable,
+    contingency_table,
+    rank_by_prr,
+    rank_by_ror,
+)
+from repro.maras.contrast import (
+    DEFAULT_THETA,
+    contrast_avg,
+    contrast_cv,
+    contrast_max,
+    contrast_score,
+    dispersion_penalty,
+    level_weight,
+)
+from repro.maras.evaluation import (
+    PrecisionCurve,
+    average_precision,
+    hit_table,
+    precision_at_k,
+    recall_of_known,
+)
+from repro.maras.reference_kb import KnownInteraction, ReferenceKnowledgeBase
+from repro.maras.reports import Report, ReportDatabase
+from repro.maras.signals import MarasAnalyzer, MarasConfig, Signal
+from repro.maras.temporal import (
+    PeriodDigest,
+    SignalSnapshot,
+    SignalTrajectory,
+    TemporalSignalTracker,
+)
+
+__all__ = [
+    "ContingencyTable",
+    "ContextualAssociation",
+    "ContextualAssociationCluster",
+    "DEFAULT_THETA",
+    "DrugAdrAssociation",
+    "KnownInteraction",
+    "LearnedAssociation",
+    "MarasAnalyzer",
+    "MarasConfig",
+    "PeriodDigest",
+    "PrecisionCurve",
+    "SignalSnapshot",
+    "SignalTrajectory",
+    "TemporalSignalTracker",
+    "ReferenceKnowledgeBase",
+    "Report",
+    "ReportDatabase",
+    "Signal",
+    "SupportKind",
+    "average_precision",
+    "build_cluster",
+    "contingency_table",
+    "contrast_avg",
+    "contrast_cv",
+    "contrast_max",
+    "contrast_score",
+    "dispersion_penalty",
+    "enumerate_candidate_pool",
+    "hit_table",
+    "is_explicitly_supported",
+    "is_implicitly_supported",
+    "learn_associations",
+    "level_weight",
+    "precision_at_k",
+    "rank_by_confidence",
+    "rank_by_prr",
+    "rank_by_ror",
+    "rank_by_reporting_ratio",
+    "rank_of_association",
+    "recall_of_known",
+]

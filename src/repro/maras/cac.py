@@ -1,0 +1,100 @@
+"""Contextual Association Clusters (Definitions 6-7).
+
+To judge whether a multi-drug association really signals a drug-drug
+interaction, MARAS contrasts the target association ``D ⇒ A`` with its
+*contextual associations*: every ``D' ⇒ A`` for non-empty proper subsets
+``D' ⊂ D``.  The cluster groups the contextual associations by drug
+count (the ``R̃^i`` levels of Table 1), because the final contrast score
+weights levels differently — a weak association of an *individual* drug
+with the ADRs is stronger evidence of an interaction than a weak
+association of a sub-combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ValidationError
+from repro.maras.associations import DrugAdrAssociation
+from repro.maras.reports import ReportDatabase
+
+# Guard against pathological targets: the cluster has 2^n - 2 members.
+MAX_TARGET_DRUGS = 12
+
+
+@dataclass(frozen=True)
+class ContextualAssociation:
+    """One contextual association with its measured confidence."""
+
+    association: DrugAdrAssociation
+    confidence: float
+
+
+@dataclass(frozen=True)
+class ContextualAssociationCluster:
+    """A target association plus all its contextual associations.
+
+    ``levels[i]`` holds the contextual associations with ``i`` drugs
+    (``1 <= i <= n-1`` for an ``n``-drug target).
+    """
+
+    target: DrugAdrAssociation
+    target_confidence: float
+    levels: Dict[int, Tuple[ContextualAssociation, ...]]
+
+    @property
+    def size(self) -> int:
+        """Cluster cardinality |C| (target + all contextual associations)."""
+        return 1 + sum(len(level) for level in self.levels.values())
+
+    def all_contextual(self) -> List[ContextualAssociation]:
+        """Every contextual association, level by level."""
+        result: List[ContextualAssociation] = []
+        for level in sorted(self.levels):
+            result.extend(self.levels[level])
+        return result
+
+    def contextual_confidences(self) -> List[float]:
+        """Confidences of all contextual associations (levels flattened)."""
+        return [ca.confidence for ca in self.all_contextual()]
+
+
+def build_cluster(
+    database: ReportDatabase, target: DrugAdrAssociation
+) -> ContextualAssociationCluster:
+    """Build the CAC of *target* against *database* (Definition 7).
+
+    The contextual antecedents are exactly the non-empty proper subsets
+    of the target's drug set (``P(D) − {∅, D}``); each keeps the
+    target's full ADR set.  Confidences are exact containment ratios
+    from the report index.
+    """
+    drugs = target.drugs
+    if len(drugs) < 2:
+        raise ValidationError(
+            "a contextual association cluster needs a multi-drug target"
+        )
+    if len(drugs) > MAX_TARGET_DRUGS:
+        raise ValidationError(
+            f"target has {len(drugs)} drugs; clusters are exponential and "
+            f"capped at {MAX_TARGET_DRUGS}"
+        )
+    levels: Dict[int, List[ContextualAssociation]] = {}
+    for level in range(1, len(drugs)):
+        entries: List[ContextualAssociation] = []
+        for subset in combinations(drugs, level):
+            association = DrugAdrAssociation(drugs=subset, adrs=target.adrs)
+            entries.append(
+                ContextualAssociation(
+                    association=association,
+                    confidence=database.confidence(subset, target.adrs),
+                )
+            )
+        levels[level] = entries
+    return ContextualAssociationCluster(
+        target=target,
+        target_confidence=database.confidence(drugs, target.adrs),
+        levels={level: tuple(entries) for level, entries in levels.items()},
+    )

@@ -1,0 +1,118 @@
+"""Case-study evidence reports for MDAR signals (Section 2.5.1).
+
+The paper validates its top signals by hand: for each suspicious
+combination it lays out the confidence of the full combination, every
+contextual association's confidence, and the supporting reports.  This
+module generates that dossier programmatically, so a reviewer (or the
+``pharmacovigilance`` example) can inspect *why* a signal ranked where
+it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ValidationError
+from repro.maras.reference_kb import KnownInteraction, ReferenceKnowledgeBase
+from repro.maras.reports import ReportDatabase
+from repro.maras.signals import Signal
+
+
+@dataclass(frozen=True)
+class EvidenceLine:
+    """One contextual association's contribution to the dossier."""
+
+    description: str
+    confidence: float
+    report_count: int
+    gap: float
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """The full evidence dossier of one signal."""
+
+    signal: Signal
+    headline: str
+    target_confidence: float
+    supporting_reports: int
+    evidence: Tuple[EvidenceLine, ...]
+    known_interactions: Tuple[KnownInteraction, ...]
+
+    @property
+    def strongest_alternative(self) -> Optional[EvidenceLine]:
+        """The contextual association closest to explaining the ADRs."""
+        if not self.evidence:
+            return None
+        return max(self.evidence, key=lambda line: line.confidence)
+
+    def render(self) -> str:
+        """Multi-line, reviewer-facing text rendering."""
+        lines = [self.headline]
+        lines.append(
+            f"  combination confidence {self.target_confidence:.3f} over "
+            f"{self.supporting_reports} reports; contrast score "
+            f"{self.signal.score:.4f}"
+        )
+        if self.known_interactions:
+            lines.append(
+                f"  matches {len(self.known_interactions)} known "
+                f"interaction(s) in the reference knowledge base"
+            )
+        lines.append("  contextual associations (subset => same ADRs):")
+        for line in self.evidence:
+            lines.append(
+                f"    {line.description:<44} conf={line.confidence:.3f} "
+                f"n={line.report_count:<5} gap={line.gap:+.3f}"
+            )
+        return "\n".join(lines)
+
+
+def build_case_study(
+    signal: Signal,
+    database: ReportDatabase,
+    reference: Optional[ReferenceKnowledgeBase] = None,
+) -> CaseStudy:
+    """Assemble the dossier for one signal against its report database."""
+    association = signal.association
+    evidence: List[EvidenceLine] = []
+    for contextual in signal.cluster.all_contextual():
+        drugs = contextual.association.drugs
+        evidence.append(
+            EvidenceLine(
+                description=contextual.association.format(database),
+                confidence=contextual.confidence,
+                report_count=database.count(drugs),
+                gap=signal.cluster.target_confidence - contextual.confidence,
+            )
+        )
+    known = (
+        reference.matching_interactions(association)
+        if reference is not None
+        else ()
+    )
+    return CaseStudy(
+        signal=signal,
+        headline=f"Case study: {association.format(database)}",
+        target_confidence=signal.cluster.target_confidence,
+        supporting_reports=signal.count,
+        evidence=tuple(evidence),
+        known_interactions=tuple(known),
+    )
+
+
+def top_case_studies(
+    signals: List[Signal],
+    database: ReportDatabase,
+    *,
+    reference: Optional[ReferenceKnowledgeBase] = None,
+    k: int = 3,
+) -> List[CaseStudy]:
+    """Dossiers for the top-*k* signals (the paper presents three)."""
+    if k <= 0:
+        raise ValidationError(f"k must be positive, got {k}")
+    return [
+        build_case_study(signal, database, reference)
+        for signal in signals[:k]
+    ]

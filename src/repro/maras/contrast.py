@@ -1,0 +1,114 @@
+"""The *contrast* interestingness measure family (Section 2.3.5).
+
+A multi-drug adverse reaction (MDAR) signal is strong when the ADRs are
+strongly associated with the *whole* drug combination but only weakly
+with every subset of it.  The paper develops the measure in four steps,
+all implemented here:
+
+``contrast_max``  (Formula 5)
+    Target confidence minus the *highest* contextual confidence — the
+    paper's analogue of Bayardo's improvement.
+``contrast_avg``  (Formula 6)
+    Target confidence minus the *average* contextual confidence.
+``contrast_cv``   (Formulas 7-8)
+    ``contrast_avg`` penalized by the coefficient of variation of the
+    contextual confidences: a cluster with one dangerous high-confidence
+    subset must not hide behind many harmless ones.
+``contrast_score`` (Formula 9)
+    The final MARAS score: per-level mean confidence gaps, weighted by
+    the linear decay ``H(i, n) = 1 − (i−1)/n`` (few-drug subsets weigh
+    more) and the per-level dispersion penalty ``G``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ValidationError
+from repro.common.stats import coefficient_of_variation
+from repro.common.validation import check_fraction
+from repro.maras.cac import ContextualAssociationCluster
+
+#: Default dispersion-penalty strength; the paper's example uses 0.75.
+DEFAULT_THETA = 0.75
+
+
+def dispersion_penalty(confidences: Sequence[float], theta: float) -> float:
+    """Formula 8: ``G(S) = 1 − θ·C_v(S)``, clamped at 0 from below.
+
+    ``C_v`` is the coefficient of variation of the confidence set.  The
+    paper leaves G unclamped; we floor it at 0 so an extremely dispersed
+    level can nullify, but never signs-flip, a positive contrast.
+    """
+    check_fraction(theta, "theta")
+    if not confidences:
+        raise ValidationError("dispersion penalty of an empty confidence set")
+    return max(0.0, 1.0 - theta * coefficient_of_variation(list(confidences)))
+
+
+def contrast_max(cluster: ContextualAssociationCluster) -> float:
+    """Formula 5: target confidence minus the best contextual confidence."""
+    contextual = cluster.contextual_confidences()
+    if not contextual:
+        raise ValidationError("cluster has no contextual associations")
+    return cluster.target_confidence - max(contextual)
+
+
+def contrast_avg(cluster: ContextualAssociationCluster) -> float:
+    """Formula 6: target confidence minus the mean contextual confidence."""
+    contextual = cluster.contextual_confidences()
+    if not contextual:
+        raise ValidationError("cluster has no contextual associations")
+    return cluster.target_confidence - sum(contextual) / len(contextual)
+
+
+def contrast_cv(
+    cluster: ContextualAssociationCluster, theta: float = DEFAULT_THETA
+) -> float:
+    """Formula 7: ``contrast_avg`` scaled by the global dispersion penalty."""
+    return contrast_avg(cluster) * dispersion_penalty(
+        cluster.contextual_confidences(), theta
+    )
+
+
+def level_weight(level: int, target_drugs: int) -> float:
+    """The paper's ``H(i, n)`` linear decay: ``1 − (i−1)/n``.
+
+    Contextual associations with fewer drugs get more weight — the
+    drug-safety evaluator already knows individual drugs' profiles, so
+    weak single-drug associations are the most informative contrast.
+    """
+    if not 1 <= level < target_drugs:
+        raise ValidationError(
+            f"level must be in [1, {target_drugs - 1}], got {level}"
+        )
+    return 1.0 - (level - 1) / target_drugs
+
+
+def contrast_score(
+    cluster: ContextualAssociationCluster, theta: float = DEFAULT_THETA
+) -> float:
+    """Formula 9 — the final MARAS contrast score of a cluster.
+
+    ``(1/n) Σ_i [ (1/m_i) Σ_j (P_c(R) − P_c(R̃_j^i)) ] · H(i,n) · G(R̃^i)``
+
+    with ``i`` ranging over the occupied contextual levels ``1..n−1``
+    (the paper writes the outer sum to ``n``; the level-``n`` term is
+    empty by construction, so the literal formula divides by ``n``,
+    which we follow).
+    """
+    n = len(cluster.target.drugs)
+    total = 0.0
+    for level in sorted(cluster.levels):
+        entries = cluster.levels[level]
+        if not entries:
+            continue
+        gaps = [
+            cluster.target_confidence - entry.confidence for entry in entries
+        ]
+        level_mean_gap = sum(gaps) / len(gaps)
+        penalty = dispersion_penalty(
+            [entry.confidence for entry in entries], theta
+        )
+        total += level_mean_gap * level_weight(level, n) * penalty
+    return total / n

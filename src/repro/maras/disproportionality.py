@@ -1,0 +1,176 @@
+"""Classical pharmacovigilance disproportionality statistics.
+
+The paper's related work positions MARAS against the measures drug
+safety practice actually uses on spontaneous reports: the *reporting
+ratio* family ([43] uses RR, [50] the proportional reporting ratio).
+This module implements the standard 2x2 disproportionality analysis so
+those baselines are available in their textbook form, not just via the
+generic lift measure:
+
+For a drug set ``D`` and ADR set ``A`` over ``n`` reports, the 2x2
+contingency table is::
+
+                    A present   A absent
+    D present           a          b
+    D absent            c          d
+
+* **PRR**  — proportional reporting ratio: ``(a/(a+b)) / (c/(c+d))``;
+* **ROR**  — reporting odds ratio: ``(a·d) / (b·c)``;
+* **chi²** — Yates-corrected chi-squared of the table;
+* the common signal criterion (Evans et al. 2001): PRR ≥ 2, chi² ≥ 4,
+  a ≥ 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import ValidationError
+from repro.data.items import ItemId
+from repro.maras.associations import DrugAdrAssociation
+from repro.maras.reports import ReportDatabase
+
+
+@dataclass(frozen=True)
+class ContingencyTable:
+    """The 2x2 drug/ADR report contingency table."""
+
+    a: int  # D and A
+    b: int  # D without A
+    c: int  # A without D
+    d: int  # neither
+
+    def __post_init__(self) -> None:
+        if min(self.a, self.b, self.c, self.d) < 0:
+            raise ValidationError("contingency cells must be non-negative")
+
+    @property
+    def n(self) -> int:
+        """Total number of reports."""
+        return self.a + self.b + self.c + self.d
+
+    @property
+    def prr(self) -> float:
+        """Proportional reporting ratio; ``inf`` when only exposed reports
+        show the ADR, 0.0 when undefined (no exposed reports)."""
+        exposed = self.a + self.b
+        unexposed = self.c + self.d
+        if exposed == 0 or self.a == 0:
+            return 0.0
+        if unexposed == 0 or self.c == 0:
+            return math.inf
+        return (self.a / exposed) / (self.c / unexposed)
+
+    @property
+    def ror(self) -> float:
+        """Reporting odds ratio; ``inf`` when b·c = 0 with a·d > 0."""
+        if self.a == 0 or self.d == 0:
+            return 0.0
+        if self.b == 0 or self.c == 0:
+            return math.inf
+        return (self.a * self.d) / (self.b * self.c)
+
+    @property
+    def chi_squared(self) -> float:
+        """Yates-corrected chi-squared statistic of the table."""
+        n = self.n
+        if n == 0:
+            return 0.0
+        row1, row2 = self.a + self.b, self.c + self.d
+        col1, col2 = self.a + self.c, self.b + self.d
+        if 0 in (row1, row2, col1, col2):
+            return 0.0
+        determinant = abs(self.a * self.d - self.b * self.c)
+        corrected = max(determinant - n / 2, 0.0)
+        return n * corrected**2 / (row1 * row2 * col1 * col2)
+
+    def is_signal(
+        self,
+        *,
+        min_prr: float = 2.0,
+        min_chi_squared: float = 4.0,
+        min_cases: int = 3,
+    ) -> bool:
+        """Evans' standard PRR signal criterion."""
+        return (
+            self.a >= min_cases
+            and self.prr >= min_prr
+            and self.chi_squared >= min_chi_squared
+        )
+
+
+def contingency_table(
+    database: ReportDatabase,
+    drugs: Sequence[ItemId],
+    adrs: Sequence[ItemId],
+) -> ContingencyTable:
+    """The 2x2 table of a drug set vs an ADR set over *database*.
+
+    "D present" means the report contains every drug of *drugs*;
+    "A present" means it contains every ADR of *adrs* (the paper's
+    containment semantics, consistent with the confidence/lift
+    definitions used everywhere else).
+    """
+    a = database.count(drugs, adrs)
+    exposed = database.count(drugs)
+    with_adr = database.count((), adrs)
+    n = len(database)
+    b = exposed - a
+    c = with_adr - a
+    d = n - exposed - c
+    return ContingencyTable(a=a, b=b, c=c, d=d)
+
+
+def rank_by_prr(
+    database: ReportDatabase,
+    pool: Sequence[Tuple[DrugAdrAssociation, int]],
+    *,
+    apply_signal_criterion: bool = True,
+) -> List[Tuple[DrugAdrAssociation, float]]:
+    """Rank candidate associations by PRR (the [50]-style baseline).
+
+    With *apply_signal_criterion* (the textbook usage), associations
+    failing Evans' criterion are dropped before ranking.  Infinite PRRs
+    sort above all finite ones, tie-broken by case count.
+    """
+    scored: List[Tuple[DrugAdrAssociation, float, int]] = []
+    for association, _ in pool:
+        table = contingency_table(database, association.drugs, association.adrs)
+        if apply_signal_criterion and not table.is_signal():
+            continue
+        scored.append((association, table.prr, table.a))
+    scored.sort(
+        key=lambda entry: (
+            -(1e18 if math.isinf(entry[1]) else entry[1]),
+            -entry[2],
+            entry[0].drugs,
+            entry[0].adrs,
+        )
+    )
+    return [(association, prr) for association, prr, _ in scored]
+
+
+def rank_by_ror(
+    database: ReportDatabase,
+    pool: Sequence[Tuple[DrugAdrAssociation, int]],
+    *,
+    min_cases: int = 3,
+) -> List[Tuple[DrugAdrAssociation, float]]:
+    """Rank candidate associations by the reporting odds ratio."""
+    scored: List[Tuple[DrugAdrAssociation, float, int]] = []
+    for association, _ in pool:
+        table = contingency_table(database, association.drugs, association.adrs)
+        if table.a < min_cases:
+            continue
+        scored.append((association, table.ror, table.a))
+    scored.sort(
+        key=lambda entry: (
+            -(1e18 if math.isinf(entry[1]) else entry[1]),
+            -entry[2],
+            entry[0].drugs,
+            entry[0].adrs,
+        )
+    )
+    return [(association, ror) for association, ror, _ in scored]

@@ -1,0 +1,102 @@
+"""MDAR-signal quality evaluation: precision@K against a reference KB.
+
+Reproduces Figure 6's methodology: "Precision is defined by the ratio of
+the number of hits to the number of the signals.  'Precision at K'
+measures the accuracy ... as well as the effectiveness of the contrast
+measure for ranking the returned signals."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ValidationError
+from repro.maras.reference_kb import ReferenceKnowledgeBase
+from repro.maras.signals import Signal
+
+
+@dataclass(frozen=True)
+class PrecisionCurve:
+    """Precision@K values plus the underlying hit flags."""
+
+    ks: Tuple[int, ...]
+    precisions: Tuple[float, ...]
+    hits: Tuple[bool, ...]
+
+    def at(self, k: int) -> float:
+        """Precision at a specific K (must be one of the computed Ks)."""
+        try:
+            return self.precisions[self.ks.index(k)]
+        except ValueError:
+            raise ValidationError(f"precision@{k} was not computed") from None
+
+
+def precision_at_k(
+    signals: Sequence[Signal],
+    reference: ReferenceKnowledgeBase,
+    ks: Sequence[int],
+) -> PrecisionCurve:
+    """Precision of the top-K signal prefixes against the reference KB.
+
+    K values larger than the number of signals are evaluated over the
+    available prefix (hits / K still divides by K, matching how a
+    fixed-size report would score an under-filled list).
+    """
+    if not ks:
+        raise ValidationError("need at least one K")
+    for k in ks:
+        if k <= 0:
+            raise ValidationError(f"K values must be positive, got {k}")
+    hits = tuple(reference.is_hit(signal.association) for signal in signals)
+    precisions: List[float] = []
+    for k in ks:
+        hit_count = sum(1 for flag in hits[:k] if flag)
+        precisions.append(hit_count / k)
+    return PrecisionCurve(ks=tuple(ks), precisions=tuple(precisions), hits=hits)
+
+
+def average_precision(
+    signals: Sequence[Signal], reference: ReferenceKnowledgeBase
+) -> float:
+    """Average precision of the ranking (area under the P-R prefix curve).
+
+    A stricter single-number summary used by the ablation benchmarks to
+    compare contrast variants; 0.0 when no signal hits.
+    """
+    hits = 0
+    total = 0.0
+    for position, signal in enumerate(signals, start=1):
+        if reference.is_hit(signal.association):
+            hits += 1
+            total += hits / position
+    return total / hits if hits else 0.0
+
+
+def recall_of_known(
+    signals: Sequence[Signal], reference: ReferenceKnowledgeBase
+) -> float:
+    """Fraction of known interactions recovered by at least one signal."""
+    if len(reference) == 0:
+        raise ValidationError("reference knowledge base is empty")
+    recovered = 0
+    for interaction in reference:
+        if any(
+            interaction.drugs <= set(signal.association.drugs)
+            and interaction.adrs & set(signal.association.adrs)
+            for signal in signals
+        ):
+            recovered += 1
+    return recovered / len(reference)
+
+
+def hit_table(
+    signals: Sequence[Signal],
+    reference: ReferenceKnowledgeBase,
+    top_k: int,
+) -> Dict[int, bool]:
+    """Rank -> hit flag for the top *top_k* signals (report rendering)."""
+    return {
+        rank: reference.is_hit(signal.association)
+        for rank, signal in enumerate(signals[:top_k], start=1)
+    }

@@ -1,0 +1,88 @@
+"""Reference knowledge base of known drug-drug interactions.
+
+The paper evaluates MARAS by checking its top signals against
+Drugs.com and DrugBank — curated lists of *known* multi-drug
+interactions.  Neither resource can ship with an offline reproduction,
+so this module defines the same abstraction: a set of known interactions
+(an interacting drug set plus the ADRs it is known to cause), with the
+hit test the precision@K evaluation needs.  The synthetic FAERS
+generator emits a ground-truth instance of this class alongside the
+reports it plants the interactions into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Tuple
+
+from repro.common.errors import ValidationError
+from repro.data.items import ItemId
+from repro.maras.associations import DrugAdrAssociation
+
+
+@dataclass(frozen=True)
+class KnownInteraction:
+    """One curated interaction: interacting drugs and their known ADRs."""
+
+    drugs: FrozenSet[ItemId]
+    adrs: FrozenSet[ItemId]
+
+    def __post_init__(self) -> None:
+        if len(self.drugs) < 2:
+            raise ValidationError("a drug-drug interaction needs >= 2 drugs")
+        if not self.adrs:
+            raise ValidationError("a known interaction needs >= 1 ADR")
+
+    @classmethod
+    def create(
+        cls, drugs: Iterable[ItemId], adrs: Iterable[ItemId]
+    ) -> "KnownInteraction":
+        """Convenience constructor from any iterables."""
+        return cls(drugs=frozenset(drugs), adrs=frozenset(adrs))
+
+
+class ReferenceKnowledgeBase:
+    """A queryable collection of known interactions (Drugs.com stand-in)."""
+
+    def __init__(self, interactions: Iterable[KnownInteraction] = ()) -> None:
+        self._interactions: List[KnownInteraction] = list(interactions)
+
+    def __len__(self) -> int:
+        return len(self._interactions)
+
+    def __iter__(self) -> Iterator[KnownInteraction]:
+        return iter(self._interactions)
+
+    def add(self, interaction: KnownInteraction) -> None:
+        """Register one more known interaction."""
+        self._interactions.append(interaction)
+
+    def is_hit(self, association: DrugAdrAssociation) -> bool:
+        """Does a signal *hit* a known interaction?
+
+        Following the paper's evaluation ("precision in terms of a hit
+        of a known MDAR"), a signal counts as a hit when its drug set
+        contains some known interaction's full drug set and its ADRs
+        overlap that interaction's known ADRs.
+        """
+        signal_drugs = set(association.drugs)
+        signal_adrs = set(association.adrs)
+        for interaction in self._interactions:
+            if interaction.drugs <= signal_drugs and (
+                interaction.adrs & signal_adrs
+            ):
+                return True
+        return False
+
+    def matching_interactions(
+        self, association: DrugAdrAssociation
+    ) -> Tuple[KnownInteraction, ...]:
+        """All known interactions the signal hits (for case studies)."""
+        signal_drugs = set(association.drugs)
+        signal_adrs = set(association.adrs)
+        return tuple(
+            interaction
+            for interaction in self._interactions
+            if interaction.drugs <= signal_drugs
+            and interaction.adrs & signal_adrs
+        )

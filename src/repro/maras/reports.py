@@ -1,0 +1,184 @@
+"""ADR reports — the input collection of the MARAS analysis.
+
+Section 2.3 of the paper models a Spontaneous Reporting System as a
+collection of ADR reports, each the union of a drug set and an ADR set
+drawn from disjoint vocabularies.  :class:`Report` keeps the two sides
+separate (drug ids and ADR ids are independent dense spaces);
+:class:`ReportDatabase` adds the inverted index used to count how many
+reports contain a given drug/ADR combination — the primitive behind
+every confidence in a contextual association cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import DataFormatError, ValidationError
+from repro.data.items import ItemId, Itemset, ItemVocabulary, canonical_itemset
+
+
+@dataclass(frozen=True)
+class Report:
+    """One ADR report: reported drugs, observed ADRs, optional timestamp."""
+
+    drugs: Itemset
+    adrs: Itemset
+    time: int = 0
+
+    @classmethod
+    def create(
+        cls, drugs: Iterable[ItemId], adrs: Iterable[ItemId], time: int = 0
+    ) -> "Report":
+        """Build a report with canonicalized, validated sides.
+
+        Both sides must be non-empty: a report without drugs or without
+        ADRs carries no drug-ADR evidence.
+        """
+        drug_set = canonical_itemset(drugs)
+        adr_set = canonical_itemset(adrs)
+        if not drug_set or not adr_set:
+            raise DataFormatError("a report needs at least one drug and one ADR")
+        return cls(drugs=drug_set, adrs=adr_set, time=time)
+
+    @property
+    def signature(self) -> Tuple[Itemset, Itemset]:
+        """The exact (drugs, adrs) content — identity for *explicit* support."""
+        return (self.drugs, self.adrs)
+
+
+# Combined-space encoding: drugs on even ids, ADRs on odd ids.  Lets the
+# generic closed-itemset miner run over reports while keeping the two
+# vocabularies losslessly separable.
+def encode_drug(drug: ItemId) -> ItemId:
+    """Map a drug id into the combined item space."""
+    return 2 * drug
+
+
+def encode_adr(adr: ItemId) -> ItemId:
+    """Map an ADR id into the combined item space."""
+    return 2 * adr + 1
+
+
+def split_combined(itemset: Itemset) -> Tuple[Itemset, Itemset]:
+    """Split a combined-space itemset back into (drugs, adrs)."""
+    drugs = tuple(item // 2 for item in itemset if item % 2 == 0)
+    adrs = tuple(item // 2 for item in itemset if item % 2 == 1)
+    return drugs, adrs
+
+
+def combine_report(report: Report) -> Itemset:
+    """A report as one combined-space itemset (for the closed miner)."""
+    return canonical_itemset(
+        [encode_drug(d) for d in report.drugs]
+        + [encode_adr(a) for a in report.adrs]
+    )
+
+
+class ReportDatabase:
+    """A report collection with posting lists for fast containment counts."""
+
+    def __init__(
+        self,
+        reports: Iterable[Report],
+        *,
+        drug_vocabulary: Optional[ItemVocabulary] = None,
+        adr_vocabulary: Optional[ItemVocabulary] = None,
+    ) -> None:
+        self.reports: List[Report] = list(reports)
+        if not self.reports:
+            raise ValidationError("a report database needs at least one report")
+        self.drug_vocabulary = drug_vocabulary
+        self.adr_vocabulary = adr_vocabulary
+        self._drug_postings: Dict[ItemId, Set[int]] = {}
+        self._adr_postings: Dict[ItemId, Set[int]] = {}
+        self._signatures: Set[Tuple[Itemset, Itemset]] = set()
+        for report_id, report in enumerate(self.reports):
+            for drug in report.drugs:
+                self._drug_postings.setdefault(drug, set()).add(report_id)
+            for adr in report.adrs:
+                self._adr_postings.setdefault(adr, set()).add(report_id)
+            self._signatures.add(report.signature)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self) -> Iterator[Report]:
+        return iter(self.reports)
+
+    @property
+    def drug_count(self) -> int:
+        """Number of distinct reported drugs."""
+        return len(self._drug_postings)
+
+    @property
+    def adr_count(self) -> int:
+        """Number of distinct reported ADRs."""
+        return len(self._adr_postings)
+
+    def has_exact_report(self, drugs: Itemset, adrs: Itemset) -> bool:
+        """Definition 3's test: does a report with exactly this content exist?"""
+        return (canonical_itemset(drugs), canonical_itemset(adrs)) in self._signatures
+
+    def matching(self, drugs: Sequence[ItemId], adrs: Sequence[ItemId]) -> Set[int]:
+        """Ids of reports containing all given drugs and all given ADRs.
+
+        Intersects posting lists smallest-first.  At least one side must
+        be non-empty.
+        """
+        postings: List[Set[int]] = []
+        for drug in canonical_itemset(drugs):
+            posting = self._drug_postings.get(drug)
+            if not posting:
+                return set()
+            postings.append(posting)
+        for adr in canonical_itemset(adrs):
+            posting = self._adr_postings.get(adr)
+            if not posting:
+                return set()
+            postings.append(posting)
+        if not postings:
+            raise ValidationError("containment query needs at least one item")
+        postings.sort(key=len)
+        result = set(postings[0])
+        for posting in postings[1:]:
+            result &= posting
+            if not result:
+                break
+        return result
+
+    def count(self, drugs: Sequence[ItemId], adrs: Sequence[ItemId] = ()) -> int:
+        """Number of reports containing the given drugs (and ADRs)."""
+        return len(self.matching(drugs, adrs))
+
+    def confidence(self, drugs: Sequence[ItemId], adrs: Sequence[ItemId]) -> float:
+        """``P(adrs | drugs)`` estimated from containment counts."""
+        drug_support = self.count(drugs)
+        if drug_support == 0:
+            return 0.0
+        return self.count(drugs, adrs) / drug_support
+
+    def support(self, drugs: Sequence[ItemId], adrs: Sequence[ItemId]) -> float:
+        """Fraction of reports containing drugs and ADRs together."""
+        return self.count(drugs, adrs) / len(self.reports)
+
+    def lift(self, drugs: Sequence[ItemId], adrs: Sequence[ItemId]) -> float:
+        """Reporting ratio (Formula 3) of the drug set vs the ADR set."""
+        joint = self.count(drugs, adrs)
+        drug_support = self.count(drugs)
+        adr_support = self.count((), adrs)
+        if joint == 0 or drug_support == 0 or adr_support == 0:
+            return 0.0
+        return joint * len(self.reports) / (drug_support * adr_support)
+
+    def drug_name(self, drug: ItemId) -> str:
+        """Readable drug name (falls back to ``drug<id>`` without a vocab)."""
+        if self.drug_vocabulary is not None:
+            return self.drug_vocabulary.name_of(drug)
+        return f"drug{drug}"
+
+    def adr_name(self, adr: ItemId) -> str:
+        """Readable ADR name (falls back to ``adr<id>`` without a vocab)."""
+        if self.adr_vocabulary is not None:
+            return self.adr_vocabulary.name_of(adr)
+        return f"adr{adr}"

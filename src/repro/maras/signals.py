@@ -1,0 +1,133 @@
+"""The MARAS signal pipeline: learn → cluster → score → rank.
+
+Glues Sections 2.3.3-2.3.5 together: non-spurious multi-drug Drug-ADR
+associations are learned from the reports, each gets its contextual
+association cluster, the cluster is scored by the final contrast
+measure, and the signals are returned ranked most-suspicious-first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ValidationError
+from repro.maras.associations import (
+    DrugAdrAssociation,
+    LearnedAssociation,
+    SupportKind,
+    learn_associations,
+)
+from repro.maras.cac import ContextualAssociationCluster, build_cluster
+from repro.maras.contrast import DEFAULT_THETA, contrast_score
+from repro.maras.reports import ReportDatabase
+
+
+@dataclass(frozen=True)
+class Signal:
+    """One ranked MDAR signal with its full evidence trail."""
+
+    association: DrugAdrAssociation
+    kind: SupportKind
+    score: float
+    confidence: float
+    count: int
+    cluster: ContextualAssociationCluster
+
+    def describe(self, database: ReportDatabase) -> str:
+        """One-line readable rendering for reports and benchmarks."""
+        return (
+            f"{self.association.format(database)}  "
+            f"score={self.score:.4f} conf={self.confidence:.3f} n={self.count}"
+        )
+
+
+@dataclass(frozen=True)
+class MarasConfig:
+    """Tunable knobs of the signal pipeline.
+
+    Attributes:
+        min_count: minimum supporting reports per association.
+        min_drugs: minimum drugs in the antecedent (>= 2 for MDAR).
+        max_drugs: drop targets with more drugs than this (clusters are
+            exponential in the antecedent size).
+        theta: dispersion-penalty strength (Formula 8).
+        min_score: drop signals scoring at or below this value (a
+            non-positive contrast means some subset explains the ADRs
+            at least as well — the anti-signal case).
+    """
+
+    min_count: int = 2
+    min_drugs: int = 2
+    max_drugs: int = 6
+    theta: float = DEFAULT_THETA
+    min_score: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_drugs < 2:
+            raise ValidationError("MDAR signals need min_drugs >= 2")
+        if self.max_drugs < self.min_drugs:
+            raise ValidationError("max_drugs must be >= min_drugs")
+
+
+class MarasAnalyzer:
+    """End-to-end MARAS over one report database."""
+
+    def __init__(
+        self, database: ReportDatabase, config: Optional[MarasConfig] = None
+    ) -> None:
+        self.database = database
+        self.config = config or MarasConfig()
+
+    def learned_associations(self) -> List[LearnedAssociation]:
+        """The non-spurious multi-drug associations (pipeline stage 1)."""
+        return [
+            learned
+            for learned in learn_associations(
+                self.database,
+                min_count=self.config.min_count,
+                min_drugs=self.config.min_drugs,
+            )
+            if learned.association.drug_count <= self.config.max_drugs
+        ]
+
+    def score(self, association: DrugAdrAssociation) -> Tuple[float, ContextualAssociationCluster]:
+        """Contrast score and cluster of one target association."""
+        cluster = build_cluster(self.database, association)
+        return contrast_score(cluster, self.config.theta), cluster
+
+    def signals(self, top_k: Optional[int] = None) -> List[Signal]:
+        """Ranked MDAR signals, strongest contrast first.
+
+        Ties break on confidence, then count, then content — fully
+        deterministic output for a given database.
+        """
+        results: List[Signal] = []
+        for learned in self.learned_associations():
+            score, cluster = self.score(learned.association)
+            if score <= self.config.min_score:
+                continue
+            results.append(
+                Signal(
+                    association=learned.association,
+                    kind=learned.kind,
+                    score=score,
+                    confidence=learned.confidence,
+                    count=learned.count,
+                    cluster=cluster,
+                )
+            )
+        results.sort(
+            key=lambda signal: (
+                -signal.score,
+                -signal.confidence,
+                -signal.count,
+                signal.association.drugs,
+                signal.association.adrs,
+            )
+        )
+        if top_k is not None:
+            if top_k <= 0:
+                raise ValidationError(f"top_k must be positive, got {top_k}")
+            results = results[:top_k]
+        return results

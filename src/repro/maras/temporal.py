@@ -1,0 +1,215 @@
+"""Temporal MDAR signal tracking across reporting periods.
+
+The dissertation's MeDIAR/DEVES systems (ICDE'18, CIKM'18) put the
+MARAS signals into TARA's temporal frame: FAERS arrives quarterly, and
+the drug-safety reviewer's question is not just "what signals exist"
+but "what is *emerging*" — which signals are new this quarter, which
+are strengthening, which faded.  This module runs the MARAS pipeline
+per period and aligns the rankings into per-association trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ValidationError
+from repro.maras.associations import DrugAdrAssociation
+from repro.maras.reports import ReportDatabase
+from repro.maras.signals import MarasAnalyzer, MarasConfig, Signal
+
+
+@dataclass(frozen=True)
+class SignalSnapshot:
+    """One association's standing in one period's ranking."""
+
+    period: int
+    rank: int
+    score: float
+    confidence: float
+    count: int
+
+
+@dataclass(frozen=True)
+class SignalTrajectory:
+    """An association's snapshots across the analyzed periods."""
+
+    association: DrugAdrAssociation
+    snapshots: Tuple[SignalSnapshot, ...]
+
+    @property
+    def first_period(self) -> int:
+        """Period in which the signal first appeared."""
+        return self.snapshots[0].period
+
+    @property
+    def latest(self) -> SignalSnapshot:
+        """The most recent snapshot."""
+        return self.snapshots[-1]
+
+    @property
+    def periods_present(self) -> Tuple[int, ...]:
+        """All periods (sorted) in which the association signaled."""
+        return tuple(snapshot.period for snapshot in self.snapshots)
+
+    def score_delta(self) -> float:
+        """Score change from the first to the latest snapshot."""
+        return self.snapshots[-1].score - self.snapshots[0].score
+
+
+@dataclass(frozen=True)
+class PeriodDigest:
+    """What changed in one period relative to all earlier ones."""
+
+    period: int
+    new_signals: Tuple[DrugAdrAssociation, ...]
+    strengthened: Tuple[DrugAdrAssociation, ...]
+    weakened: Tuple[DrugAdrAssociation, ...]
+    vanished: Tuple[DrugAdrAssociation, ...]
+
+
+class TemporalSignalTracker:
+    """Runs MARAS per period and aligns signals into trajectories."""
+
+    def __init__(
+        self,
+        config: Optional[MarasConfig] = None,
+        *,
+        top_k: int = 100,
+        strengthen_threshold: float = 0.02,
+    ) -> None:
+        if top_k <= 0:
+            raise ValidationError(f"top_k must be positive, got {top_k}")
+        if strengthen_threshold < 0:
+            raise ValidationError("strengthen_threshold must be >= 0")
+        self.config = config or MarasConfig()
+        self.top_k = top_k
+        self.strengthen_threshold = strengthen_threshold
+        self._per_period: List[List[Signal]] = []
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    @property
+    def period_count(self) -> int:
+        """Periods analyzed so far."""
+        return len(self._per_period)
+
+    def add_period(self, database: ReportDatabase) -> PeriodDigest:
+        """Analyze one period's reports; returns the change digest.
+
+        Periods must be added in chronological order; each is analyzed
+        independently (FAERS quarters are disjoint report batches).
+        """
+        signals = MarasAnalyzer(database, self.config).signals(top_k=self.top_k)
+        period = len(self._per_period)
+        previous_scores = self._latest_scores()
+        self._per_period.append(signals)
+
+        current = {signal.association: signal for signal in signals}
+        new_signals = tuple(
+            association
+            for association in current
+            if association not in previous_scores
+        )
+        strengthened = tuple(
+            association
+            for association, signal in current.items()
+            if association in previous_scores
+            and signal.score
+            > previous_scores[association] + self.strengthen_threshold
+        )
+        weakened = tuple(
+            association
+            for association, signal in current.items()
+            if association in previous_scores
+            and signal.score
+            < previous_scores[association] - self.strengthen_threshold
+        )
+        vanished = tuple(
+            association
+            for association in previous_scores
+            if association not in current
+        )
+        return PeriodDigest(
+            period=period,
+            new_signals=new_signals,
+            strengthened=strengthened,
+            weakened=weakened,
+            vanished=vanished,
+        )
+
+    def _latest_scores(self) -> Dict[DrugAdrAssociation, float]:
+        if not self._per_period:
+            return {}
+        return {
+            signal.association: signal.score
+            for signal in self._per_period[-1]
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def signals_of_period(self, period: int) -> List[Signal]:
+        """The ranked signals of one analyzed period."""
+        if not 0 <= period < len(self._per_period):
+            raise ValidationError(
+                f"period {period} out of range [0, {len(self._per_period)})"
+            )
+        return list(self._per_period[period])
+
+    def trajectories(self) -> List[SignalTrajectory]:
+        """Every association's trajectory, most-persistent first."""
+        by_association: Dict[DrugAdrAssociation, List[SignalSnapshot]] = {}
+        for period, signals in enumerate(self._per_period):
+            for rank, signal in enumerate(signals, start=1):
+                by_association.setdefault(signal.association, []).append(
+                    SignalSnapshot(
+                        period=period,
+                        rank=rank,
+                        score=signal.score,
+                        confidence=signal.confidence,
+                        count=signal.count,
+                    )
+                )
+        trajectories = [
+            SignalTrajectory(association=association, snapshots=tuple(snapshots))
+            for association, snapshots in by_association.items()
+        ]
+        trajectories.sort(
+            key=lambda trajectory: (
+                -len(trajectory.snapshots),
+                -trajectory.latest.score,
+                trajectory.association.drugs,
+            )
+        )
+        return trajectories
+
+    def persistent_signals(
+        self, min_periods: Optional[int] = None
+    ) -> List[SignalTrajectory]:
+        """Trajectories present in at least *min_periods* periods.
+
+        Persistence across independent reporting periods is the
+        strongest non-experimental evidence an SRS can give; defaults
+        to "every analyzed period".
+        """
+        needed = min_periods if min_periods is not None else len(self._per_period)
+        if needed <= 0:
+            raise ValidationError("min_periods must be positive")
+        return [
+            trajectory
+            for trajectory in self.trajectories()
+            if len(trajectory.snapshots) >= needed
+        ]
+
+    def emerging_signals(self, last_periods: int = 1) -> List[SignalTrajectory]:
+        """Trajectories that first appeared within the last *last_periods*."""
+        if last_periods <= 0:
+            raise ValidationError("last_periods must be positive")
+        cutoff = len(self._per_period) - last_periods
+        return [
+            trajectory
+            for trajectory in self.trajectories()
+            if trajectory.first_period >= cutoff
+        ]

@@ -1,0 +1,44 @@
+"""Mining substrate: frequent/closed itemset miners, rules, measures."""
+
+from repro.mining.apriori import mine_apriori
+from repro.mining.closed import is_closed_in, mine_closed
+from repro.mining.eclat import mine_eclat
+from repro.mining.fpgrowth import mine_fpgrowth
+from repro.mining.hmine import mine_hmine
+from repro.mining.itemsets import FrequentItemsets, min_count_for
+from repro.mining.measures import (
+    ContingencyCounts,
+    available_measures,
+    get_measure,
+    improvement,
+)
+from repro.mining.rules import Rule, RuleCatalog, RuleId, ScoredRule, derive_rules
+
+MINERS = {
+    "apriori": mine_apriori,
+    "eclat": mine_eclat,
+    "fpgrowth": mine_fpgrowth,
+    "hmine": mine_hmine,
+}
+"""Name -> miner function registry (used by the builder's ``miner=`` knob)."""
+
+__all__ = [
+    "ContingencyCounts",
+    "FrequentItemsets",
+    "MINERS",
+    "Rule",
+    "RuleCatalog",
+    "RuleId",
+    "ScoredRule",
+    "available_measures",
+    "derive_rules",
+    "get_measure",
+    "improvement",
+    "is_closed_in",
+    "min_count_for",
+    "mine_apriori",
+    "mine_closed",
+    "mine_eclat",
+    "mine_fpgrowth",
+    "mine_hmine",
+]

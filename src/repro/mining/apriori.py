@@ -1,0 +1,129 @@
+"""Apriori frequent-itemset mining (Agrawal & Srikant, VLDB'94).
+
+The reference level-wise miner: generate candidate ``k``-itemsets from
+frequent ``(k-1)``-itemsets via the join + prune steps, then count each
+candidate's occurrences with one pass over the transactions.  It is the
+engine behind the DCTAR baseline ("derives the ruleset directly from the
+raw data") and serves as the correctness oracle for the faster miners in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.data.items import Itemset
+from repro.mining.itemsets import (
+    FrequentItemsets,
+    TransactionLike,
+    as_itemsets,
+    min_count_for,
+)
+
+
+def _frequent_singletons(
+    itemsets: List[Itemset], min_count: int
+) -> Dict[Itemset, int]:
+    counts: Dict[int, int] = {}
+    for transaction in itemsets:
+        for item in transaction:
+            counts[item] = counts.get(item, 0) + 1
+    return {
+        (item,): count for item, count in counts.items() if count >= min_count
+    }
+
+
+def generate_candidates(frequent_previous: Set[Itemset], k: int) -> List[Itemset]:
+    """Apriori-gen: join frequent ``(k-1)``-itemsets sharing a ``(k-2)``-prefix,
+    then prune candidates with any infrequent ``(k-1)``-subset.
+
+    Input itemsets are canonical (sorted tuples), so the classic
+    prefix-join applies directly.
+    """
+    by_prefix: Dict[Itemset, List[int]] = {}
+    for itemset in frequent_previous:
+        by_prefix.setdefault(itemset[:-1], []).append(itemset[-1])
+    candidates: List[Itemset] = []
+    for prefix, tails in by_prefix.items():
+        tails.sort()
+        for i, a in enumerate(tails):
+            for b in tails[i + 1 :]:
+                candidate = prefix + (a, b)
+                # prune step: all (k-1)-subsets must be frequent; subsets
+                # obtained by dropping one of the *prefix* positions are
+                # the only ones not guaranteed by construction.
+                if all(
+                    candidate[:drop] + candidate[drop + 1 :] in frequent_previous
+                    for drop in range(k - 2)
+                ):
+                    candidates.append(candidate)
+    return candidates
+
+
+def _count_candidates(
+    itemsets: List[Itemset], candidates: List[Itemset], k: int
+) -> Dict[Itemset, int]:
+    """One counting pass; candidates are matched through a hash set.
+
+    For small candidate lists we test each candidate against the
+    transaction's item set; for large lists we enumerate the
+    transaction's k-subsets only when the transaction is short enough
+    for that to win.  The simple containment test is the robust default.
+    """
+    candidate_set: Dict[Itemset, int] = {c: 0 for c in candidates}
+    for transaction in itemsets:
+        if len(transaction) < k:
+            continue
+        transaction_items = set(transaction)
+        for candidate in candidates:
+            count_ok = True
+            for item in candidate:
+                if item not in transaction_items:
+                    count_ok = False
+                    break
+            if count_ok:
+                candidate_set[candidate] += 1
+    return candidate_set
+
+
+def mine_apriori(
+    transactions: Iterable[TransactionLike],
+    min_support: float,
+    *,
+    max_size: int | None = None,
+) -> FrequentItemsets:
+    """Mine all frequent itemsets at fractional *min_support*.
+
+    Args:
+        transactions: transactions or raw item sequences.
+        min_support: fraction in ``[0, 1]``; converted to the smallest
+            satisfying absolute count (at least 1).
+        max_size: optional cap on itemset cardinality (``None`` = no cap).
+
+    Returns:
+        :class:`FrequentItemsets` with counts for every frequent itemset.
+    """
+    itemsets = as_itemsets(transactions)
+    n = len(itemsets)
+    min_count = min_count_for(min_support, n)
+    result = FrequentItemsets(transaction_count=n, min_count=min_count)
+    if n == 0:
+        return result
+
+    current = _frequent_singletons(itemsets, min_count)
+    k = 1
+    while current:
+        result.counts.update(current)
+        k += 1
+        if max_size is not None and k > max_size:
+            break
+        candidates = generate_candidates(set(current), k)
+        if not candidates:
+            break
+        counted = _count_candidates(itemsets, candidates, k)
+        current = {
+            itemset: count
+            for itemset, count in counted.items()
+            if count >= min_count
+        }
+    return result

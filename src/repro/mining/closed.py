@@ -1,0 +1,181 @@
+"""Closed frequent-itemset mining (CHARM; Zaki & Hsiao, SDM'02).
+
+Closed itemsets are the theoretical backbone of MARAS: Lemma 1 of the
+paper proves that the non-spurious (explicitly or implicitly supported)
+Drug-ADR associations are exactly the *closed* associations of the
+report database.  CHARM mines them directly over vertical tid-sets,
+applying the four itemset-tidset properties to collapse equal-support
+branches, plus a subsumption check before emitting a closed set.
+
+A closed itemset is one with no proper superset of equal support —
+equivalently, the intersection of all transactions that contain it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.data.items import Itemset, canonical_itemset, itemset_union
+from repro.mining.itemsets import (
+    FrequentItemsets,
+    TransactionLike,
+    as_itemsets,
+    min_count_for,
+)
+
+_Tidset = FrozenSet[int]
+_Node = Tuple[Itemset, _Tidset]
+
+
+class _ClosedCollector:
+    """Closed-set accumulator with hash-based subsumption checking.
+
+    CHARM may generate a candidate whose closure was already emitted via
+    a different branch; the candidate is *subsumed* if an existing closed
+    set is a superset with the same support.  Bucketing by tidset hash
+    makes the check cheap.
+    """
+
+    def __init__(self) -> None:
+        self.closed: Dict[Itemset, int] = {}
+        self._buckets: Dict[int, List[Tuple[Itemset, _Tidset]]] = {}
+
+    def add_if_closed(self, itemset: Itemset, tidset: _Tidset) -> None:
+        key = hash(tidset)
+        bucket = self._buckets.setdefault(key, [])
+        itemset_items = set(itemset)
+        for position, (existing, existing_tidset) in enumerate(bucket):
+            if existing_tidset != tidset:
+                continue
+            existing_items = set(existing)
+            if itemset_items.issubset(existing_items):
+                return  # subsumed by a superset with identical support
+            if existing_items.issubset(itemset_items):
+                # The new set subsumes an earlier, smaller candidate.
+                bucket[position] = (itemset, tidset)
+                del self.closed[existing]
+                self.closed[itemset] = len(tidset)
+                return
+        bucket.append((itemset, tidset))
+        self.closed[itemset] = len(tidset)
+
+
+def _charm_extend(
+    nodes: List[_Node], collector: _ClosedCollector, min_count: int
+) -> None:
+    """Recursive CHARM exploration of one equivalence class.
+
+    *nodes* are (itemset, tidset) pairs sorted by increasing tidset size
+    (the standard heuristic that maximizes equal-tidset merges).
+    """
+    index = 0
+    while index < len(nodes):
+        itemset_i, tidset_i = nodes[index]
+        children: List[_Node] = []
+        j = index + 1
+        while j < len(nodes):
+            itemset_j, tidset_j = nodes[j]
+            combined_tidset = tidset_i & tidset_j
+            if len(combined_tidset) < min_count:
+                j += 1
+                continue
+            combined = itemset_union(itemset_i, itemset_j)
+            if tidset_i == tidset_j:
+                # Property 1: X_j always occurs with X_i — fold it into
+                # X_i and drop X_j from this class entirely.
+                itemset_i = combined
+                nodes[index] = (itemset_i, tidset_i)
+                del nodes[j]
+                children = [
+                    (itemset_union(child_set, itemset_j), child_tids)
+                    for child_set, child_tids in children
+                ]
+            elif tidset_i < tidset_j:
+                # Property 2: X_i implies X_j — extend X_i in place but
+                # keep X_j, which can still grow on its own.
+                itemset_i = combined
+                nodes[index] = (itemset_i, tidset_i)
+                children = [
+                    (itemset_union(child_set, itemset_j), child_tids)
+                    for child_set, child_tids in children
+                ]
+                j += 1
+            elif tidset_j < tidset_i:
+                # Property 3: X_j implies X_i — X_j's closure lives in
+                # X_i's subtree, so move the merge down and drop X_j.
+                children.append((combined, combined_tidset))
+                del nodes[j]
+            else:
+                # Property 4: incomparable tidsets — a genuinely new
+                # equivalence class under X_i.
+                children.append((combined, combined_tidset))
+                j += 1
+        if children:
+            children.sort(key=lambda node: (len(node[1]), node[0]))
+            _charm_extend(children, collector, min_count)
+        collector.add_if_closed(itemset_i, tidset_i)
+        index += 1
+
+
+def mine_closed(
+    transactions: Iterable[TransactionLike],
+    min_support: float,
+    *,
+    min_count: int | None = None,
+) -> FrequentItemsets:
+    """Mine all *closed* frequent itemsets.
+
+    Args:
+        transactions: transactions or raw item sequences.
+        min_support: fractional threshold; ignored when *min_count* given.
+        min_count: optional absolute threshold overriding *min_support*
+            (MARAS mines implicit associations at ``min_count=2``).
+
+    Returns:
+        :class:`FrequentItemsets` whose ``counts`` hold only closed sets.
+    """
+    itemsets = as_itemsets(transactions)
+    n = len(itemsets)
+    threshold = (
+        min_count if min_count is not None else min_count_for(min_support, n)
+    )
+    if threshold < 1:
+        threshold = 1
+    result = FrequentItemsets(transaction_count=n, min_count=threshold)
+    if n == 0:
+        return result
+
+    vertical: Dict[int, set] = {}
+    for tid, itemset in enumerate(itemsets):
+        for item in itemset:
+            vertical.setdefault(item, set()).add(tid)
+
+    nodes: List[_Node] = [
+        ((item,), frozenset(tids))
+        for item, tids in vertical.items()
+        if len(tids) >= threshold
+    ]
+    nodes.sort(key=lambda node: (len(node[1]), node[0]))
+    collector = _ClosedCollector()
+    _charm_extend(nodes, collector, threshold)
+    result.counts = collector.closed
+    return result
+
+
+def is_closed_in(itemset: Itemset, transactions: Iterable[TransactionLike]) -> bool:
+    """Direct (slow) closedness oracle used by tests.
+
+    *itemset* is closed iff the intersection of all transactions
+    containing it equals the itemset itself (and at least one contains
+    it).
+    """
+    canonical = canonical_itemset(itemset)
+    containing = [
+        set(t)
+        for t in as_itemsets(transactions)
+        if set(canonical).issubset(set(t))
+    ]
+    if not containing:
+        return False
+    closure = set.intersection(*containing)
+    return closure == set(canonical)

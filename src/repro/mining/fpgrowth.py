@@ -1,0 +1,201 @@
+"""FP-Growth frequent-itemset mining (Han, Pei & Yin, SIGMOD'00).
+
+The pattern-growth miner used as TARA's default Association Generator
+engine: it compresses each window into an FP-tree, then mines the tree
+recursively via conditional pattern bases — no candidate generation.
+Includes the standard single-path shortcut that enumerates all subsets
+of a chain directly.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.data.items import ItemId, Itemset
+from repro.mining.itemsets import (
+    FrequentItemsets,
+    TransactionLike,
+    as_itemsets,
+    min_count_for,
+)
+
+
+class _Node:
+    """One FP-tree node: an item with a count, parent link and children."""
+
+    __slots__ = ("item", "count", "parent", "children", "next_same_item")
+
+    def __init__(self, item: Optional[ItemId], parent: Optional["_Node"]) -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: Dict[ItemId, "_Node"] = {}
+        self.next_same_item: Optional["_Node"] = None
+
+
+class _Tree:
+    """An FP-tree with its header table of per-item node chains."""
+
+    def __init__(self) -> None:
+        self.root = _Node(None, None)
+        self.header: Dict[ItemId, _Node] = {}
+        self.item_counts: Dict[ItemId, int] = {}
+
+    def insert(self, path: List[ItemId], count: int) -> None:
+        """Insert a (frequency-ordered) item path with multiplicity *count*."""
+        node = self.root
+        for item in path:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node(item, node)
+                node.children[item] = child
+                child.next_same_item = self.header.get(item)
+                self.header[item] = child
+            child.count += count
+            self.item_counts[item] = self.item_counts.get(item, 0) + count
+            node = child
+
+    def is_single_path(self) -> Optional[List[Tuple[ItemId, int]]]:
+        """Return the chain as ``(item, count)`` pairs if the tree is one path."""
+        chain: List[Tuple[ItemId, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            node = next(iter(node.children.values()))
+            chain.append((node.item, node.count))  # type: ignore[arg-type]
+        return chain
+
+    def prefix_paths(self, item: ItemId) -> List[Tuple[List[ItemId], int]]:
+        """Conditional pattern base of *item*: root paths with multiplicities."""
+        paths: List[Tuple[List[ItemId], int]] = []
+        node = self.header.get(item)
+        while node is not None:
+            path: List[ItemId] = []
+            ancestor = node.parent
+            while ancestor is not None and ancestor.item is not None:
+                path.append(ancestor.item)
+                ancestor = ancestor.parent
+            if path:
+                path.reverse()
+                paths.append((path, node.count))
+            node = node.next_same_item
+        return paths
+
+
+def _build_tree(
+    weighted_itemsets: Iterable[Tuple[List[ItemId], int]],
+    item_order: Dict[ItemId, int],
+    min_count: int,
+) -> _Tree:
+    tree = _Tree()
+    for items, weight in weighted_itemsets:
+        kept = [item for item in items if item in item_order]
+        kept.sort(key=lambda item: (item_order[item], item))
+        if kept:
+            tree.insert(kept, weight)
+    return tree
+
+
+def _mine_tree(
+    tree: _Tree,
+    suffix: Itemset,
+    min_count: int,
+    out: Dict[Itemset, int],
+    max_size: Optional[int],
+) -> None:
+    single = tree.is_single_path()
+    if single is not None:
+        # Single-path shortcut: every subset of the chain, joined with the
+        # suffix, is frequent with the minimum count along the subset.
+        for size in range(1, len(single) + 1):
+            if max_size is not None and len(suffix) + size > max_size:
+                break
+            for combo in combinations(single, size):
+                count = min(c for _, c in combo)
+                if count >= min_count:
+                    itemset = tuple(sorted(suffix + tuple(i for i, _ in combo)))
+                    out[itemset] = count
+        return
+
+    # General case: grow each frequent item in increasing count order.
+    items = sorted(
+        tree.item_counts,
+        key=lambda item: (tree.item_counts[item], item),
+    )
+    for item in items:
+        count = tree.item_counts[item]
+        if count < min_count:
+            continue
+        new_suffix = tuple(sorted(suffix + (item,)))
+        out[new_suffix] = count
+        if max_size is not None and len(new_suffix) >= max_size:
+            continue
+        base = tree.prefix_paths(item)
+        # Count items in the conditional base, keep the frequent ones.
+        conditional_counts: Dict[ItemId, int] = {}
+        for path, weight in base:
+            for path_item in path:
+                conditional_counts[path_item] = (
+                    conditional_counts.get(path_item, 0) + weight
+                )
+        order = {
+            frequent_item: rank
+            for rank, (frequent_item, c) in enumerate(
+                sorted(
+                    (
+                        (i, c)
+                        for i, c in conditional_counts.items()
+                        if c >= min_count
+                    ),
+                    key=lambda pair: (-pair[1], pair[0]),
+                )
+            )
+        }
+        if not order:
+            continue
+        conditional_tree = _build_tree(base, order, min_count)
+        _mine_tree(conditional_tree, new_suffix, min_count, out, max_size)
+
+
+def mine_fpgrowth(
+    transactions: Iterable[TransactionLike],
+    min_support: float,
+    *,
+    max_size: int | None = None,
+) -> FrequentItemsets:
+    """Mine all frequent itemsets at fractional *min_support* with FP-Growth.
+
+    Same contract as :func:`repro.mining.apriori.mine_apriori`; the two
+    return identical results on identical inputs (property-tested).
+    """
+    itemsets = as_itemsets(transactions)
+    n = len(itemsets)
+    min_count = min_count_for(min_support, n)
+    result = FrequentItemsets(transaction_count=n, min_count=min_count)
+    if n == 0:
+        return result
+
+    global_counts: Dict[ItemId, int] = {}
+    for transaction in itemsets:
+        for item in transaction:
+            global_counts[item] = global_counts.get(item, 0) + 1
+    frequent = {
+        item: count for item, count in global_counts.items() if count >= min_count
+    }
+    if not frequent:
+        return result
+    order = {
+        item: rank
+        for rank, (item, _) in enumerate(
+            sorted(frequent.items(), key=lambda pair: (-pair[1], pair[0]))
+        )
+    }
+    tree = _build_tree(
+        ((list(transaction), 1) for transaction in itemsets), order, min_count
+    )
+    mined: Dict[Itemset, int] = {}
+    _mine_tree(tree, (), min_count, mined, max_size)
+    result.counts = mined
+    return result

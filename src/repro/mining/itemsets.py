@@ -1,0 +1,117 @@
+"""Frequent-itemset results and shared mining plumbing.
+
+All three itemset miners (Apriori, FP-Growth, H-Mine) return the same
+:class:`FrequentItemsets` container: a mapping from canonical itemset to
+absolute occurrence count, plus the number of transactions mined, so
+supports are always reconstructible as exact ratios of integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_fraction
+from repro.data.items import Itemset, canonical_itemset
+from repro.data.transactions import Transaction
+
+TransactionLike = Union[Transaction, Itemset, Sequence[int]]
+
+
+def as_itemsets(transactions: Iterable[TransactionLike]) -> List[Itemset]:
+    """Normalize a mix of transactions / raw item sequences to itemsets."""
+    normalized: List[Itemset] = []
+    for transaction in transactions:
+        if isinstance(transaction, Transaction):
+            normalized.append(transaction.items)
+        else:
+            normalized.append(canonical_itemset(transaction))
+    return normalized
+
+
+def min_count_for(min_support: float, transaction_count: int) -> int:
+    """Smallest absolute count satisfying a fractional support threshold.
+
+    The paper's thresholds are fractions (Table 4); miners compare
+    integer counts, so ``count >= ceil(min_support * n)`` — but a
+    threshold of exactly 0 still requires count >= 1 (an itemset that
+    never occurs is not 'frequent at support 0' in any useful sense).
+    """
+    check_fraction(min_support, "min_support")
+    if transaction_count < 0:
+        raise ValidationError("transaction_count must be >= 0")
+    exact = min_support * transaction_count
+    count = int(exact)
+    if count < exact:
+        count += 1
+    return max(count, 1)
+
+
+@dataclass
+class FrequentItemsets:
+    """Frequent itemsets with their absolute counts.
+
+    Attributes:
+        counts: canonical itemset -> number of containing transactions.
+        transaction_count: size of the mined window (``|F(∅, D, T_i)|``).
+        min_count: the absolute threshold the miner applied.
+    """
+
+    counts: Dict[Itemset, int] = field(default_factory=dict)
+    transaction_count: int = 0
+    min_count: int = 1
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __contains__(self, itemset: Itemset) -> bool:
+        return canonical_itemset(itemset) in self.counts
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self.counts)
+
+    def count(self, itemset: Itemset) -> int:
+        """Absolute count of *itemset*; 0 if it was not frequent."""
+        return self.counts.get(canonical_itemset(itemset), 0)
+
+    def support(self, itemset: Itemset) -> float:
+        """Fractional support of *itemset*; 0.0 if not frequent or window empty."""
+        if self.transaction_count == 0:
+            return 0.0
+        return self.count(itemset) / self.transaction_count
+
+    def of_size(self, k: int) -> Dict[Itemset, int]:
+        """The frequent *k*-itemsets with their counts."""
+        return {s: c for s, c in self.counts.items() if len(s) == k}
+
+    def max_size(self) -> int:
+        """Cardinality of the largest frequent itemset (0 when empty)."""
+        return max((len(s) for s in self.counts), default=0)
+
+    def items(self) -> Iterator[Tuple[Itemset, int]]:
+        """Iterate ``(itemset, count)`` pairs."""
+        return iter(self.counts.items())
+
+    def validate_downward_closure(self) -> None:
+        """Check the Apriori invariant: every subset of a frequent itemset is
+        frequent with a count at least as large.
+
+        Used by tests and by the property-based suite as a cross-miner
+        oracle; raises :class:`ValidationError` on the first violation.
+        """
+        for itemset, count in self.counts.items():
+            if len(itemset) < 2:
+                continue
+            for drop in range(len(itemset)):
+                subset = itemset[:drop] + itemset[drop + 1 :]
+                subset_count = self.counts.get(subset)
+                if subset_count is None:
+                    raise ValidationError(
+                        f"{itemset} frequent but subset {subset} missing"
+                    )
+                if subset_count < count:
+                    raise ValidationError(
+                        f"subset {subset} count {subset_count} < "
+                        f"superset {itemset} count {count}"
+                    )

@@ -1,0 +1,150 @@
+"""Interestingness measures over association-rule contingency counts.
+
+The paper's foundation (Section 2.2.2) works with *support* and
+*confidence* "though others can be plugged in the future"; this module is
+that plug point.  Every measure is a pure function of the four
+contingency counts of a rule ``X ⇒ Y`` in a time period:
+
+``n_xy``  transactions containing ``X ∪ Y``;
+``n_x``   transactions containing ``X``;
+``n_y``   transactions containing ``Y``;
+``n``     all transactions in the period.
+
+A registry maps measure names to implementations so query code and
+benchmarks can select measures by string.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ContingencyCounts:
+    """The four counts that determine every objective rule measure."""
+
+    n_xy: int
+    n_x: int
+    n_y: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.n_xy, self.n_x, self.n_y, self.n) < 0:
+            raise ValidationError("contingency counts must be non-negative")
+        if self.n_xy > self.n_x or self.n_xy > self.n_y:
+            raise ValidationError(
+                "joint count cannot exceed marginal counts: "
+                f"n_xy={self.n_xy}, n_x={self.n_x}, n_y={self.n_y}"
+            )
+        if max(self.n_x, self.n_y) > self.n:
+            raise ValidationError(
+                f"marginal counts cannot exceed the total n={self.n}"
+            )
+
+
+MeasureFn = Callable[[ContingencyCounts], float]
+
+_REGISTRY: Dict[str, MeasureFn] = {}
+
+
+def register_measure(name: str) -> Callable[[MeasureFn], MeasureFn]:
+    """Class decorator-style registration of a measure under *name*."""
+
+    def decorator(fn: MeasureFn) -> MeasureFn:
+        if name in _REGISTRY:
+            raise ValidationError(f"measure {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_measure(name: str) -> MeasureFn:
+    """Look a measure up by name; raises for unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValidationError(f"unknown measure {name!r}; known: {known}") from None
+
+
+def available_measures() -> tuple[str, ...]:
+    """Sorted names of all registered measures."""
+    return tuple(sorted(_REGISTRY))
+
+
+@register_measure("support")
+def support(c: ContingencyCounts) -> float:
+    """Formula 1: ``|F(X∪Y)| / |F(∅)|``; 0.0 on an empty period."""
+    return c.n_xy / c.n if c.n else 0.0
+
+
+@register_measure("confidence")
+def confidence(c: ContingencyCounts) -> float:
+    """Formula 2: ``|F(X∪Y)| / |F(X)|``; 0.0 when the antecedent is absent."""
+    return c.n_xy / c.n_x if c.n_x else 0.0
+
+
+@register_measure("lift")
+def lift(c: ContingencyCounts) -> float:
+    """Formula 3 (a.k.a. reporting ratio): observed over expected co-occurrence."""
+    denominator = c.n_x * c.n_y
+    if denominator == 0:
+        return 0.0
+    return (c.n_xy * c.n) / denominator
+
+
+@register_measure("leverage")
+def leverage(c: ContingencyCounts) -> float:
+    """Piatetsky-Shapiro leverage: ``P(XY) - P(X)P(Y)``."""
+    if c.n == 0:
+        return 0.0
+    return c.n_xy / c.n - (c.n_x / c.n) * (c.n_y / c.n)
+
+
+@register_measure("conviction")
+def conviction(c: ContingencyCounts) -> float:
+    """``P(X)P(¬Y) / P(X ∧ ¬Y)``; +inf for a rule with no counterexamples."""
+    if c.n == 0 or c.n_x == 0:
+        return 0.0
+    p_not_y = 1.0 - c.n_y / c.n
+    counterexamples = (c.n_x - c.n_xy) / c.n
+    if counterexamples == 0.0:
+        return math.inf
+    return (c.n_x / c.n) * p_not_y / counterexamples
+
+
+@register_measure("jaccard")
+def jaccard(c: ContingencyCounts) -> float:
+    """``|F(XY)| / |F(X) ∪ F(Y)|`` — co-occurrence over either-occurrence."""
+    union = c.n_x + c.n_y - c.n_xy
+    return c.n_xy / union if union else 0.0
+
+
+@register_measure("cosine")
+def cosine(c: ContingencyCounts) -> float:
+    """``P(XY) / sqrt(P(X)P(Y))`` — the null-invariant IS measure."""
+    denominator = math.sqrt(c.n_x * c.n_y)
+    return c.n_xy / denominator if denominator else 0.0
+
+
+@register_measure("kulczynski")
+def kulczynski(c: ContingencyCounts) -> float:
+    """Mean of the two conditional probabilities ``P(Y|X)`` and ``P(X|Y)``."""
+    if c.n_x == 0 or c.n_y == 0:
+        return 0.0
+    return 0.5 * (c.n_xy / c.n_x + c.n_xy / c.n_y)
+
+
+def improvement(rule_confidence: float, best_subrule_confidence: float) -> float:
+    """Bayardo's *improvement*: confidence gain over the best simplification.
+
+    This is the measure the paper cites as the closest relative of the
+    MARAS ``contrast_max`` score (Section 2.3.5); the full contrast
+    family lives in :mod:`repro.maras.contrast`.
+    """
+    return rule_confidence - best_subrule_confidence

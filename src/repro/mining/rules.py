@@ -1,0 +1,227 @@
+"""Association rules, the rule catalog, and rule derivation.
+
+A temporal association rule (Definition 1) is ``X ⇒ Y`` with disjoint
+antecedent/consequent plus the time period it was derived from.  Rule
+*identity* is time-independent — the same ``X ⇒ Y`` observed in two
+windows is one rule with two parametric locations — so the library
+interns each distinct (antecedent, consequent) pair once in a
+:class:`RuleCatalog` and refers to it everywhere by a dense integer id.
+That id is what the TAR Archive and the EPS index store.
+
+Rule derivation follows ap-genrules (Agrawal & Srikant): for each
+frequent itemset, consequents grow level-wise and a consequent is pruned
+as soon as its confidence drops below threshold, which is sound because
+moving items from the antecedent to the consequent can only lower
+confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import UnknownRuleError, ValidationError
+from repro.common.validation import check_fraction
+from repro.data.items import ItemVocabulary, Itemset, canonical_itemset, itemset_union
+from repro.mining.itemsets import FrequentItemsets
+
+RuleId = int
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An association rule ``antecedent ⇒ consequent`` (canonical itemsets)."""
+
+    antecedent: Itemset
+    consequent: Itemset
+
+    def __post_init__(self) -> None:
+        if not self.antecedent or not self.consequent:
+            raise ValidationError("rule sides must be non-empty")
+        if set(self.antecedent) & set(self.consequent):
+            raise ValidationError(
+                f"rule sides overlap: {self.antecedent} ⇒ {self.consequent}"
+            )
+
+    @property
+    def items(self) -> Itemset:
+        """The union ``X ∪ Y`` whose support defines the rule's support."""
+        return itemset_union(self.antecedent, self.consequent)
+
+    def format(self, vocabulary: Optional[ItemVocabulary] = None) -> str:
+        """Render the rule, optionally translating ids back to names."""
+
+        def side(itemset: Itemset) -> str:
+            if vocabulary is None:
+                return "{" + ", ".join(str(i) for i in itemset) + "}"
+            return "{" + ", ".join(vocabulary.decode(itemset)) + "}"
+
+        return f"{side(self.antecedent)} => {side(self.consequent)}"
+
+
+@dataclass(frozen=True)
+class ScoredRule:
+    """A rule with the parameter values measured in one window.
+
+    Carries the raw counts (rule itemset, antecedent, consequent,
+    window size) so every registered measure — not just support and
+    confidence — is reconstructible downstream.
+    """
+
+    rule_id: RuleId
+    rule: Rule
+    support: float
+    confidence: float
+    rule_count: int
+    antecedent_count: int
+    window_size: int
+    consequent_count: int = 0
+
+    @property
+    def lift(self) -> float:
+        """Formula 3 from the carried counts (0.0 when undefined)."""
+        denominator = self.antecedent_count * self.consequent_count
+        if denominator == 0:
+            return 0.0
+        return self.rule_count * self.window_size / denominator
+
+
+class RuleCatalog:
+    """Interning table assigning a dense id to each distinct rule.
+
+    Shared by all windows of one knowledge base: a rule keeps its id for
+    its entire lifetime across the evolving dataset, which is what lets
+    the archive store one compact series per rule.
+    """
+
+    def __init__(self) -> None:
+        self._rule_to_id: Dict[Tuple[Itemset, Itemset], RuleId] = {}
+        self._rules: List[Rule] = []
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def intern(self, rule: Rule) -> RuleId:
+        """Return the id of *rule*, assigning the next id if unseen."""
+        key = (rule.antecedent, rule.consequent)
+        existing = self._rule_to_id.get(key)
+        if existing is not None:
+            return existing
+        rule_id = len(self._rules)
+        self._rule_to_id[key] = rule_id
+        self._rules.append(rule)
+        return rule_id
+
+    def id_of(self, rule: Rule) -> RuleId:
+        """Id of an already-interned rule; raises if never seen."""
+        try:
+            return self._rule_to_id[(rule.antecedent, rule.consequent)]
+        except KeyError:
+            raise UnknownRuleError(f"rule {rule} was never interned") from None
+
+    def get(self, rule_id: RuleId) -> Rule:
+        """The rule interned under *rule_id*; raises for unknown ids."""
+        if 0 <= rule_id < len(self._rules):
+            return self._rules[rule_id]
+        raise UnknownRuleError(f"unknown rule id {rule_id}")
+
+    def find(
+        self, antecedent: Sequence[int], consequent: Sequence[int]
+    ) -> Optional[RuleId]:
+        """Id for the given sides, or ``None`` if the rule was never seen."""
+        key = (canonical_itemset(antecedent), canonical_itemset(consequent))
+        return self._rule_to_id.get(key)
+
+
+def derive_rules(
+    itemsets: FrequentItemsets,
+    min_confidence: float,
+    *,
+    catalog: Optional[RuleCatalog] = None,
+) -> List[ScoredRule]:
+    """Derive all rules meeting *min_confidence* from frequent itemsets.
+
+    Every frequent itemset ``Z`` (|Z| >= 2) is split into ``X ⇒ Z \\ X``;
+    supports come from the itemset counts, so the result is exact with
+    respect to the miner that produced *itemsets*.
+
+    Args:
+        itemsets: mined frequent itemsets with counts.
+        min_confidence: fractional threshold in ``[0, 1]``.
+        catalog: rule catalog to intern into (a fresh one when omitted).
+
+    Returns:
+        One :class:`ScoredRule` per derived rule, in catalog-id order.
+    """
+    check_fraction(min_confidence, "min_confidence")
+    if catalog is None:
+        catalog = RuleCatalog()
+    results: List[ScoredRule] = []
+    n = itemsets.transaction_count
+
+    for itemset, itemset_count in itemsets.items():
+        if len(itemset) < 2:
+            continue
+        support = itemset_count / n if n else 0.0
+        # Level-wise consequent growth with confidence-based pruning.
+        consequents: List[Itemset] = [(item,) for item in itemset]
+        while consequents:
+            surviving: List[Itemset] = []
+            for consequent in consequents:
+                antecedent = tuple(i for i in itemset if i not in set(consequent))
+                if not antecedent:
+                    continue
+                antecedent_count = itemsets.count(antecedent)
+                if antecedent_count == 0:
+                    # Cannot happen for a correct miner (downward closure)
+                    # but guard against inconsistent inputs.
+                    continue
+                confidence = itemset_count / antecedent_count
+                if confidence < min_confidence:
+                    continue
+                surviving.append(consequent)
+                rule = Rule(antecedent=antecedent, consequent=consequent)
+                rule_id = catalog.intern(rule)
+                results.append(
+                    ScoredRule(
+                        rule_id=rule_id,
+                        rule=rule,
+                        support=support,
+                        confidence=confidence,
+                        rule_count=itemset_count,
+                        antecedent_count=antecedent_count,
+                        window_size=n,
+                        consequent_count=itemsets.count(consequent),
+                    )
+                )
+            if not surviving:
+                break
+            consequents = _grow_consequents(surviving, len(itemset))
+    results.sort(key=lambda scored: scored.rule_id)
+    return results
+
+
+def _grow_consequents(frequent: List[Itemset], itemset_size: int) -> List[Itemset]:
+    """Join surviving k-consequents into (k+1)-candidates (apriori-gen)."""
+    size = len(frequent[0]) + 1
+    if size >= itemset_size:
+        return []
+    survivors = set(frequent)
+    by_prefix: Dict[Itemset, List[int]] = {}
+    for consequent in frequent:
+        by_prefix.setdefault(consequent[:-1], []).append(consequent[-1])
+    candidates: List[Itemset] = []
+    for prefix, tails in by_prefix.items():
+        tails.sort()
+        for i, a in enumerate(tails):
+            for b in tails[i + 1 :]:
+                candidate = prefix + (a, b)
+                if all(
+                    candidate[:drop] + candidate[drop + 1 :] in survivors
+                    for drop in range(size - 1)
+                ):
+                    candidates.append(candidate)
+    return candidates

@@ -1,0 +1,181 @@
+"""The three competitor systems: correctness and contract behaviour."""
+
+import math
+
+import pytest
+
+from repro.baselines import Dctar, HMineOnline, Paras, count_rule_measures
+from repro.common.errors import NotBuiltError, QueryError
+from repro.core import MatchMode, ParameterSetting
+from repro.data.periods import PeriodSpec
+
+GEN_SUPPORT = 0.02
+GEN_CONFIDENCE = 0.1
+SETTING = ParameterSetting(0.05, 0.3)
+
+
+@pytest.fixture(scope="module")
+def dctar(small_windows):
+    return Dctar(small_windows)
+
+
+@pytest.fixture(scope="module")
+def hmine(small_windows):
+    system = HMineOnline(small_windows, GEN_SUPPORT)
+    system.preprocess()
+    return system
+
+
+@pytest.fixture(scope="module")
+def paras(small_windows):
+    system = Paras(small_windows, GEN_SUPPORT, GEN_CONFIDENCE)
+    system.preprocess()
+    return system
+
+
+class TestRulesetAgreement:
+    def test_all_systems_agree_everywhere(self, dctar, hmine, paras, small_windows):
+        for window in range(small_windows.window_count):
+            reference = dctar.ruleset(SETTING, window)
+            assert hmine.ruleset(SETTING, window).keys() == reference.keys()
+            assert paras.ruleset(SETTING, window).keys() == reference.keys()
+
+    def test_measures_agree(self, dctar, hmine, paras, small_windows):
+        window = small_windows.window_count - 1  # PARAS's indexed window
+        reference = dctar.ruleset(SETTING, window)
+        for system in (hmine, paras):
+            answer = system.ruleset(SETTING, window)
+            for key, (supp, conf) in reference.items():
+                other_supp, other_conf = answer[key]
+                assert math.isclose(supp, other_supp), (system.name, key)
+                assert math.isclose(conf, other_conf), (system.name, key)
+
+
+class TestDctar:
+    def test_no_preprocess_needed(self, small_windows):
+        system = Dctar(small_windows)
+        system.preprocess()  # no-op, must not fail
+        assert system.ruleset(SETTING, 0)
+
+    def test_rule_measures_by_counting(self, dctar, small_windows):
+        rules = list(dctar.ruleset(SETTING, 0))[:5]
+        measured = dctar.rule_measures(rules, 1)
+        direct = count_rule_measures(small_windows.window(1), rules)
+        assert measured == direct
+
+    def test_window_out_of_range(self, dctar):
+        with pytest.raises(QueryError):
+            dctar.ruleset(SETTING, 99)
+
+
+class TestHMineOnline:
+    def test_requires_preprocess(self, small_windows):
+        fresh = HMineOnline(small_windows, GEN_SUPPORT)
+        with pytest.raises(NotBuiltError):
+            fresh.ruleset(SETTING, 0)
+        with pytest.raises(NotBuiltError):
+            fresh.index_entry_count()
+
+    def test_query_below_generation_support_rejected(self, hmine):
+        with pytest.raises(QueryError, match="generation"):
+            hmine.ruleset(ParameterSetting(0.001, 0.5), 0)
+
+    def test_measures_none_for_unstored_itemsets(self, hmine):
+        ghost = ((98,), (99,))
+        assert hmine.rule_measures([ghost], 0)[ghost] is None
+
+    def test_index_sizes_positive(self, hmine):
+        assert hmine.index_entry_count() > 0
+        assert hmine.index_size_bytes() > hmine.index_entry_count() * 16
+
+    def test_timer_recorded_per_window(self, hmine, small_windows):
+        from repro.core.builder import PHASE_ITEMSETS
+
+        assert hmine.timer.counts[PHASE_ITEMSETS] == small_windows.window_count
+
+
+class TestParas:
+    def test_requires_preprocess_for_indexed_window(self, small_windows):
+        fresh = Paras(small_windows, GEN_SUPPORT, GEN_CONFIDENCE)
+        with pytest.raises(NotBuiltError):
+            fresh.ruleset(SETTING, fresh.indexed_window)
+
+    def test_scratch_path_works_without_index(self, small_windows, dctar):
+        fresh = Paras(small_windows, GEN_SUPPORT, GEN_CONFIDENCE)
+        # Non-latest windows re-mine from scratch: no index needed.
+        assert fresh.ruleset(SETTING, 0).keys() == dctar.ruleset(SETTING, 0).keys()
+
+    def test_indexed_window_is_latest(self, paras, small_windows):
+        assert paras.indexed_window == small_windows.window_count - 1
+
+    def test_below_generation_threshold_rejected_on_index(self, paras):
+        with pytest.raises(QueryError):
+            paras.ruleset(ParameterSetting(0.001, 0.5), paras.indexed_window)
+
+    def test_indexed_measures_lookup(self, paras):
+        rules = list(paras.ruleset(SETTING, paras.indexed_window))
+        measured = paras.rule_measures(rules[:3], paras.indexed_window)
+        for key in rules[:3]:
+            assert measured[key] is not None
+
+    def test_unknown_rule_measure_is_none_on_index(self, paras):
+        ghost = ((98,), (99,))
+        assert paras.rule_measures([ghost], paras.indexed_window)[ghost] is None
+
+
+class TestGenericOperations:
+    def test_trajectory_includes_anchor_measures(self, dctar):
+        spec = PeriodSpec([0, 1])
+        trajectories = dctar.trajectory(SETTING, 0, spec)
+        for key, measures in trajectories.items():
+            assert measures[0] is not None
+
+    def test_compare_modes_nest(self, hmine, small_windows):
+        loose = ParameterSetting(0.04, 0.25)
+        tight = ParameterSetting(0.08, 0.25)
+        spec = PeriodSpec(range(small_windows.window_count))
+        single_first, single_second = hmine.compare(
+            loose, tight, spec, MatchMode.SINGLE
+        )
+        exact_first, exact_second = hmine.compare(
+            loose, tight, spec, MatchMode.EXACT
+        )
+        assert exact_first <= single_first
+        assert exact_second <= single_second
+
+    def test_compare_against_tara(self, hmine, small_kb, small_windows):
+        from repro.baselines import rule_key
+        from repro.core import TaraExplorer
+
+        loose = ParameterSetting(0.04, 0.25)
+        tight = ParameterSetting(0.08, 0.4)
+        spec = PeriodSpec(range(small_windows.window_count))
+        explorer = TaraExplorer(small_kb)
+        tara = explorer.compare(loose, tight, spec, MatchMode.SINGLE)
+        tara_first = {rule_key(small_kb.catalog.get(r)) for r in tara.only_first}
+        tara_second = {rule_key(small_kb.catalog.get(r)) for r in tara.only_second}
+        base_first, base_second = hmine.compare(loose, tight, spec, MatchMode.SINGLE)
+        assert base_first == tara_first
+        assert base_second == tara_second
+
+
+class TestCountRuleMeasures:
+    def test_counts_against_manual(self, small_windows):
+        transactions = small_windows.window(0)
+        key = ((1,), (2,))
+        result = count_rule_measures(transactions, [key])[key]
+        n = len(transactions)
+        antecedent_count = sum(1 for t in transactions if 1 in t.items)
+        joint = sum(1 for t in transactions if {1, 2} <= set(t.items))
+        if joint == 0:
+            assert result is None
+        else:
+            assert result == (joint / n, joint / antecedent_count)
+
+    def test_absent_rule_is_none(self, small_windows):
+        key = ((998,), (999,))
+        assert count_rule_measures(small_windows.window(0), [key])[key] is None
+
+    def test_empty_transactions(self):
+        key = ((1,), (2,))
+        assert count_rule_measures([], [key])[key] is None

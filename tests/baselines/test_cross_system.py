@@ -1,0 +1,86 @@
+"""Four-way agreement: TARA and every baseline answer identically."""
+
+import math
+
+import pytest
+
+from repro.baselines import Dctar, HMineOnline, Paras, rule_key
+from repro.core import ParameterSetting, TaraExplorer
+from repro.data.periods import PeriodSpec
+
+GEN_SUPPORT = 0.02
+GEN_CONFIDENCE = 0.1
+
+
+@pytest.fixture(scope="module")
+def systems(small_windows):
+    dctar = Dctar(small_windows)
+    hmine = HMineOnline(small_windows, GEN_SUPPORT)
+    hmine.preprocess()
+    paras = Paras(small_windows, GEN_SUPPORT, GEN_CONFIDENCE)
+    paras.preprocess()
+    return [dctar, hmine, paras]
+
+
+@pytest.fixture(scope="module")
+def tara(small_kb):
+    return TaraExplorer(small_kb)
+
+
+@pytest.mark.parametrize(
+    "supp,conf",
+    [(0.02, 0.1), (0.03, 0.2), (0.05, 0.3), (0.08, 0.5), (0.2, 0.8)],
+)
+def test_rulesets_identical_across_systems(
+    systems, tara, small_kb, small_windows, supp, conf
+):
+    setting = ParameterSetting(supp, conf)
+    for window in range(small_windows.window_count):
+        tara_keys = sorted(
+            rule_key(small_kb.catalog.get(r)) for r in tara.ruleset(setting, window)
+        )
+        for system in systems:
+            assert sorted(system.ruleset(setting, window)) == tara_keys, (
+                system.name,
+                window,
+            )
+
+
+def test_trajectory_measures_agree_where_archived(
+    systems, tara, small_kb, small_windows
+):
+    setting = ParameterSetting(0.05, 0.3)
+    spec = PeriodSpec(range(small_windows.window_count))
+    anchor = small_windows.window_count - 1
+    tara_traj = {
+        rule_key(t.rule): {
+            w: (m.support, m.confidence) if m else None
+            for w, m in t.measures.items()
+        }
+        for t in tara.trajectories(setting, anchor, spec)
+    }
+    dctar_traj = systems[0].trajectory(setting, anchor, spec)
+    assert set(tara_traj) == set(dctar_traj)
+    for key, windows in tara_traj.items():
+        for window, measures in windows.items():
+            if measures is None:
+                continue  # below generation thresholds: archive has no entry
+            baseline = dctar_traj[key][window]
+            assert baseline is not None
+            assert math.isclose(measures[0], baseline[0])
+            assert math.isclose(measures[1], baseline[1])
+
+
+def test_mined_measures_agree(systems, tara, small_kb, small_windows):
+    setting = ParameterSetting(0.05, 0.3)
+    window = 1
+    tara_mined = {
+        rule_key(m.rule): (m.support, m.confidence)
+        for m in tara.mine(setting, PeriodSpec([window]))[window]
+    }
+    for system in systems:
+        answer = system.ruleset(setting, window)
+        assert answer.keys() == tara_mined.keys()
+        for key, (supp, conf) in answer.items():
+            assert math.isclose(supp, tara_mined[key][0]), (system.name, key)
+            assert math.isclose(conf, tara_mined[key][1]), (system.name, key)

@@ -1,0 +1,60 @@
+"""The exception hierarchy: single base class, stdlib compatibility."""
+
+import pytest
+
+from repro.common.errors import (
+    CodecError,
+    DataFormatError,
+    NotBuiltError,
+    QueryError,
+    ReproError,
+    UnknownRuleError,
+    UnknownWindowError,
+    ValidationError,
+)
+
+ALL_ERRORS = [
+    CodecError,
+    DataFormatError,
+    NotBuiltError,
+    QueryError,
+    UnknownRuleError,
+    UnknownWindowError,
+    ValidationError,
+]
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(error_class):
+    assert issubclass(error_class, ReproError)
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_errors_are_catchable_as_repro_error(error_class):
+    with pytest.raises(ReproError):
+        raise error_class("boom")
+
+
+def test_validation_error_is_a_value_error():
+    with pytest.raises(ValueError):
+        raise ValidationError("bad input")
+
+
+def test_data_format_error_is_a_value_error():
+    with pytest.raises(ValueError):
+        raise DataFormatError("bad data")
+
+
+def test_unknown_rule_error_is_a_key_error():
+    with pytest.raises(KeyError):
+        raise UnknownRuleError("missing")
+
+
+def test_unknown_window_error_is_a_key_error():
+    with pytest.raises(KeyError):
+        raise UnknownWindowError("missing")
+
+
+def test_not_built_error_is_a_runtime_error():
+    with pytest.raises(RuntimeError):
+        raise NotBuiltError("build first")

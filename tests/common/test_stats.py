@@ -1,0 +1,110 @@
+"""Statistics helpers, including the paper's contrast_cv worked example."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.stats import (
+    coefficient_of_variation,
+    mean,
+    min_max,
+    population_std,
+    population_variance,
+    sample_std,
+    sample_variance,
+    z_score,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMeanAndVariance:
+    def test_mean_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValidationError):
+            mean([])
+
+    def test_population_variance_known(self):
+        assert population_variance([2.0, 4.0]) == 1.0
+
+    def test_population_std_known(self):
+        assert population_std([0.2, 0.8]) == pytest.approx(0.3)
+
+    def test_sample_variance_known(self):
+        # ddof=1: [2, 4] -> ((−1)² + 1²) / 1 = 2
+        assert sample_variance([2.0, 4.0]) == 2.0
+
+    def test_sample_std_single_value_is_zero(self):
+        assert sample_std([5.0]) == 0.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=30))
+    def test_variance_non_negative(self, values):
+        assert population_variance(values) >= 0.0
+        assert sample_variance(values) >= -1e-9
+
+    @given(st.lists(finite_floats, min_size=2, max_size=30))
+    def test_sample_variance_at_least_population(self, values):
+        # n/(n-1) >= 1, so the sample estimate never undercuts.
+        assert sample_variance(values) >= population_variance(values) - 1e-9
+
+
+class TestCoefficientOfVariation:
+    def test_paper_example_cluster_one(self):
+        # Contextual confidences {0.2, 0.8}: sample std 0.4243, mean 0.5.
+        cv = coefficient_of_variation([0.2, 0.8])
+        assert cv == pytest.approx(math.sqrt(2) * 0.3 / 0.5, rel=1e-9)
+        # This is the Cv that makes contrast_cv(C1) = 0.18 at theta=0.75.
+        assert 0.5 * (1 - 0.75 * cv) == pytest.approx(0.18, abs=0.005)
+
+    def test_paper_example_cluster_two(self):
+        cv = coefficient_of_variation([0.5, 0.55])
+        assert 0.475 * (1 - 0.75 * cv) == pytest.approx(0.45, abs=0.005)
+
+    def test_constant_values_have_zero_cv(self):
+        assert coefficient_of_variation([0.4, 0.4, 0.4]) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_zero_mean_degrades_to_zero(self):
+        assert coefficient_of_variation([0.0, 0.0]) == 0.0
+
+
+class TestZScore:
+    def test_centered_value(self):
+        assert z_score(2.0, [1.0, 2.0, 3.0]) == 0.0
+
+    def test_one_std_above(self):
+        reference = [0.0, 2.0]  # mean 1, population std 1
+        assert z_score(2.0, reference) == pytest.approx(1.0)
+
+    def test_constant_reference_equal_value(self):
+        assert z_score(3.0, [3.0, 3.0]) == 0.0
+
+    def test_constant_reference_above(self):
+        assert z_score(4.0, [3.0, 3.0]) == math.inf
+
+    def test_constant_reference_below(self):
+        assert z_score(2.0, [3.0, 3.0]) == -math.inf
+
+
+class TestMinMax:
+    def test_simple(self):
+        assert min_max([3.0, 1.0, 2.0]) == (1.0, 3.0)
+
+    def test_single(self):
+        assert min_max([7.0]) == (7.0, 7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            min_max([])
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_matches_builtins(self, values):
+        assert min_max(values) == (min(values), max(values))

@@ -1,0 +1,103 @@
+"""Argument-validation helpers: accepted domains and rejection messages."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.validation import (
+    check_fraction,
+    check_non_empty,
+    check_non_negative_int,
+    check_positive_int,
+    check_sorted_unique,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_silently_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message_when_false(self):
+        with pytest.raises(ValidationError, match="custom message"):
+            require(False, "custom message")
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0, 1, 0])
+    def test_accepts_values_in_unit_interval(self, value):
+        assert check_fraction(value, "p") == float(value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, -5, 2])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValidationError, match="p must be in"):
+            check_fraction(value, "p")
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite(self, value):
+        with pytest.raises(ValidationError, match="finite"):
+            check_fraction(value, "p")
+
+    @pytest.mark.parametrize("value", ["0.5", None, True])
+    def test_rejects_non_numbers(self, value):
+        with pytest.raises(ValidationError):
+            check_fraction(value, "p")
+
+    def test_zero_rejected_when_disallowed(self):
+        with pytest.raises(ValidationError):
+            check_fraction(0.0, "p", allow_zero=False)
+
+    def test_positive_accepted_when_zero_disallowed(self):
+        assert check_fraction(0.3, "p", allow_zero=False) == 0.3
+
+
+class TestIntChecks:
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, "n") == 3
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_positive_int_rejects_non_positive(self, value):
+        with pytest.raises(ValidationError):
+            check_positive_int(value, "n")
+
+    @pytest.mark.parametrize("value", [1.5, "3", True])
+    def test_positive_int_rejects_non_ints(self, value):
+        with pytest.raises(ValidationError):
+            check_positive_int(value, "n")
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative_int(0, "n") == 0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative_int(-1, "n")
+
+
+class TestCheckNonEmpty:
+    def test_accepts_non_empty_list(self):
+        check_non_empty([1], "xs")
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValidationError, match="xs must not be empty"):
+            check_non_empty([], "xs")
+
+    def test_counts_plain_iterables(self):
+        with pytest.raises(ValidationError):
+            check_non_empty(iter(()), "xs")
+        check_non_empty(iter([1, 2]), "xs")
+
+
+class TestCheckSortedUnique:
+    def test_accepts_strictly_increasing(self):
+        check_sorted_unique([1, 2, 5], "xs")
+
+    def test_accepts_empty_and_singleton(self):
+        check_sorted_unique([], "xs")
+        check_sorted_unique([7], "xs")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            check_sorted_unique([1, 1], "xs")
+
+    def test_rejects_descending(self):
+        with pytest.raises(ValidationError):
+            check_sorted_unique([2, 1], "xs")

@@ -1,0 +1,109 @@
+"""Varint codec: roundtrips, wire-size guarantees, corruption handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import CodecError
+from repro.common.varint import (
+    decode_svarint,
+    decode_uvarint,
+    decode_uvarint_sequence,
+    encode_svarint,
+    encode_uvarint,
+    encode_uvarint_sequence,
+    unzigzag,
+    zigzag,
+)
+
+
+class TestUvarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**14, 2**31, 2**63 - 1])
+    def test_roundtrip(self, value):
+        out = bytearray()
+        encode_uvarint(value, out)
+        decoded, offset = decode_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_small_values_take_one_byte(self):
+        for value in range(128):
+            out = bytearray()
+            encode_uvarint(value, out)
+            assert len(out) == 1
+
+    def test_128_takes_two_bytes(self):
+        out = bytearray()
+        encode_uvarint(128, out)
+        assert len(out) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodecError):
+            encode_uvarint(-1, bytearray())
+
+    def test_truncated_input_raises(self):
+        out = bytearray()
+        encode_uvarint(300, out)
+        with pytest.raises(CodecError, match="truncated"):
+            decode_uvarint(bytes(out[:-1]), 0)
+
+    def test_overlong_input_raises(self):
+        blob = bytes([0x80] * 10 + [0x01])
+        with pytest.raises(CodecError, match="too long"):
+            decode_uvarint(blob, 0)
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip_property(self, value):
+        out = bytearray()
+        encode_uvarint(value, out)
+        decoded, _ = decode_uvarint(bytes(out), 0)
+        assert decoded == value
+
+
+class TestZigzag:
+    @pytest.mark.parametrize(
+        "signed,unsigned",
+        [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (-64, 127), (64, 128)],
+    )
+    def test_known_mapping(self, signed, unsigned):
+        assert zigzag(signed) == unsigned
+        assert unzigzag(unsigned) == signed
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip_property(self, value):
+        assert unzigzag(zigzag(value)) == value
+
+
+class TestSvarint:
+    @pytest.mark.parametrize("value", [0, -1, 1, -1000, 1000, -(2**40), 2**40])
+    def test_roundtrip(self, value):
+        out = bytearray()
+        encode_svarint(value, out)
+        decoded, offset = decode_svarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_small_magnitudes_take_one_byte(self):
+        for value in range(-64, 64):
+            out = bytearray()
+            encode_svarint(value, out)
+            assert len(out) == 1, value
+
+
+class TestSequences:
+    def test_roundtrip(self):
+        values = [0, 5, 127, 128, 99999, 3]
+        assert decode_uvarint_sequence(encode_uvarint_sequence(values)) == values
+
+    def test_empty_sequence(self):
+        assert decode_uvarint_sequence(b"") == []
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40)))
+    def test_roundtrip_property(self, values):
+        assert decode_uvarint_sequence(encode_uvarint_sequence(values)) == values
+
+    def test_concatenation_is_stream(self):
+        # Two encodings concatenated decode as the concatenated lists.
+        left = encode_uvarint_sequence([1, 200])
+        right = encode_uvarint_sequence([300])
+        assert decode_uvarint_sequence(left + right) == [1, 200, 300]

@@ -1,0 +1,131 @@
+"""Property-based archive validation against arithmetic oracles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CodecError
+from repro.core.archive import TarArchive, _decode_series, _encode_series
+from repro.data.periods import PeriodSpec
+from repro.mining.rules import Rule, ScoredRule
+
+
+def build_archive(per_window_entries, window_size=100, bound=5):
+    """Archive from a list (per window) of {rule_id: (rc, ac, cc)}."""
+    archive = TarArchive()
+    for window, entries in enumerate(per_window_entries):
+        archive.begin_window(window_size, bound)
+        archive.record(
+            window,
+            [
+                ScoredRule(
+                    rule_id=rule_id,
+                    rule=Rule((1,), (2,)),
+                    support=rc / window_size,
+                    confidence=rc / ac if ac else 0.0,
+                    rule_count=rc,
+                    antecedent_count=ac,
+                    window_size=window_size,
+                    consequent_count=cc,
+                )
+                for rule_id, (rc, ac, cc) in sorted(entries.items())
+            ],
+        )
+    return archive
+
+
+# Strategy: 1-6 windows, each containing a random subset of rules 0-4
+# with consistent counts (rc <= ac, cc <= window size).
+entry_strategy = st.tuples(
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=50),
+).map(lambda t: (t[0], t[0] + t[1], t[0] + t[2]))
+
+windows_strategy = st.lists(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=4), entry_strategy, max_size=5
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(windows_strategy)
+def test_series_roundtrip_through_seal(per_window):
+    archive = build_archive(per_window)
+    before = {rid: archive.series(rid) for rid in archive.rule_ids()}
+    archive.seal()
+    after = {rid: archive.series(rid) for rid in archive.rule_ids()}
+    assert before == after
+
+
+@settings(max_examples=60, deadline=None)
+@given(windows_strategy)
+def test_rolled_up_counts_are_exact_sums(per_window):
+    """For a fully-covered rule, roll-up equals the arithmetic sum."""
+    archive = build_archive(per_window)
+    spec = PeriodSpec(range(len(per_window)))
+    for rule_id in archive.rule_ids():
+        rolled = archive.rolled_up(rule_id, spec)
+        expected_rc = sum(
+            entries[rule_id][0] for entries in per_window if rule_id in entries
+        )
+        expected_ac = sum(
+            entries[rule_id][1] for entries in per_window if rule_id in entries
+        )
+        assert rolled.rule_count == expected_rc
+        assert rolled.antecedent_count == expected_ac
+        present = [w for w, e in enumerate(per_window) if rule_id in e]
+        assert rolled.windows_present == tuple(present)
+        if len(present) == len(per_window):
+            assert rolled.is_exact
+
+
+@settings(max_examples=60, deadline=None)
+@given(windows_strategy)
+def test_bounds_bracket_point_estimates(per_window):
+    archive = build_archive(per_window)
+    spec = PeriodSpec(range(len(per_window)))
+    for rule_id in archive.rule_ids():
+        rolled = archive.rolled_up(rule_id, spec)
+        assert rolled.support_low <= rolled.support <= rolled.support_high + 1e-12
+        assert rolled.confidence_low <= rolled.confidence_high + 1e-12
+        assert 0.0 <= rolled.support_high <= 1.0
+        assert 0.0 <= rolled.confidence_high <= 1.0
+
+
+class TestCorruptionHandling:
+    """Failure injection: damaged sealed blobs must fail loudly."""
+
+    def _valid_blob(self):
+        return _encode_series([(0, 10, 20, 15), (2, 11, 21, 16)])
+
+    def test_truncated_blob(self):
+        blob = self._valid_blob()
+        with pytest.raises(CodecError):
+            _decode_series(blob[:-1])
+
+    def test_random_bitflips_never_crash_silently(self):
+        """Flipping bytes either decodes to *some* valid series or raises
+        CodecError — never an unhandled exception or a negative count."""
+        blob = bytearray(self._valid_blob())
+        rng = random.Random(5)
+        for _ in range(200):
+            corrupted = bytearray(blob)
+            position = rng.randrange(len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+            try:
+                series = _decode_series(bytes(corrupted))
+            except CodecError:
+                continue
+            for window, rc, ac, cc in series:
+                assert rc >= 0 and ac >= rc and cc >= rc
+
+    def test_garbage_blob(self):
+        with pytest.raises(CodecError):
+            # A lone continuation byte is a truncated varint.
+            _decode_series(b"\x80")

@@ -1,0 +1,103 @@
+"""Property-based invariants of the online explorer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GenerationConfig,
+    ParameterSetting,
+    TaraExplorer,
+    build_knowledge_base,
+)
+from repro.data import TransactionDatabase, WindowedDatabase
+
+transactions_strategy = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=7), min_size=1, max_size=4),
+    min_size=8,
+    max_size=40,
+)
+threshold_strategy = st.floats(min_value=0.0, max_value=1.0)
+
+
+def build(transactions):
+    db = TransactionDatabase.from_itemlists([sorted(t) for t in transactions])
+    windows = WindowedDatabase.partition_by_count(db, 2)
+    kb = build_knowledge_base(windows, GenerationConfig(0.0, 0.0))
+    return kb, TaraExplorer(kb)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    transactions_strategy,
+    threshold_strategy,
+    threshold_strategy,
+    threshold_strategy,
+    threshold_strategy,
+)
+def test_tighter_settings_shrink_rulesets(transactions, s1, c1, s2, c2):
+    """Componentwise-looser settings always yield superset rulesets."""
+    kb, explorer = build(transactions)
+    loose = ParameterSetting(min(s1, s2), min(c1, c2))
+    tight = ParameterSetting(max(s1, s2), max(c1, c2))
+    for window in range(kb.window_count):
+        loose_rules = set(explorer.ruleset(loose, window))
+        tight_rules = set(explorer.ruleset(tight, window))
+        assert tight_rules <= loose_rules
+
+
+@settings(max_examples=30, deadline=None)
+@given(transactions_strategy, threshold_strategy, threshold_strategy)
+def test_region_boundary_consistency(transactions, supp, conf):
+    """The region's cut location itself yields the region's ruleset, and
+    any setting just past the cut yields strictly fewer rules (or the
+    cut is the space's maximum)."""
+    kb, explorer = build(transactions)
+    setting = ParameterSetting(supp, conf)
+    recommendation = explorer.recommend(setting, window=0)
+    region = recommendation.region
+    reference = explorer.ruleset(setting, 0)
+    assert region.ruleset_size == len(reference)
+    if region.cut is not None:
+        at_cut = explorer.ruleset(
+            ParameterSetting(
+                float(region.cut.support), float(region.cut.confidence)
+            ),
+            0,
+        )
+        assert at_cut == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(transactions_strategy, threshold_strategy, threshold_strategy)
+def test_comparison_is_antisymmetric(transactions, supp, conf):
+    """Swapping the compared settings swaps the two difference sides."""
+    kb, explorer = build(transactions)
+    first = ParameterSetting(supp, conf)
+    second = ParameterSetting(min(supp + 0.1, 1.0), conf)
+    forward = explorer.compare(first, second)
+    backward = explorer.compare(second, first)
+    assert forward.only_first == backward.only_second
+    assert forward.only_second == backward.only_first
+
+
+@settings(max_examples=30, deadline=None)
+@given(transactions_strategy)
+def test_mine_measures_meet_thresholds(transactions):
+    kb, explorer = build(transactions)
+    setting = ParameterSetting(0.1, 0.3)
+    for window, mined in explorer.mine(setting).items():
+        for rule in mined:
+            assert rule.support >= setting.min_support - 1e-12
+            assert rule.confidence >= setting.min_confidence - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(transactions_strategy)
+def test_trajectory_anchor_always_present(transactions):
+    """A rule matched in the anchor window must have a measure there."""
+    kb, explorer = build(transactions)
+    setting = ParameterSetting(0.1, 0.2)
+    anchor = kb.window_count - 1
+    for trajectory in explorer.trajectories(setting, anchor):
+        assert trajectory.measures[anchor] is not None

@@ -1,0 +1,94 @@
+"""Incremental construction must equal the from-scratch build."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core import GenerationConfig, IncrementalTara, build_knowledge_base
+from repro.core.regions import ParameterSetting
+
+
+@pytest.fixture(scope="module")
+def config() -> GenerationConfig:
+    return GenerationConfig(0.02, 0.1)
+
+
+class TestEquivalenceWithBatchBuild:
+    def test_same_rulesets_per_window(self, small_windows, config):
+        batch_kb = build_knowledge_base(small_windows, config)
+        incremental = IncrementalTara(config)
+        for index in range(small_windows.window_count):
+            incremental.append_batch(small_windows.window(index))
+        inc_kb = incremental.knowledge_base
+        assert inc_kb.window_count == batch_kb.window_count
+        setting = ParameterSetting(0.05, 0.3)
+        for window in range(batch_kb.window_count):
+            batch_rules = {
+                (batch_kb.catalog.get(r).antecedent, batch_kb.catalog.get(r).consequent)
+                for r in batch_kb.slice(window).collect(setting)
+            }
+            inc_rules = {
+                (inc_kb.catalog.get(r).antecedent, inc_kb.catalog.get(r).consequent)
+                for r in inc_kb.slice(window).collect(setting)
+            }
+            assert batch_rules == inc_rules
+
+    def test_same_archive_content(self, small_windows, config):
+        batch_kb = build_knowledge_base(small_windows, config)
+        incremental = IncrementalTara(config)
+        incremental.append_batches(
+            small_windows.window(i) for i in range(small_windows.window_count)
+        )
+        inc_kb = incremental.knowledge_base
+        for rule in batch_kb.catalog:
+            batch_id = batch_kb.catalog.id_of(rule)
+            inc_id = inc_kb.catalog.find(rule.antecedent, rule.consequent)
+            assert inc_id is not None
+            batch_series = [
+                (m.window, m.rule_count, m.antecedent_count)
+                for m in batch_kb.archive.series(batch_id)
+            ]
+            inc_series = [
+                (m.window, m.rule_count, m.antecedent_count)
+                for m in inc_kb.archive.series(inc_id)
+            ]
+            assert batch_series == inc_series
+
+
+class TestIncrementalBehaviour:
+    def test_explorer_is_always_current(self, small_windows, config):
+        incremental = IncrementalTara(config)
+        incremental.append_batch(small_windows.window(0))
+        assert incremental.explorer().knowledge_base.window_count == 1
+        incremental.append_batch(small_windows.window(1))
+        assert incremental.explorer().knowledge_base.window_count == 2
+
+    def test_window_count_tracks_batches(self, small_windows, config):
+        incremental = IncrementalTara(config)
+        assert incremental.window_count == 0
+        slices = incremental.append_batches(
+            small_windows.window(i) for i in range(3)
+        )
+        assert incremental.window_count == 3
+        assert [s.window for s in slices] == [0, 1, 2]
+
+    def test_empty_batch_rejected(self, config):
+        with pytest.raises(ValidationError):
+            IncrementalTara(config).append_batch([])
+
+    def test_unsorted_batch_rejected(self, small_windows, config):
+        incremental = IncrementalTara(config)
+        incremental.append_batch(small_windows.window(0))
+        shuffled = list(reversed(small_windows.window(1)))
+        with pytest.raises(ValidationError, match="time-sorted"):
+            incremental.append_batch(shuffled)
+
+    def test_only_new_window_is_mined(self, small_windows, config):
+        """The per-phase counters show one mining run per appended batch."""
+        from repro.core.builder import PHASE_ITEMSETS
+
+        incremental = IncrementalTara(config)
+        incremental.append_batch(small_windows.window(0))
+        timer = incremental.knowledge_base.timer
+        assert timer.counts[PHASE_ITEMSETS] == 1
+        incremental.append_batch(small_windows.window(1))
+        assert timer.counts[PHASE_ITEMSETS] == 2

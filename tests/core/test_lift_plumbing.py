@@ -1,0 +1,75 @@
+"""Lift support through the archive — the 'other measures' plug point."""
+
+import pytest
+
+from repro.core import GenerationConfig, build_knowledge_base
+from repro.mining.apriori import mine_apriori
+from repro.mining.measures import ContingencyCounts, get_measure
+from repro.mining.rules import derive_rules
+
+
+class TestScoredRuleLift:
+    def test_lift_matches_measure_registry(self, small_windows):
+        transactions = small_windows.window(0)
+        itemsets = mine_apriori(transactions, 0.02)
+        for scored in derive_rules(itemsets, 0.1)[:50]:
+            expected = get_measure("lift")(
+                ContingencyCounts(
+                    n_xy=scored.rule_count,
+                    n_x=scored.antecedent_count,
+                    n_y=scored.consequent_count,
+                    n=scored.window_size,
+                )
+            )
+            assert scored.lift == pytest.approx(expected)
+
+    def test_consequent_count_is_itemset_count(self, small_windows):
+        transactions = small_windows.window(0)
+        itemsets = mine_apriori(transactions, 0.02)
+        for scored in derive_rules(itemsets, 0.1)[:50]:
+            assert scored.consequent_count == itemsets.count(
+                scored.rule.consequent
+            )
+
+
+class TestArchivedLift:
+    def test_archive_reproduces_lift_per_window(self, small_kb, small_windows):
+        """Decoded WindowMeasure.lift equals the direct computation."""
+        checked = 0
+        window = 1
+        transactions = small_windows.window(window)
+        itemsets = mine_apriori(transactions, small_kb.config.min_support)
+        for scored in derive_rules(itemsets, small_kb.config.min_confidence)[:40]:
+            rule_id = small_kb.catalog.find(
+                scored.rule.antecedent, scored.rule.consequent
+            )
+            measure = small_kb.archive.measure_at(rule_id, window)
+            assert measure is not None
+            assert measure.lift == pytest.approx(scored.lift)
+            checked += 1
+        assert checked > 0
+
+    def test_lift_zero_when_consequent_count_missing(self):
+        from repro.core.archive import WindowMeasure
+
+        measure = WindowMeasure(
+            window=0,
+            rule_count=5,
+            antecedent_count=10,
+            window_size=100,
+            consequent_count=0,
+        )
+        assert measure.lift == 0.0
+
+    def test_independent_rule_has_unit_lift(self):
+        from repro.core.archive import WindowMeasure
+
+        # P(XY) = 0.1 = P(X) * P(Y) = 0.5 * 0.2
+        measure = WindowMeasure(
+            window=0,
+            rule_count=10,
+            antecedent_count=50,
+            window_size=100,
+            consequent_count=20,
+        )
+        assert measure.lift == pytest.approx(1.0)

@@ -1,0 +1,114 @@
+"""Parametric locations: exact coordinates and Lemma 2 grouping."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.locations import (
+    Location,
+    distinct_axes,
+    group_by_location,
+    location_of,
+)
+from repro.mining.rules import Rule, ScoredRule
+
+
+def scored(rule_id, rule_count, antecedent_count, window_size, items=((1,), (2,))):
+    return ScoredRule(
+        rule_id=rule_id,
+        rule=Rule(*items),
+        support=rule_count / window_size,
+        confidence=rule_count / antecedent_count,
+        rule_count=rule_count,
+        antecedent_count=antecedent_count,
+        window_size=window_size,
+    )
+
+
+class TestLocation:
+    def test_exact_fraction_coordinates(self):
+        location = Location(Fraction(1, 3), Fraction(2, 3))
+        assert location.support_float == pytest.approx(1 / 3)
+        assert location.confidence_float == pytest.approx(2 / 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            Location(Fraction(3, 2), Fraction(1, 2))
+
+    def test_dominates_is_componentwise_leq(self):
+        weaker = Location(Fraction(1, 10), Fraction(1, 10))
+        stronger = Location(Fraction(1, 5), Fraction(1, 2))
+        assert weaker.dominates(stronger)
+        assert not stronger.dominates(weaker)
+        assert weaker.dominates(weaker)
+
+    def test_incomparable_locations(self):
+        a = Location(Fraction(1, 10), Fraction(1, 2))
+        b = Location(Fraction(1, 5), Fraction(1, 10))
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestLocationOf:
+    def test_uses_exact_counts(self):
+        s = scored(0, rule_count=2, antecedent_count=4, window_size=11)
+        location = location_of(s)
+        assert location.support == Fraction(2, 11)
+        assert location.confidence == Fraction(1, 2)
+
+    def test_empty_window_rejected(self):
+        s = ScoredRule(
+            rule_id=0,
+            rule=Rule((1,), (2,)),
+            support=0.0,
+            confidence=0.0,
+            rule_count=0,
+            antecedent_count=0,
+            window_size=0,
+        )
+        with pytest.raises(ValidationError):
+            location_of(s)
+
+
+class TestGrouping:
+    def test_equal_ratios_share_location(self):
+        # 2/10 and 2/10 support; confidences 2/4 and 3/6 are both 1/2 --
+        # different counts, identical exact values: one location.
+        first = scored(0, 2, 4, 10)
+        second = scored(1, 2, 6, 10)  # conf 1/3 -> different location
+        third = scored(2, 2, 4, 10)
+        groups = group_by_location([first, second, third])
+        assert len(groups) == 2
+        location = location_of(first)
+        assert groups[location] == [0, 2]
+
+    def test_reduced_fractions_group(self):
+        # 3/6 and 2/4 are the same confidence value.
+        first = scored(0, 3, 6, 12)  # supp 1/4, conf 1/2
+        second = scored(1, 2, 4, 8)  # supp 1/4, conf 1/2 (different window n!)
+        # Same-window grouping is the real use; this checks pure value math.
+        groups = group_by_location([first])
+        groups2 = group_by_location([second])
+        assert list(groups) == list(groups2)
+
+    def test_rule_ids_sorted_within_location(self):
+        rules = [scored(5, 2, 4, 10), scored(1, 2, 4, 10), scored(3, 2, 4, 10)]
+        groups = group_by_location(rules)
+        (ids,) = groups.values()
+        assert ids == [1, 3, 5]
+
+
+class TestDistinctAxes:
+    def test_sorted_unique_axes(self):
+        locations = [
+            Location(Fraction(1, 5), Fraction(1, 2)),
+            Location(Fraction(1, 10), Fraction(1, 2)),
+            Location(Fraction(1, 5), Fraction(3, 4)),
+        ]
+        supports, confidences = distinct_axes(locations)
+        assert supports == [Fraction(1, 10), Fraction(1, 5)]
+        assert confidences == [Fraction(1, 2), Fraction(3, 4)]
+
+    def test_empty(self):
+        assert distinct_axes([]) == ([], [])

@@ -1,0 +1,124 @@
+"""Panorama text rendering: exact grids, sparklines, bars."""
+
+import pytest
+
+from repro.common.errors import QueryError, ValidationError
+from repro.core import ParameterSetting
+from repro.core.archive import WindowMeasure
+from repro.core.panorama import (
+    render_slice,
+    render_trajectory,
+    render_window_sizes,
+    rule_count_grid,
+)
+
+
+def measure(window, rule_count, antecedent_count=None, window_size=100):
+    if antecedent_count is None:
+        antecedent_count = 2 * rule_count
+    return WindowMeasure(
+        window=window,
+        rule_count=rule_count,
+        antecedent_count=antecedent_count,
+        window_size=window_size,
+        consequent_count=rule_count,
+    )
+
+
+class TestRuleCountGrid:
+    def test_cells_match_collect(self, small_kb):
+        """Every grid cell equals an exact collect() at its corner."""
+        window_slice = small_kb.slice(0)
+        grid = rule_count_grid(window_slice, width=6, height=5)
+        gen = window_slice.generation_setting
+        supp_hi = float(window_slice.supports[-1])
+        conf_hi = float(window_slice.confidences[-1])
+        for row in range(5):
+            conf = gen.min_confidence + (conf_hi - gen.min_confidence) * (
+                (5 - 1 - row) / 4
+            )
+            for col in range(6):
+                supp = gen.min_support + (supp_hi - gen.min_support) * col / 5
+                expected = len(
+                    window_slice.collect(
+                        ParameterSetting(min(supp, 1.0), min(conf, 1.0))
+                    )
+                )
+                assert grid[row][col] == expected, (row, col)
+
+    def test_monotone_along_axes(self, small_kb):
+        """Loosening either threshold can only add rules."""
+        grid = rule_count_grid(small_kb.slice(1), width=8, height=6)
+        for row in grid:
+            for left, right in zip(row, row[1:]):
+                assert left >= right  # support grows left -> right
+        for upper, lower in zip(grid, grid[1:]):
+            for up, down in zip(upper, lower):
+                assert up <= down  # confidence grows bottom -> top
+
+    def test_bottom_left_is_full_ruleset(self, small_kb):
+        window_slice = small_kb.slice(2)
+        grid = rule_count_grid(window_slice, width=4, height=4)
+        assert grid[-1][0] == window_slice.rule_count
+
+    def test_bad_dimensions(self, small_kb):
+        with pytest.raises(ValidationError):
+            rule_count_grid(small_kb.slice(0), width=0, height=3)
+
+
+class TestRenderSlice:
+    def test_renders_all_rows(self, small_kb):
+        art = render_slice(small_kb.slice(0), width=10, height=6)
+        lines = art.splitlines()
+        assert len(lines) == 1 + 6 + 1  # header + rows + footer
+        assert "supp:" in lines[-1]
+
+    def test_densest_cell_marked(self, small_kb):
+        art = render_slice(small_kb.slice(0), width=10, height=6)
+        assert "@" in art
+
+
+class TestRenderTrajectory:
+    def test_gaps_marked(self):
+        line = render_trajectory([measure(0, 10), None, measure(2, 20)])
+        assert len(line) == 3
+        assert line[1] == "·"
+
+    def test_rising_series_rises(self):
+        measures = [measure(w, 10 + 10 * w, 100) for w in range(4)]
+        line = render_trajectory(measures)
+        assert line[0] < line[-1]  # block glyphs sort by height
+
+    def test_constant_series_is_flat(self):
+        measures = [measure(w, 10, 100) for w in range(3)]
+        line = render_trajectory(measures)
+        assert len(set(line)) == 1
+
+    def test_all_absent(self):
+        assert render_trajectory([None, None]) == "··"
+
+    def test_metric_selection(self):
+        measures = [measure(0, 10), measure(1, 10)]
+        assert render_trajectory(measures, metric="support")
+        assert render_trajectory(measures, metric="lift")
+        with pytest.raises(QueryError):
+            render_trajectory(measures, metric="zeal")
+
+
+class TestRenderWindowSizes:
+    def test_one_bar_per_window(self, small_kb):
+        text = render_window_sizes(small_kb, ParameterSetting(0.05, 0.3))
+        assert len(text.splitlines()) == 1 + small_kb.window_count
+
+    def test_sizes_match_collect(self, small_kb):
+        setting = ParameterSetting(0.05, 0.3)
+        text = render_window_sizes(small_kb, setting)
+        for window, line in enumerate(text.splitlines()[1:]):
+            expected = len(small_kb.slice(window).collect(setting))
+            assert line.rstrip().endswith(str(expected))
+
+    def test_bad_bar_width(self, small_kb):
+        with pytest.raises(ValidationError):
+            render_window_sizes(
+                small_kb, ParameterSetting(0.05, 0.3), bar_width=0
+            )

@@ -1,0 +1,111 @@
+"""Knowledge-base persistence: save/load roundtrip fidelity."""
+
+import json
+
+import pytest
+
+from repro.common.errors import DataFormatError
+from repro.core import ParameterSetting, TaraExplorer
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    load_knowledge_base,
+    save_knowledge_base,
+)
+from repro.data import PeriodSpec
+
+
+@pytest.fixture()
+def saved_path(small_kb, tmp_path):
+    path = tmp_path / "kb.json"
+    save_knowledge_base(small_kb, path)
+    return path
+
+
+class TestRoundtrip:
+    def test_file_written(self, small_kb, tmp_path):
+        path = tmp_path / "kb.json"
+        written = save_knowledge_base(small_kb, path)
+        assert written == path.stat().st_size
+        assert written > 0
+
+    def test_config_restored(self, small_kb, saved_path):
+        loaded = load_knowledge_base(saved_path)
+        assert loaded.config == small_kb.config
+
+    def test_catalog_restored_in_order(self, small_kb, saved_path):
+        loaded = load_knowledge_base(saved_path)
+        assert len(loaded.catalog) == len(small_kb.catalog)
+        for rule_id in range(len(small_kb.catalog)):
+            assert loaded.catalog.get(rule_id) == small_kb.catalog.get(rule_id)
+
+    def test_archive_series_identical(self, small_kb, saved_path):
+        loaded = load_knowledge_base(saved_path)
+        for rule_id in small_kb.archive.rule_ids():
+            original = [
+                (m.window, m.rule_count, m.antecedent_count)
+                for m in small_kb.archive.series(rule_id)
+            ]
+            restored = [
+                (m.window, m.rule_count, m.antecedent_count)
+                for m in loaded.archive.series(rule_id)
+            ]
+            assert original == restored
+
+    def test_every_query_answer_identical(self, small_kb, saved_path):
+        loaded = load_knowledge_base(saved_path)
+        original_explorer = TaraExplorer(small_kb)
+        loaded_explorer = TaraExplorer(loaded)
+        for supp, conf in [(0.02, 0.1), (0.05, 0.3), (0.1, 0.5)]:
+            setting = ParameterSetting(supp, conf)
+            for window in range(small_kb.window_count):
+                assert original_explorer.ruleset(
+                    setting, window
+                ) == loaded_explorer.ruleset(setting, window)
+
+    def test_item_index_rebuilt_when_configured(self, small_kb, saved_path):
+        loaded = load_knowledge_base(saved_path)
+        assert loaded.slice(0).has_item_index == small_kb.slice(0).has_item_index
+        if loaded.slice(0).has_item_index:
+            setting = ParameterSetting(0.05, 0.3)
+            explorer = TaraExplorer(loaded)
+            original = TaraExplorer(small_kb)
+            assert explorer.content(setting, [3], PeriodSpec([1])) == original.content(
+                setting, [3], PeriodSpec([1])
+            )
+
+    def test_rollup_identical(self, small_kb, saved_path):
+        loaded = load_knowledge_base(saved_path)
+        spec = PeriodSpec(range(small_kb.window_count))
+        setting = ParameterSetting(0.03, 0.2)
+        original = TaraExplorer(small_kb).mine_rolled_up(setting, spec)
+        restored = TaraExplorer(loaded).mine_rolled_up(setting, spec)
+        assert [e.rule_id for e in original.certain] == [
+            e.rule_id for e in restored.certain
+        ]
+        assert original.max_support_error == restored.max_support_error
+
+
+class TestErrorHandling:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            load_knowledge_base(tmp_path / "nope.json")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("this is not json")
+        with pytest.raises(DataFormatError):
+            load_knowledge_base(path)
+
+    def test_wrong_version(self, saved_path):
+        payload = json.loads(saved_path.read_text())
+        payload["format_version"] = FORMAT_VERSION + 1
+        saved_path.write_text(json.dumps(payload))
+        with pytest.raises(DataFormatError, match="format version"):
+            load_knowledge_base(saved_path)
+
+    def test_inconsistent_windows(self, saved_path):
+        payload = json.loads(saved_path.read_text())
+        payload["window_sizes"] = payload["window_sizes"][:-1]
+        saved_path.write_text(json.dumps(payload))
+        with pytest.raises(DataFormatError, match="inconsistent"):
+            load_knowledge_base(saved_path)

@@ -1,0 +1,239 @@
+"""Stable regions and the WindowSlice index: collection, regions, neighbors."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError
+from repro.core.locations import Location, group_by_location
+from repro.core.regions import ParameterSetting, WindowSlice
+from repro.mining.apriori import mine_apriori
+from repro.mining.rules import RuleCatalog, derive_rules
+
+
+def build_slice(transactions, gen_supp=0.0, gen_conf=0.0, item_index=False):
+    """Mine a transaction list and index the scored rules into a slice."""
+    catalog = RuleCatalog()
+    scored = derive_rules(mine_apriori(transactions, gen_supp), gen_conf, catalog=catalog)
+    groups = group_by_location(scored)
+    source = {s.rule_id: s.rule.items for s in scored} if item_index else None
+    window_slice = WindowSlice(
+        0,
+        groups,
+        generation_setting=ParameterSetting(gen_supp, gen_conf),
+        item_index_source=source,
+    )
+    return window_slice, scored, catalog
+
+
+TRANSACTIONS = [
+    (1, 3, 4),
+    (2, 3, 5),
+    (1, 2, 3, 5),
+    (2, 5),
+    (1, 2, 3, 5),
+    (1, 4),
+    (3, 5),
+    (2, 3),
+]
+
+
+def brute_collect(scored, setting):
+    return sorted(
+        s.rule_id
+        for s in scored
+        if s.support >= setting.min_support
+        and s.confidence >= setting.min_confidence
+    )
+
+
+class TestParameterSetting:
+    def test_valid(self):
+        setting = ParameterSetting(0.1, 0.5)
+        assert setting.min_support == 0.1
+
+    @pytest.mark.parametrize("supp,conf", [(-0.1, 0.5), (0.5, 1.5), ("a", 0.5)])
+    def test_invalid_rejected(self, supp, conf):
+        with pytest.raises(Exception):
+            ParameterSetting(supp, conf)
+
+
+class TestCollect:
+    @pytest.mark.parametrize(
+        "supp,conf",
+        [(0.0, 0.0), (0.125, 0.3), (0.25, 0.5), (0.25, 0.8), (0.5, 0.5), (0.9, 0.9)],
+    )
+    def test_matches_brute_force_filter(self, supp, conf):
+        window_slice, scored, _ = build_slice(TRANSACTIONS)
+        setting = ParameterSetting(supp, conf)
+        assert window_slice.collect(setting) == brute_collect(scored, setting)
+
+    def test_bfs_equals_scan(self):
+        window_slice, scored, _ = build_slice(TRANSACTIONS)
+        for supp, conf in [(0.0, 0.0), (0.2, 0.4), (0.3, 0.7), (1.0, 1.0)]:
+            setting = ParameterSetting(supp, conf)
+            assert window_slice.collect_bfs(setting) == window_slice.collect(setting)
+
+    def test_query_below_generation_threshold_rejected(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS, gen_supp=0.2, gen_conf=0.3)
+        with pytest.raises(QueryError, match="generation thresholds"):
+            window_slice.collect(ParameterSetting(0.1, 0.5))
+        with pytest.raises(QueryError):
+            window_slice.collect(ParameterSetting(0.3, 0.1))
+
+    def test_empty_window(self):
+        window_slice = WindowSlice(
+            0, {}, generation_setting=ParameterSetting(0.0, 0.0)
+        )
+        assert window_slice.collect(ParameterSetting(0.5, 0.5)) == []
+        assert window_slice.rule_count == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=6), min_size=1, max_size=4),
+            min_size=2,
+            max_size=25,
+        ),
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_collect_equals_filter_property(self, transactions, supp, conf):
+        window_slice, scored, _ = build_slice(transactions)
+        setting = ParameterSetting(supp, conf)
+        assert window_slice.collect(setting) == brute_collect(scored, setting)
+        assert window_slice.collect_bfs(setting) == brute_collect(scored, setting)
+
+
+class TestStableRegion:
+    def test_region_contains_its_setting(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS)
+        setting = ParameterSetting(0.3, 0.6)
+        region = window_slice.region_for(setting)
+        assert region.contains(setting)
+
+    def test_same_ruleset_anywhere_in_region(self):
+        """The defining property (Definition 11): any setting inside the
+        region produces the identical ruleset."""
+        window_slice, scored, _ = build_slice(TRANSACTIONS)
+        rng = random.Random(5)
+        for _ in range(25):
+            setting = ParameterSetting(rng.random(), rng.random())
+            region = window_slice.region_for(setting)
+            reference = window_slice.collect(setting)
+            # Probe several points inside the region's half-open box.
+            supp_hi = (
+                float(region.cut.support) if region.cut else 1.0
+            )
+            conf_hi = (
+                float(region.cut.confidence) if region.cut else 1.0
+            )
+            supp_lo = float(region.support_floor)
+            conf_lo = float(region.confidence_floor)
+            for alpha in (0.25, 0.75, 1.0):
+                probe_supp = supp_lo + (supp_hi - supp_lo) * alpha
+                probe_conf = conf_lo + (conf_hi - conf_lo) * alpha
+                if probe_supp <= supp_lo or probe_conf <= conf_lo:
+                    continue
+                probe = ParameterSetting(min(probe_supp, 1.0), min(probe_conf, 1.0))
+                assert window_slice.collect(probe) == reference
+
+    def test_cut_location_on_grid(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS)
+        region = window_slice.region_for(ParameterSetting(0.3, 0.4))
+        assert region.cut is not None
+        assert region.cut.support in window_slice.supports
+        assert region.cut.confidence in window_slice.confidences
+
+    def test_empty_region_above_all_locations(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS)
+        region = window_slice.region_for(ParameterSetting(0.99, 0.99))
+        assert region.is_empty
+        assert region.ruleset_size == 0
+
+    def test_ruleset_size_matches_collect(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS)
+        for supp, conf in [(0.1, 0.2), (0.25, 0.5), (0.6, 0.3)]:
+            setting = ParameterSetting(supp, conf)
+            region = window_slice.region_for(setting)
+            assert region.ruleset_size == len(window_slice.collect(setting))
+
+
+class TestNeighborRegions:
+    def test_looser_neighbors_grow_ruleset(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS)
+        setting = ParameterSetting(0.3, 0.5)
+        region = window_slice.region_for(setting)
+        neighbors = window_slice.neighbor_regions(setting)
+        for direction in ("looser_support", "looser_confidence"):
+            if direction in neighbors:
+                assert neighbors[direction].ruleset_size >= region.ruleset_size
+
+    def test_tighter_neighbors_shrink_ruleset(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS)
+        setting = ParameterSetting(0.2, 0.3)
+        region = window_slice.region_for(setting)
+        neighbors = window_slice.neighbor_regions(setting)
+        for direction in ("tighter_support", "tighter_confidence"):
+            if direction in neighbors:
+                assert neighbors[direction].ruleset_size <= region.ruleset_size
+
+    def test_no_looser_neighbor_at_space_edge(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS)
+        # Below the smallest location on both axes: nothing looser exists.
+        neighbors = window_slice.neighbor_regions(ParameterSetting(0.0, 0.0))
+        assert "looser_support" not in neighbors
+        assert "looser_confidence" not in neighbors
+
+
+class TestItemIndex:
+    def test_content_query_filters_by_item(self):
+        window_slice, scored, catalog = build_slice(TRANSACTIONS, item_index=True)
+        setting = ParameterSetting(0.2, 0.4)
+        with_item = window_slice.collect_items(setting, [5])
+        all_rules = window_slice.collect(setting)
+        expected = [
+            rid for rid in all_rules if 5 in catalog.get(rid).items
+        ]
+        assert with_item == expected
+
+    def test_multiple_items_is_union(self):
+        window_slice, scored, catalog = build_slice(TRANSACTIONS, item_index=True)
+        setting = ParameterSetting(0.1, 0.2)
+        both = set(window_slice.collect_items(setting, [1, 4]))
+        only_1 = set(window_slice.collect_items(setting, [1]))
+        only_4 = set(window_slice.collect_items(setting, [4]))
+        assert both == only_1 | only_4
+
+    def test_without_index_raises(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS, item_index=False)
+        assert not window_slice.has_item_index
+        with pytest.raises(QueryError, match="TARA-S"):
+            window_slice.collect_items(ParameterSetting(0.1, 0.1), [1])
+
+    def test_unknown_item_yields_empty(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS, item_index=True)
+        assert window_slice.collect_items(ParameterSetting(0.1, 0.1), [999]) == []
+
+
+class TestLocationsIterator:
+    def test_every_rule_appears_exactly_once(self):
+        window_slice, scored, _ = build_slice(TRANSACTIONS)
+        seen = []
+        for _, rule_ids in window_slice.locations():
+            seen.extend(rule_ids)
+        assert sorted(seen) == sorted(s.rule_id for s in scored)
+
+    def test_locations_carry_exact_fractions(self):
+        window_slice, scored, _ = build_slice(TRANSACTIONS)
+        by_id = {s.rule_id: s for s in scored}
+        for location, rule_ids in window_slice.locations():
+            for rule_id in rule_ids:
+                s = by_id[rule_id]
+                assert location.support == Fraction(s.rule_count, s.window_size)
+                assert location.confidence == Fraction(
+                    s.rule_count, s.antecedent_count
+                )

@@ -1,0 +1,145 @@
+"""Roll-up semantics: exactness on counts, soundness of the bounds."""
+
+import pytest
+
+from repro.core import GenerationConfig, ParameterSetting, build_knowledge_base
+from repro.core.rollup import max_support_error, rolled_up_mine
+from repro.data.database import TransactionDatabase
+from repro.data.periods import PeriodSpec
+from repro.data.windows import WindowedDatabase
+from repro.mining.apriori import mine_apriori
+from repro.mining.rules import derive_rules
+from tests.conftest import random_itemlists
+
+
+@pytest.fixture(scope="module")
+def windows() -> WindowedDatabase:
+    itemlists = random_itemlists(seed=77, count=800, item_count=12, max_len=5)
+    db = TransactionDatabase.from_itemlists(itemlists)
+    return WindowedDatabase.partition_by_count(db, 4)
+
+
+@pytest.fixture(scope="module")
+def kb(windows):
+    return build_knowledge_base(windows, GenerationConfig(0.01, 0.05))
+
+
+def merged_oracle(windows, spec, min_support, min_confidence):
+    """Mine the union of the spec's windows directly from raw data."""
+    transactions = windows.transactions_for(spec)
+    scored = derive_rules(mine_apriori(transactions, min_support), min_confidence)
+    return {
+        (s.rule.antecedent, s.rule.consequent): (s.support, s.confidence)
+        for s in scored
+    }
+
+
+class TestExactness:
+    def test_certain_rules_match_oracle_measures(self, windows, kb):
+        """Rolled-up point estimates of fully-archived rules are exact."""
+        spec = PeriodSpec([0, 1, 2, 3])
+        setting = ParameterSetting(0.05, 0.3)
+        answer = rolled_up_mine(kb, setting, spec)
+        oracle = merged_oracle(windows, spec, 0.0, 0.0)
+        for entry in answer.certain:
+            if not entry.measure.is_exact:
+                continue
+            key = (entry.rule.antecedent, entry.rule.consequent)
+            true_support, true_confidence = oracle[key]
+            assert entry.measure.support == pytest.approx(true_support)
+            assert entry.measure.confidence == pytest.approx(true_confidence)
+
+    def test_certain_subset_of_possible(self, kb):
+        answer = rolled_up_mine(kb, ParameterSetting(0.03, 0.2), PeriodSpec([0, 1]))
+        certain_ids = {e.rule_id for e in answer.certain}
+        possible_ids = {e.rule_id for e in answer.possible}
+        assert certain_ids <= possible_ids
+
+    def test_single_window_rollup_equals_slice_collect(self, kb):
+        """On a one-window spec there is nothing to approximate."""
+        setting = ParameterSetting(0.05, 0.3)
+        answer = rolled_up_mine(kb, setting, PeriodSpec([2]))
+        direct = kb.slice(2).collect(setting)
+        assert sorted(e.rule_id for e in answer.certain) == direct
+
+
+class TestSoundness:
+    def test_oracle_rules_inside_possible(self, windows, kb):
+        """Every rule truly qualifying on the merged data (and archived
+        somewhere) must appear in the optimistic answer."""
+        spec = PeriodSpec([0, 1, 2, 3])
+        setting = ParameterSetting(0.04, 0.3)
+        answer = rolled_up_mine(kb, setting, spec)
+        possible_keys = {
+            (e.rule.antecedent, e.rule.consequent) for e in answer.possible
+        }
+        candidates = {
+            (kb.catalog.get(rid).antecedent, kb.catalog.get(rid).consequent)
+            for rid in kb.candidate_rules(spec)
+        }
+        oracle = merged_oracle(windows, spec, 0.0, 0.0)
+        for key, (true_support, true_confidence) in oracle.items():
+            if key not in candidates:
+                continue  # never archived anywhere: outside TARA's contract
+            if (
+                true_support >= setting.min_support
+                and true_confidence >= setting.min_confidence
+            ):
+                assert key in possible_keys, key
+
+    def test_bounds_bracket_truth(self, windows, kb):
+        """True merged measures always lie inside [low, high]."""
+        spec = PeriodSpec([0, 1, 2, 3])
+        answer = rolled_up_mine(kb, ParameterSetting(0.01, 0.05), spec)
+        oracle = merged_oracle(windows, spec, 0.0, 0.0)
+        checked = 0
+        for entry in answer.possible:
+            key = (entry.rule.antecedent, entry.rule.consequent)
+            if key not in oracle:
+                continue
+            true_support, true_confidence = oracle[key]
+            measure = entry.measure
+            assert measure.support_low <= true_support + 1e-12
+            assert true_support <= measure.support_high + 1e-12
+            assert measure.confidence_low <= true_confidence + 1e-12
+            assert true_confidence <= measure.confidence_high + 1e-12
+            checked += 1
+        assert checked > 0
+
+    def test_point_estimate_never_overestimates_support(self, windows, kb):
+        """Archived counts are a lower bound on the true merged counts."""
+        spec = PeriodSpec([0, 1, 2, 3])
+        answer = rolled_up_mine(kb, ParameterSetting(0.01, 0.05), spec)
+        oracle = merged_oracle(windows, spec, 0.0, 0.0)
+        for entry in answer.possible:
+            key = (entry.rule.antecedent, entry.rule.consequent)
+            if key in oracle:
+                assert entry.measure.support <= oracle[key][0] + 1e-12
+
+
+class TestErrorBound:
+    def test_max_error_formula(self, kb):
+        spec = PeriodSpec([0, 1])
+        expected = sum(
+            max(kb.archive.missing_count_bound(w) - 1, 0) for w in spec
+        ) / sum(kb.archive.window_size(w) for w in spec)
+        assert max_support_error(kb.archive, spec) == pytest.approx(expected)
+
+    def test_error_bounded_by_generation_thresholds(self, kb):
+        error = max_support_error(kb.archive, PeriodSpec([0, 1, 2, 3]))
+        assert error <= max(kb.config.min_support, kb.config.min_confidence) + 1e-9
+
+    def test_answer_carries_bound(self, kb):
+        answer = rolled_up_mine(kb, ParameterSetting(0.05, 0.3), PeriodSpec([0, 1]))
+        assert answer.max_support_error == max_support_error(
+            kb.archive, PeriodSpec([0, 1])
+        )
+
+    def test_is_exact_flag(self, kb):
+        answer = rolled_up_mine(
+            kb, ParameterSetting(0.2, 0.6), PeriodSpec([0, 1, 2, 3])
+        )
+        assert answer.is_exact == (
+            {e.rule_id for e in answer.certain}
+            == {e.rule_id for e in answer.possible}
+        )

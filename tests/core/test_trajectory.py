@@ -1,0 +1,113 @@
+"""Trajectory summaries: coverage, stability, std, trend."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.archive import WindowMeasure
+from repro.core.trajectory import summarize_trajectory
+
+
+def measure(window, rule_count, antecedent_count, window_size=100):
+    return WindowMeasure(
+        window=window,
+        rule_count=rule_count,
+        antecedent_count=antecedent_count,
+        window_size=window_size,
+    )
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        summary = summarize_trajectory(
+            0, [measure(0, 10, 20), measure(1, 10, 20)]
+        )
+        assert summary.coverage == 1.0
+        assert summary.is_persistent
+
+    def test_partial_coverage(self):
+        summary = summarize_trajectory(0, [measure(0, 10, 20), None, None])
+        assert summary.coverage == pytest.approx(1 / 3)
+        assert not summary.is_persistent
+
+    def test_absent_everywhere(self):
+        summary = summarize_trajectory(0, [None, None])
+        assert summary.coverage == 0.0
+        assert summary.mean_support == 0.0
+        assert summary.stability == 0.0
+
+    def test_empty_window_list_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize_trajectory(0, [])
+
+
+class TestStability:
+    def test_constant_confidence_is_perfectly_stable(self):
+        measures = [measure(w, 10, 20) for w in range(4)]
+        summary = summarize_trajectory(0, measures)
+        assert summary.stability == 1.0
+        assert summary.confidence_std == 0.0
+
+    def test_fluctuating_confidence_less_stable(self):
+        stable = summarize_trajectory(0, [measure(w, 10, 20) for w in range(4)])
+        wobbly = summarize_trajectory(
+            1,
+            [
+                measure(0, 10, 20),   # conf 0.5
+                measure(1, 18, 20),   # conf 0.9
+                measure(2, 2, 20),    # conf 0.1
+                measure(3, 10, 20),   # conf 0.5
+            ],
+        )
+        assert wobbly.stability < stable.stability
+        assert wobbly.confidence_std > 0
+
+    def test_stability_in_unit_interval(self):
+        summary = summarize_trajectory(
+            0, [measure(0, 1, 20), measure(1, 19, 20)]
+        )
+        assert 0 < summary.stability <= 1
+
+
+class TestMeansAndStd:
+    def test_mean_values(self):
+        summary = summarize_trajectory(
+            0, [measure(0, 10, 20), measure(1, 30, 40)]
+        )
+        assert summary.mean_support == pytest.approx((0.1 + 0.3) / 2)
+        assert summary.mean_confidence == pytest.approx((0.5 + 0.75) / 2)
+
+    def test_std_ignores_absent_windows(self):
+        with_gap = summarize_trajectory(
+            0, [measure(0, 10, 20), None, measure(2, 10, 20)]
+        )
+        assert with_gap.confidence_std == 0.0
+        assert with_gap.mean_confidence == pytest.approx(0.5)
+
+
+class TestTrend:
+    def test_rising_confidence_positive_trend(self):
+        measures = [measure(w, 10 + 5 * w, 40) for w in range(4)]
+        assert summarize_trajectory(0, measures).trend > 0
+
+    def test_falling_confidence_negative_trend(self):
+        measures = [measure(w, 30 - 5 * w, 40) for w in range(4)]
+        assert summarize_trajectory(0, measures).trend < 0
+
+    def test_constant_zero_trend(self):
+        measures = [measure(w, 10, 40) for w in range(4)]
+        assert summarize_trajectory(0, measures).trend == 0.0
+
+    def test_linear_slope_exact(self):
+        # Confidence = 0.25, 0.5, 0.75 over windows 0,1,2: slope 0.25/window.
+        measures = [measure(w, 10 * (w + 1), 40) for w in range(3)]
+        assert summarize_trajectory(0, measures).trend == pytest.approx(0.25)
+
+    def test_single_point_trend_zero(self):
+        assert summarize_trajectory(0, [measure(0, 10, 20), None]).trend == 0.0
+
+    def test_gap_positions_use_window_indexes(self):
+        # Rising across windows 0 and 3 (gap in between): slope uses the
+        # true spacing of 3 windows, not consecutive positions.
+        measures = [measure(0, 10, 40), None, None, measure(3, 40, 40)]
+        summary = summarize_trajectory(0, measures)
+        assert summary.trend == pytest.approx((1.0 - 0.25) / 3)

@@ -1,0 +1,109 @@
+"""TransactionDatabase: the F(X, D, [t_i, t_j]) primitive and bookkeeping."""
+
+import pytest
+
+from repro.common.errors import DataFormatError, ValidationError
+from repro.data.database import TransactionDatabase
+from repro.data.periods import TimePeriod
+from repro.data.transactions import Transaction
+
+
+@pytest.fixture
+def db() -> TransactionDatabase:
+    return TransactionDatabase.from_itemlists(
+        [[1, 2], [2, 3], [1, 2, 3], [3], [1]],
+        times=[0, 1, 2, 5, 9],
+    )
+
+
+class TestConstruction:
+    def test_from_itemlists_default_clock(self):
+        database = TransactionDatabase.from_itemlists([[1], [2]])
+        assert [t.time for t in database] == [0, 1]
+
+    def test_from_itemlists_explicit_times(self, db):
+        assert [t.time for t in db] == [0, 1, 2, 5, 9]
+
+    def test_mismatched_times_rejected(self):
+        with pytest.raises(DataFormatError):
+            TransactionDatabase.from_itemlists([[1]], times=[0, 1])
+
+    def test_constructor_sorts_by_time(self):
+        database = TransactionDatabase(
+            [Transaction.create([1], 5), Transaction.create([2], 1)]
+        )
+        assert [t.time for t in database] == [1, 5]
+
+    def test_append_in_order(self, db):
+        db2 = TransactionDatabase.from_itemlists([[1]], times=[3])
+        db2.append(Transaction.create([2], 3))  # equal time allowed
+        db2.append(Transaction.create([3], 4))
+        assert len(db2) == 3
+
+    def test_append_out_of_order_rejected(self, db):
+        with pytest.raises(DataFormatError, match="out-of-order"):
+            db.append(Transaction.create([1], 0))
+
+    def test_extend(self):
+        database = TransactionDatabase.from_itemlists([[1]], times=[0])
+        database.extend([Transaction.create([2], 1), Transaction.create([3], 2)])
+        assert len(database) == 3
+
+
+class TestAccessors:
+    def test_len_iter_getitem(self, db):
+        assert len(db) == 5
+        assert db[0].items == (1, 2)
+        assert sum(1 for _ in db) == 5
+
+    def test_time_span(self, db):
+        assert db.time_span == TimePeriod(0, 9)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(ValidationError):
+            TransactionDatabase().time_span
+
+    def test_unique_items(self, db):
+        assert db.unique_items() == {1, 2, 3}
+
+    def test_average_transaction_length(self, db):
+        assert db.average_transaction_length() == pytest.approx(9 / 5)
+
+    def test_average_length_empty(self):
+        assert TransactionDatabase().average_transaction_length() == 0.0
+
+    def test_item_frequencies(self, db):
+        assert db.item_frequencies() == {1: 3, 2: 3, 3: 3}
+
+    def test_item_frequencies_in_period(self, db):
+        assert db.item_frequencies(TimePeriod(0, 1)) == {1: 1, 2: 2, 3: 1}
+
+
+class TestSelection:
+    def test_slice_by_period(self, db):
+        assert len(db.slice(TimePeriod(0, 2))) == 3
+        assert len(db.slice(TimePeriod(3, 4))) == 0
+        assert len(db.slice(TimePeriod(5, 9))) == 2
+
+    def test_count_empty_itemset_is_range_size(self, db):
+        assert db.count((), TimePeriod(0, 9)) == 5
+        assert db.count((), TimePeriod(0, 2)) == 3
+
+    def test_count_itemset(self, db):
+        assert db.count((1, 2), TimePeriod(0, 9)) == 2
+        assert db.count((3,), TimePeriod(0, 9)) == 3
+        assert db.count((1, 2, 3), TimePeriod(0, 1)) == 0
+
+    def test_matching_returns_transactions(self, db):
+        matched = db.matching((2, 3), TimePeriod(0, 9))
+        assert [t.time for t in matched] == [1, 2]
+
+    def test_support(self, db):
+        assert db.support((3,), TimePeriod(0, 9)) == pytest.approx(3 / 5)
+        assert db.support((1,), TimePeriod(5, 9)) == pytest.approx(1 / 2)
+
+    def test_support_of_empty_range_is_zero(self, db):
+        assert db.support((1,), TimePeriod(100, 200)) == 0.0
+
+    def test_count_accepts_unsorted_itemset(self, db):
+        assert db.count((2, 1), TimePeriod(0, 9)) == 2

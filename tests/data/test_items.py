@@ -1,0 +1,120 @@
+"""Item canonicalization, itemset algebra, and the vocabulary."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.data.items import (
+    ItemVocabulary,
+    canonical_itemset,
+    itemset_issubset,
+    itemset_union,
+)
+
+item_sets = st.frozensets(st.integers(min_value=0, max_value=50), max_size=12)
+
+
+class TestCanonicalItemset:
+    def test_sorts_and_dedupes(self):
+        assert canonical_itemset([3, 1, 3, 2]) == (1, 2, 3)
+
+    def test_empty_allowed(self):
+        assert canonical_itemset([]) == ()
+
+    def test_accepts_any_iterable(self):
+        assert canonical_itemset({5, 2}) == (2, 5)
+        assert canonical_itemset(iter([9, 0])) == (0, 9)
+
+    @pytest.mark.parametrize("bad", [[-1], [1.5], ["a"], [True]])
+    def test_rejects_non_item_ids(self, bad):
+        with pytest.raises(ValidationError):
+            canonical_itemset(bad)
+
+    @given(item_sets)
+    def test_canonical_is_idempotent(self, items):
+        once = canonical_itemset(items)
+        assert canonical_itemset(once) == once
+
+    @given(item_sets)
+    def test_order_independent(self, items):
+        forward = canonical_itemset(sorted(items))
+        backward = canonical_itemset(sorted(items, reverse=True))
+        assert forward == backward
+
+
+class TestItemsetAlgebra:
+    def test_union_merges_sorted(self):
+        assert itemset_union((1, 3), (2, 3, 5)) == (1, 2, 3, 5)
+
+    def test_union_with_empty(self):
+        assert itemset_union((), (1, 2)) == (1, 2)
+        assert itemset_union((1, 2), ()) == (1, 2)
+
+    def test_issubset_basic(self):
+        assert itemset_issubset((1, 3), (1, 2, 3))
+        assert not itemset_issubset((1, 4), (1, 2, 3))
+
+    def test_empty_is_subset_of_everything(self):
+        assert itemset_issubset((), ())
+        assert itemset_issubset((), (1,))
+
+    def test_larger_never_subset_of_smaller(self):
+        assert not itemset_issubset((1, 2), (1,))
+
+    @given(item_sets, item_sets)
+    def test_union_matches_set_union(self, left, right):
+        expected = tuple(sorted(left | right))
+        assert itemset_union(
+            canonical_itemset(left), canonical_itemset(right)
+        ) == expected
+
+    @given(item_sets, item_sets)
+    def test_issubset_matches_set_op(self, left, right):
+        assert itemset_issubset(
+            canonical_itemset(left), canonical_itemset(right)
+        ) == (left <= right)
+
+
+class TestItemVocabulary:
+    def test_encode_assigns_dense_ids(self):
+        vocab = ItemVocabulary()
+        assert vocab.encode("milk") == 0
+        assert vocab.encode("bread") == 1
+        assert vocab.encode("milk") == 0  # idempotent
+        assert len(vocab) == 2
+
+    def test_constructor_preloads_names(self):
+        vocab = ItemVocabulary(["a", "b"])
+        assert vocab.id_of("b") == 1
+
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(ValidationError, match="unknown item name"):
+            ItemVocabulary().id_of("ghost")
+
+    def test_name_of_roundtrip(self):
+        vocab = ItemVocabulary(["x", "y"])
+        assert vocab.name_of(vocab.id_of("y")) == "y"
+
+    def test_name_of_out_of_range_raises(self):
+        with pytest.raises(ValidationError, match="unknown item id"):
+            ItemVocabulary(["x"]).name_of(5)
+
+    def test_encode_many_returns_canonical(self):
+        vocab = ItemVocabulary()
+        assert vocab.encode_many(["c", "a", "c"]) == (0, 1)  # ids by first-seen
+
+    def test_decode_preserves_order(self):
+        vocab = ItemVocabulary(["a", "b", "c"])
+        assert vocab.decode((2, 0)) == ("c", "a")
+
+    def test_contains_and_iter(self):
+        vocab = ItemVocabulary(["p", "q"])
+        assert "p" in vocab
+        assert "z" not in vocab
+        assert list(vocab) == ["p", "q"]
+
+    @pytest.mark.parametrize("bad", ["", None, 3])
+    def test_rejects_bad_names(self, bad):
+        with pytest.raises(ValidationError):
+            ItemVocabulary().encode(bad)

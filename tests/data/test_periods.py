@@ -1,0 +1,171 @@
+"""Time periods, period specs, and the window-aligned period algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError, ValidationError
+from repro.data.periods import (
+    PeriodSpec,
+    TimePeriod,
+    align_period_to_windows,
+    coarsen,
+    refine,
+    windows_to_period,
+)
+
+
+class TestTimePeriod:
+    def test_contains_endpoints(self):
+        period = TimePeriod(5, 10)
+        assert 5 in period and 10 in period
+        assert 4 not in period and 11 not in period
+
+    def test_length(self):
+        assert TimePeriod(3, 3).length == 1
+        assert TimePeriod(0, 9).length == 10
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            TimePeriod(5, 4)
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ((0, 5), (5, 9), True),
+            ((0, 4), (5, 9), False),
+            ((0, 9), (3, 4), True),
+        ],
+    )
+    def test_overlaps(self, a, b, expected):
+        assert TimePeriod(*a).overlaps(TimePeriod(*b)) is expected
+
+    def test_merge_overlapping(self):
+        assert TimePeriod(0, 5).merge(TimePeriod(3, 9)) == TimePeriod(0, 9)
+
+    def test_merge_adjacent(self):
+        assert TimePeriod(0, 4).merge(TimePeriod(5, 9)) == TimePeriod(0, 9)
+
+    def test_merge_disjoint_rejected(self):
+        with pytest.raises(ValidationError):
+            TimePeriod(0, 3).merge(TimePeriod(5, 9))
+
+
+class TestPeriodSpec:
+    def test_sorts_and_dedupes(self):
+        assert PeriodSpec([3, 1, 3]).windows == (1, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            PeriodSpec([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            PeriodSpec([-1])
+
+    def test_single_and_range_constructors(self):
+        assert PeriodSpec.single(4).windows == (4,)
+        assert PeriodSpec.window_range(2, 4).windows == (2, 3, 4)
+
+    def test_window_range_rejects_reversed(self):
+        with pytest.raises(ValidationError):
+            PeriodSpec.window_range(4, 2)
+
+    def test_latest(self):
+        assert PeriodSpec.latest(10).windows == (9,)
+        assert PeriodSpec.latest(10, span=3).windows == (7, 8, 9)
+
+    def test_latest_bad_span(self):
+        with pytest.raises(ValidationError):
+            PeriodSpec.latest(3, span=4)
+
+    def test_contiguity(self):
+        assert PeriodSpec([2, 3, 4]).is_contiguous()
+        assert not PeriodSpec([2, 4]).is_contiguous()
+
+    def test_runs(self):
+        assert PeriodSpec([0, 1, 4, 5, 9]).runs() == [(0, 1), (4, 5), (9, 9)]
+
+    def test_union(self):
+        assert PeriodSpec([1]).union(PeriodSpec([0, 1])).windows == (0, 1)
+
+    def test_restrict_to_drops_out_of_range(self):
+        assert PeriodSpec([0, 5, 9]).restrict_to(6).windows == (0, 5)
+
+    def test_restrict_to_all_out_of_range_raises(self):
+        with pytest.raises(QueryError):
+            PeriodSpec([8, 9]).restrict_to(5)
+
+    def test_equality_and_hash(self):
+        assert PeriodSpec([1, 2]) == PeriodSpec([2, 1])
+        assert hash(PeriodSpec([1, 2])) == hash(PeriodSpec([2, 1]))
+        assert PeriodSpec([1]) != PeriodSpec([2])
+
+
+class TestAlignment:
+    def test_align_exact_windows(self):
+        # window width 10: [0..9] is window 0, [10..19] window 1.
+        assert align_period_to_windows(TimePeriod(0, 9), 10).windows == (0,)
+        assert align_period_to_windows(TimePeriod(10, 19), 10).windows == (1,)
+
+    def test_align_straddling_period(self):
+        assert align_period_to_windows(TimePeriod(5, 25), 10).windows == (0, 1, 2)
+
+    def test_align_with_origin(self):
+        assert align_period_to_windows(
+            TimePeriod(100, 119), 10, origin=100
+        ).windows == (0, 1)
+
+    def test_align_before_origin_rejected(self):
+        with pytest.raises(QueryError):
+            align_period_to_windows(TimePeriod(0, 5), 10, origin=50)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValidationError):
+            align_period_to_windows(TimePeriod(0, 5), 0)
+
+    def test_windows_to_period_inverse(self):
+        spec = PeriodSpec.window_range(1, 2)
+        assert windows_to_period(spec, 10) == TimePeriod(10, 29)
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_alignment_covers_period(self, start, extra, width):
+        """Every timestamp of the period falls inside the aligned windows."""
+        period = TimePeriod(start, start + extra)
+        spec = align_period_to_windows(period, width)
+        covering = windows_to_period(spec, width)
+        assert covering.start <= period.start
+        assert covering.end >= period.end
+
+
+class TestRollupAlgebra:
+    def test_coarsen(self):
+        assert coarsen(PeriodSpec([0, 1, 2, 5]), 2).windows == (0, 1, 2)
+
+    def test_coarsen_bad_factor(self):
+        with pytest.raises(ValidationError):
+            coarsen(PeriodSpec([0]), 0)
+
+    def test_refine(self):
+        assert refine(PeriodSpec([1]), 3, window_count=10).windows == (3, 4, 5)
+
+    def test_refine_clamps_to_window_count(self):
+        assert refine(PeriodSpec([1]), 3, window_count=5).windows == (3, 4)
+
+    def test_refine_fully_out_of_range_raises(self):
+        with pytest.raises(QueryError):
+            refine(PeriodSpec([5]), 3, window_count=5)
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=30), min_size=1),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_refine_then_coarsen_is_identity(self, windows, factor):
+        spec = PeriodSpec(windows)
+        window_count = (max(windows) + 1) * factor
+        refined = refine(spec, factor, window_count)
+        assert coarsen(refined, factor) == spec

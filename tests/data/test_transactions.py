@@ -1,0 +1,51 @@
+"""Transaction construction and containment."""
+
+import pytest
+
+from repro.common.errors import DataFormatError
+from repro.data.transactions import Transaction
+
+
+class TestCreate:
+    def test_canonicalizes_items(self):
+        transaction = Transaction.create([3, 1, 1], time=7)
+        assert transaction.items == (1, 3)
+        assert transaction.time == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataFormatError, match="at least one item"):
+            Transaction.create([], time=0)
+
+    @pytest.mark.parametrize("bad_time", [1.5, "3", None, True])
+    def test_non_int_time_rejected(self, bad_time):
+        with pytest.raises(DataFormatError):
+            Transaction.create([1], time=bad_time)
+
+    def test_negative_time_allowed(self):
+        # The timeline is any linearly ordered int set; negatives are legal.
+        assert Transaction.create([1], time=-5).time == -5
+
+    def test_len_is_item_count(self):
+        assert len(Transaction.create([4, 2, 9], time=0)) == 3
+
+    def test_hashable_and_equal_by_value(self):
+        a = Transaction.create([1, 2], 3)
+        b = Transaction.create([2, 1], 3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestContains:
+    def test_subset_contained(self):
+        transaction = Transaction.create([1, 2, 3], 0)
+        assert transaction.contains((1, 3))
+        assert transaction.contains(())
+
+    def test_missing_item_not_contained(self):
+        transaction = Transaction.create([1, 2, 3], 0)
+        assert not transaction.contains((4,))
+        assert not transaction.contains((1, 4))
+
+    def test_larger_itemset_not_contained(self):
+        transaction = Transaction.create([1], 0)
+        assert not transaction.contains((1, 2))

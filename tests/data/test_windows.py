@@ -1,0 +1,106 @@
+"""Tumbling-window partitioning of the evolving database."""
+
+import pytest
+
+from repro.common.errors import UnknownWindowError, ValidationError
+from repro.data.database import TransactionDatabase
+from repro.data.periods import PeriodSpec, TimePeriod
+from repro.data.windows import WindowedDatabase
+
+
+@pytest.fixture
+def db() -> TransactionDatabase:
+    # 10 transactions at times 0..9, each carrying its own time as an item.
+    return TransactionDatabase.from_itemlists([[t] for t in range(10)])
+
+
+class TestPartitionByTime:
+    def test_windows_and_periods(self, db):
+        windows = WindowedDatabase.partition_by_time(db, window_width=4)
+        assert windows.window_count == 3
+        assert windows.window_size(0) == 4
+        assert windows.window_size(1) == 4
+        assert windows.window_size(2) == 2
+        assert windows.window_period(0) == TimePeriod(0, 3)
+        assert windows.window_period(2) == TimePeriod(8, 11)
+
+    def test_interior_empty_window_kept(self):
+        database = TransactionDatabase.from_itemlists([[1], [2]], times=[0, 25])
+        windows = WindowedDatabase.partition_by_time(database, window_width=10)
+        assert windows.window_count == 3
+        assert windows.window_size(1) == 0
+
+    def test_bad_width_rejected(self, db):
+        with pytest.raises(ValidationError):
+            WindowedDatabase.partition_by_time(db, window_width=0)
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValidationError):
+            WindowedDatabase.partition_by_time(TransactionDatabase(), 5)
+
+    def test_origin_shift(self):
+        database = TransactionDatabase.from_itemlists([[1], [2]], times=[100, 105])
+        windows = WindowedDatabase.partition_by_time(
+            database, window_width=5, origin=100
+        )
+        assert windows.window_count == 2
+        assert windows.window_period(0) == TimePeriod(100, 104)
+
+    def test_data_before_origin_rejected(self, db):
+        with pytest.raises(ValidationError):
+            WindowedDatabase.partition_by_time(db, window_width=5, origin=5)
+
+
+class TestPartitionByCount:
+    def test_equal_batches(self, db):
+        windows = WindowedDatabase.partition_by_count(db, 5)
+        assert windows.window_count == 5
+        assert all(windows.window_size(i) == 2 for i in range(5))
+
+    def test_remainder_goes_to_last_batch(self, db):
+        windows = WindowedDatabase.partition_by_count(db, 3)
+        assert [windows.window_size(i) for i in range(3)] == [3, 3, 4]
+
+    def test_periods_cover_batch_times(self, db):
+        windows = WindowedDatabase.partition_by_count(db, 2)
+        assert windows.window_period(0) == TimePeriod(0, 4)
+        assert windows.window_period(1) == TimePeriod(5, 9)
+
+    def test_too_many_batches_rejected(self, db):
+        with pytest.raises(ValidationError):
+            WindowedDatabase.partition_by_count(db, 11)
+
+    def test_zero_batches_rejected(self, db):
+        with pytest.raises(ValidationError):
+            WindowedDatabase.partition_by_count(db, 0)
+
+
+class TestAccessors:
+    def test_out_of_range_window(self, db):
+        windows = WindowedDatabase.partition_by_count(db, 2)
+        with pytest.raises(UnknownWindowError):
+            windows.window(2)
+        with pytest.raises(UnknownWindowError):
+            windows.window_size(-1)
+
+    def test_all_windows_spec(self, db):
+        windows = WindowedDatabase.partition_by_count(db, 4)
+        assert windows.all_windows() == PeriodSpec([0, 1, 2, 3])
+
+    def test_transactions_for_spec(self, db):
+        windows = WindowedDatabase.partition_by_count(db, 5)
+        transactions = windows.transactions_for(PeriodSpec([0, 4]))
+        assert [t.time for t in transactions] == [0, 1, 8, 9]
+
+    def test_total_size(self, db):
+        windows = WindowedDatabase.partition_by_count(db, 5)
+        assert windows.total_size(PeriodSpec([1, 2])) == 4
+
+    def test_iteration_yields_all_windows(self, db):
+        windows = WindowedDatabase.partition_by_count(db, 2)
+        assert len(list(windows)) == 2
+
+    def test_partition_preserves_every_transaction(self, db):
+        windows = WindowedDatabase.partition_by_time(db, window_width=3)
+        total = sum(windows.window_size(i) for i in range(windows.window_count))
+        assert total == len(db)

@@ -1,0 +1,104 @@
+"""FAERS-style report generator: planted structure and exclusiveness."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.datagen.faers import (
+    CASE_STUDY_INTERACTIONS,
+    FaersParameters,
+    faers_quarter,
+    generate_faers,
+)
+
+
+@pytest.fixture(scope="module")
+def quarter():
+    return generate_faers(FaersParameters(report_count=2500, seed=41))
+
+
+class TestStructure:
+    def test_deterministic(self):
+        first, _, _ = generate_faers(FaersParameters(report_count=300, seed=5))
+        second, _, _ = generate_faers(FaersParameters(report_count=300, seed=5))
+        assert [(r.drugs, r.adrs) for r in first] == [
+            (r.drugs, r.adrs) for r in second
+        ]
+
+    def test_counts(self, quarter):
+        database, reference, truth = quarter
+        assert len(database) == 2500
+        assert len(reference) == FaersParameters().planted_interaction_count
+        assert len(truth.interactions) == len(reference)
+
+    def test_case_study_names_present(self, quarter):
+        database, _, _ = quarter
+        for drugs, adrs in CASE_STUDY_INTERACTIONS:
+            for drug in drugs:
+                assert drug in database.drug_vocabulary
+            for adr in adrs:
+                assert adr in database.adr_vocabulary
+
+    def test_every_report_has_both_sides(self, quarter):
+        database, _, _ = quarter
+        for report in database:
+            assert report.drugs and report.adrs
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            FaersParameters(report_count=0)
+        with pytest.raises(ValidationError):
+            FaersParameters(interaction_report_rate=0.7, confounder_report_rate=0.7)
+        with pytest.raises(ValidationError):
+            FaersParameters(drug_count=3)
+
+
+class TestPlantedExclusiveness:
+    """The statistical structure the contrast measure relies on."""
+
+    def test_interaction_adrs_not_in_own_profiles(self, quarter):
+        _, _, truth = quarter
+        own = {adr for profile in truth.own_adrs.values() for adr in profile}
+        for interaction in truth.interactions:
+            assert not (interaction.adrs & own)
+
+    def test_pair_confidence_dominates_singles(self, quarter):
+        """conf(pair => ADRs) far above conf(single drug => ADRs)."""
+        database, _, truth = quarter
+        dominated = 0
+        for interaction in truth.interactions:
+            drugs = sorted(interaction.drugs)
+            adrs = sorted(interaction.adrs)
+            pair_confidence = database.confidence(drugs, adrs)
+            single_confidences = [
+                database.confidence([drug], adrs) for drug in drugs
+            ]
+            if pair_confidence > 2 * max(single_confidences):
+                dominated += 1
+        assert dominated >= 0.8 * len(truth.interactions)
+
+    def test_interactions_have_enough_evidence(self, quarter):
+        database, _, truth = quarter
+        well_supported = sum(
+            1
+            for interaction in truth.interactions
+            if database.count(sorted(interaction.drugs), sorted(interaction.adrs)) >= 5
+        )
+        assert well_supported >= 0.8 * len(truth.interactions)
+
+    def test_confounder_pairs_frequent_but_not_interacting(self, quarter):
+        database, reference, truth = quarter
+        for a, b in truth.confounder_pairs:
+            count = database.count([a, b])
+            assert count >= 5  # frequently co-prescribed
+        confounder_sets = {frozenset(p) for p in truth.confounder_pairs}
+        interaction_sets = {frozenset(i.drugs) for i in truth.interactions}
+        assert not (confounder_sets & interaction_sets)
+
+
+class TestQuarterHelper:
+    def test_quarter_seeds_differ(self):
+        first, _, _ = faers_quarter(seed=1, report_count=200)
+        second, _, _ = faers_quarter(seed=2, report_count=200)
+        assert [(r.drugs, r.adrs) for r in first] != [
+            (r.drugs, r.adrs) for r in second
+        ]

@@ -1,0 +1,177 @@
+"""Quest, retail and webdocs generators: determinism and target statistics."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.data.windows import WindowedDatabase
+from repro.datagen.quest import (
+    QuestParameters,
+    generate_quest,
+    quest_t2k_scaled,
+    quest_t5k_scaled,
+)
+from repro.datagen.retail import (
+    RetailParameters,
+    generate_retail,
+    replicate,
+    retail_dataset,
+)
+from repro.datagen.webdocs import WebdocsParameters, generate_webdocs, webdocs_dataset
+
+
+class TestQuest:
+    PARAMS = QuestParameters(
+        transaction_count=500, avg_transaction_size=8.0, item_count=100, seed=3
+    )
+
+    def test_deterministic(self):
+        first = generate_quest(self.PARAMS)
+        second = generate_quest(self.PARAMS)
+        assert [t.items for t in first] == [t.items for t in second]
+
+    def test_transaction_count(self):
+        assert len(generate_quest(self.PARAMS)) == 500
+
+    def test_average_length_near_target(self):
+        db = generate_quest(self.PARAMS)
+        assert db.average_transaction_length() == pytest.approx(8.0, rel=0.35)
+
+    def test_items_within_universe(self):
+        db = generate_quest(self.PARAMS)
+        assert max(db.unique_items()) < 100
+
+    def test_patterns_create_correlations(self):
+        """Items co-occur far above independence: the pattern pool works."""
+        db = generate_quest(self.PARAMS)
+        n = len(db)
+        freqs = db.item_frequencies()
+        pair_counts = {}
+        for transaction in db:
+            items = transaction.items
+            for i, a in enumerate(items):
+                for b in items[i + 1 :]:
+                    pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
+        best_lift = max(
+            count * n / (freqs[a] * freqs[b])
+            for (a, b), count in pair_counts.items()
+            if count >= 10
+        )
+        assert best_lift > 2.0
+
+    def test_presets(self):
+        t5k = quest_t5k_scaled(scale=0.0002)
+        t2k = quest_t2k_scaled(scale=0.0005)
+        assert len(t5k) == 1000
+        assert len(t2k) == 1000
+        assert (
+            t2k.average_transaction_length() > t5k.average_transaction_length()
+        )
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            QuestParameters(transaction_count=0, avg_transaction_size=5, item_count=10)
+        with pytest.raises(ValidationError):
+            QuestParameters(
+                transaction_count=5,
+                avg_transaction_size=5,
+                item_count=10,
+                correlation=2.0,
+            )
+
+
+class TestRetail:
+    PARAMS = RetailParameters(transaction_count=2000, item_count=200, seed=7)
+
+    def test_deterministic(self):
+        first, _ = generate_retail(self.PARAMS)
+        second, _ = generate_retail(self.PARAMS)
+        assert [t.items for t in first] == [t.items for t in second]
+
+    def test_average_basket_near_ten(self):
+        db, _ = generate_retail(self.PARAMS)
+        assert db.average_transaction_length() == pytest.approx(10.0, rel=0.25)
+
+    def test_popularity_is_heavy_tailed(self):
+        db, _ = generate_retail(self.PARAMS)
+        freqs = sorted(db.item_frequencies().values(), reverse=True)
+        top_decile = sum(freqs[: len(freqs) // 10])
+        assert top_decile > 0.3 * sum(freqs)
+
+    def test_planted_bundles_cooccur(self):
+        db, truth = generate_retail(self.PARAMS)
+        n = len(db)
+        hit = 0
+        for bundle in truth.bundles:
+            count = sum(1 for t in db if set(bundle) <= set(t.items))
+            if count >= 5:
+                hit += 1
+        assert hit >= len(truth.bundles) // 4
+
+    def test_seasonal_drift_measurable(self):
+        """A seasonal item is more frequent in its peak phase's window."""
+        db, truth = generate_retail(self.PARAMS)
+        windows = WindowedDatabase.partition_by_count(db, self.PARAMS.phases)
+        drifts = 0
+        for item, peak in zip(truth.seasonal_items, truth.seasonal_schedule):
+            peak_count = sum(
+                1 for t in windows.window(peak) if item in t.items
+            )
+            other = [
+                sum(1 for t in windows.window(w) if item in t.items)
+                for w in range(self.PARAMS.phases)
+                if w != peak
+            ]
+            if other and peak_count > max(other):
+                drifts += 1
+        assert drifts >= len(truth.seasonal_items) // 2
+
+    def test_default_dataset_shape(self):
+        db = retail_dataset(transaction_count=1000)
+        assert len(db) == 1000
+
+
+class TestReplicate:
+    def test_size_and_time_shift(self):
+        db = retail_dataset(transaction_count=300)
+        doubled = replicate(db, 2)
+        assert len(doubled) == 600
+        assert doubled.time_span.length == 2 * db.time_span.length
+
+    def test_identity_replication(self):
+        db = retail_dataset(transaction_count=100)
+        same = replicate(db, 1)
+        assert [t.items for t in same] == [t.items for t in db]
+
+    def test_bad_factor(self):
+        with pytest.raises(ValidationError):
+            replicate(retail_dataset(transaction_count=100), 0)
+
+
+class TestWebdocs:
+    PARAMS = WebdocsParameters(
+        document_count=400, vocabulary_size=5000, avg_document_length=30, seed=13
+    )
+
+    def test_deterministic(self):
+        first = generate_webdocs(self.PARAMS)
+        second = generate_webdocs(self.PARAMS)
+        assert [t.items for t in first] == [t.items for t in second]
+
+    def test_long_documents(self):
+        db = generate_webdocs(self.PARAMS)
+        assert db.average_transaction_length() == pytest.approx(30, rel=0.3)
+
+    def test_vocabulary_much_larger_than_retail(self):
+        db = generate_webdocs(self.PARAMS)
+        assert len(db.unique_items()) > 1000
+
+    def test_common_terms_are_dense(self):
+        """Boilerplate terms appear in a large fraction of documents."""
+        db = generate_webdocs(self.PARAMS)
+        freqs = db.item_frequencies()
+        common = [freqs.get(i, 0) for i in range(self.PARAMS.common_term_count)]
+        assert max(common) > 0.3 * len(db)
+
+    def test_default_dataset(self):
+        db = webdocs_dataset(document_count=200)
+        assert len(db) == 200

@@ -1,0 +1,98 @@
+"""Quest generator diagnostics and parameter edge cases."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.datagen.quest import (
+    QuestParameters,
+    expected_density,
+    generate_quest,
+    pattern_pool_entropy,
+)
+
+
+class TestExpectedDensity:
+    def test_density_formula(self):
+        params = QuestParameters(
+            transaction_count=100, avg_transaction_size=10.0, item_count=200
+        )
+        assert expected_density(params) == pytest.approx(0.05)
+
+    def test_density_tracks_generated_data(self):
+        params = QuestParameters(
+            transaction_count=800, avg_transaction_size=8.0, item_count=100, seed=9
+        )
+        database = generate_quest(params)
+        measured = database.average_transaction_length() / params.item_count
+        assert measured == pytest.approx(expected_density(params), rel=0.4)
+
+
+class TestPatternPoolEntropy:
+    def test_entropy_positive_and_bounded(self):
+        params = QuestParameters(
+            transaction_count=10,
+            avg_transaction_size=5.0,
+            item_count=50,
+            pattern_count=64,
+        )
+        entropy = pattern_pool_entropy(params)
+        assert 0.0 < entropy <= 6.0  # log2(64) = 6 is the uniform maximum
+
+    def test_entropy_below_uniform(self):
+        """Exponential weights are skewed, so entropy < log2(n)."""
+        import math
+
+        params = QuestParameters(
+            transaction_count=10,
+            avg_transaction_size=5.0,
+            item_count=50,
+            pattern_count=128,
+            seed=3,
+        )
+        assert pattern_pool_entropy(params) < math.log2(128)
+
+
+class TestParameterEdges:
+    def test_tiny_universe(self):
+        params = QuestParameters(
+            transaction_count=50, avg_transaction_size=2.0, item_count=2, seed=1
+        )
+        database = generate_quest(params)
+        assert len(database) == 50
+        assert database.unique_items() <= {0, 1}
+
+    def test_zero_correlation(self):
+        params = QuestParameters(
+            transaction_count=100,
+            avg_transaction_size=5.0,
+            item_count=50,
+            correlation=0.0,
+            seed=2,
+        )
+        assert len(generate_quest(params)) == 100
+
+    def test_full_correlation(self):
+        params = QuestParameters(
+            transaction_count=100,
+            avg_transaction_size=5.0,
+            item_count=50,
+            correlation=1.0,
+            seed=2,
+        )
+        assert len(generate_quest(params)) == 100
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("pattern_count", 0),
+            ("avg_pattern_size", 0.0),
+            ("item_count", 1),
+        ],
+    )
+    def test_invalid_parameters(self, field, value):
+        kwargs = dict(
+            transaction_count=10, avg_transaction_size=5.0, item_count=20
+        )
+        kwargs[field] = value
+        with pytest.raises(ValidationError):
+            QuestParameters(**kwargs)

@@ -1,0 +1,82 @@
+"""Randomness helpers: determinism and distributional sanity."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.datagen.seeds import (
+    cumulative,
+    make_rng,
+    poisson,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(42), make_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    @pytest.mark.parametrize("bad", [1.5, "7", None, True])
+    def test_non_int_seed_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            make_rng(bad)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 1.0)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_skew_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValidationError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValidationError):
+            zipf_weights(5, -1.0)
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = make_rng(3)
+        cdf = cumulative([0.9, 0.1])
+        draws = [weighted_choice(rng, cdf) for _ in range(2000)]
+        share = draws.count(0) / len(draws)
+        assert 0.85 < share < 0.95
+
+    def test_single_weight(self):
+        rng = make_rng(3)
+        assert weighted_choice(rng, cumulative([1.0])) == 0
+
+    def test_all_indexes_reachable(self):
+        rng = make_rng(5)
+        cdf = cumulative([1.0, 1.0, 1.0])
+        seen = {weighted_choice(rng, cdf) for _ in range(200)}
+        assert seen == {0, 1, 2}
+
+
+class TestPoisson:
+    def test_mean_approximately_correct(self):
+        rng = make_rng(9)
+        samples = [poisson(rng, 4.0) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(4.0, rel=0.1)
+
+    def test_large_mean_normal_fallback(self):
+        rng = make_rng(9)
+        samples = [poisson(rng, 50.0) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(50.0, rel=0.1)
+        assert min(samples) >= 0
+
+    def test_non_positive_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            poisson(make_rng(1), 0.0)

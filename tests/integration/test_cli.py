@@ -1,0 +1,170 @@
+"""The command-line interface, end to end through main()."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def fimi_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "retail.fimi"
+    code = main(
+        ["generate", "retail", "--out", str(path), "--size", "1500", "--seed", "3"]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def kb_file(fimi_file, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "kb.json"
+    code = main(
+        [
+            "build",
+            "--input", str(fimi_file),
+            "--out", str(path),
+            "--batches", "3",
+            "--min-support", "0.01",
+            "--min-confidence", "0.2",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def reports_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "faers.tsv"
+    code = main(
+        ["generate", "faers", "--out", str(path), "--size", "1500", "--seed", "7"]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_fimi_output_readable(self, fimi_file, capsys):
+        from repro.data.io import read_fimi
+
+        assert len(read_fimi(fimi_file)) == 1500
+
+    def test_faers_output_readable(self, reports_file):
+        from repro.data.io import read_reports
+
+        assert len(read_reports(reports_file)) == 1500
+
+    def test_quest_and_webdocs(self, tmp_path):
+        for dataset in ("quest", "webdocs"):
+            out = tmp_path / f"{dataset}.fimi"
+            assert main(
+                ["generate", dataset, "--out", str(out), "--size", "300"]
+            ) == 0
+            assert out.exists()
+
+
+class TestBuildAndQuery:
+    def test_build_reports_summary(self, kb_file, capsys):
+        assert kb_file.exists()
+
+    def test_mine(self, kb_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--kb", str(kb_file),
+                "--min-support", "0.02",
+                "--min-confidence", "0.4",
+                "--top", "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "rules in window" in output
+        assert "=>" in output
+
+    def test_mine_specific_window(self, kb_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--kb", str(kb_file),
+                "--min-support", "0.02",
+                "--min-confidence", "0.4",
+                "--window", "0",
+            ]
+        )
+        assert code == 0
+        assert "window 0" in capsys.readouterr().out
+
+    def test_recommend(self, kb_file, capsys):
+        code = main(
+            [
+                "recommend",
+                "--kb", str(kb_file),
+                "--min-support", "0.02",
+                "--min-confidence", "0.4",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "same" in output and "rules for any" in output
+
+    def test_compare(self, kb_file, capsys):
+        code = main(
+            [
+                "compare",
+                "--kb", str(kb_file),
+                "--first", "0.015", "0.3",
+                "--second", "0.03", "0.3",
+                "--mode", "exact",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "only under the first setting" in output
+        assert "exact match" in output
+
+
+class TestMarasCommand:
+    def test_signals_printed(self, reports_file, capsys):
+        code = main(
+            ["maras", "--reports", str(reports_file), "--min-count", "4", "--top", "5"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "signals" in output
+        assert "score=" in output
+
+
+class TestErrorPaths:
+    def test_missing_kb_returns_one(self, tmp_path, capsys):
+        code = main(
+            [
+                "mine",
+                "--kb", str(tmp_path / "nope.json"),
+                "--min-support", "0.1",
+                "--min-confidence", "0.1",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_below_generation_threshold(self, kb_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--kb", str(kb_file),
+                "--min-support", "0.001",
+                "--min-confidence", "0.4",
+            ]
+        )
+        assert code == 1
+        assert "generation thresholds" in capsys.readouterr().err
+
+    def test_unknown_command_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

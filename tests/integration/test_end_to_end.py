@@ -1,0 +1,147 @@
+"""End-to-end pipelines on generated data: the paper's claims in miniature."""
+
+import pytest
+
+from repro.baselines import Dctar, HMineOnline, Paras, rule_key
+from repro.core import (
+    GenerationConfig,
+    ParameterSetting,
+    TaraExplorer,
+    build_knowledge_base,
+)
+from repro.data import PeriodSpec, WindowedDatabase
+from repro.datagen import (
+    faers_quarter,
+    generate_retail,
+    quest_t5k_scaled,
+    RetailParameters,
+)
+from repro.maras import (
+    MarasAnalyzer,
+    MarasConfig,
+    precision_at_k,
+    recall_of_known,
+)
+
+
+@pytest.fixture(scope="module")
+def retail_setup():
+    database, truth = generate_retail(
+        RetailParameters(transaction_count=2500, item_count=200, seed=31)
+    )
+    windows = WindowedDatabase.partition_by_count(database, 5)
+    config = GenerationConfig(0.01, 0.2, build_item_index=True)
+    knowledge_base = build_knowledge_base(windows, config)
+    return database, truth, windows, knowledge_base
+
+
+class TestTaraOnRetail:
+    def test_index_answers_match_from_scratch_mining(self, retail_setup):
+        _, _, windows, knowledge_base = retail_setup
+        explorer = TaraExplorer(knowledge_base)
+        dctar = Dctar(windows)
+        setting = ParameterSetting(0.02, 0.4)
+        for window in (0, windows.window_count - 1):
+            tara_keys = sorted(
+                rule_key(knowledge_base.catalog.get(r))
+                for r in explorer.ruleset(setting, window)
+            )
+            assert tara_keys == sorted(dctar.ruleset(setting, window))
+
+    def test_planted_bundles_surface_as_rules(self, retail_setup):
+        database, truth, windows, knowledge_base = retail_setup
+        explorer = TaraExplorer(knowledge_base)
+        mined = explorer.mine(ParameterSetting(0.01, 0.2))
+        rule_items = {
+            frozenset(m.rule.items)
+            for window_rules in mined.values()
+            for m in window_rules
+        }
+        planted_found = sum(
+            1 for bundle in truth.bundles if frozenset(bundle) in rule_items
+        )
+        assert planted_found >= len(truth.bundles) // 5
+
+    def test_seasonal_item_rules_concentrate_in_peak(self, retail_setup):
+        _, truth, windows, knowledge_base = retail_setup
+        explorer = TaraExplorer(knowledge_base)
+        setting = ParameterSetting(0.01, 0.2)
+        concentrated = 0
+        considered = 0
+        for item, peak in zip(truth.seasonal_items, truth.seasonal_schedule):
+            content = explorer.content(setting, [item])
+            counts = {w: len(ids) for w, ids in content.items()}
+            if sum(counts.values()) < 3:
+                continue
+            considered += 1
+            if counts.get(peak, 0) == max(counts.values()):
+                concentrated += 1
+        if considered:
+            assert concentrated >= considered // 2
+
+    def test_all_systems_agree_on_retail(self, retail_setup):
+        _, _, windows, knowledge_base = retail_setup
+        explorer = TaraExplorer(knowledge_base)
+        hmine = HMineOnline(windows, 0.01)
+        hmine.preprocess()
+        paras = Paras(windows, 0.01, 0.2)
+        paras.preprocess()
+        setting = ParameterSetting(0.02, 0.3)
+        window = windows.window_count - 1
+        tara_keys = sorted(
+            rule_key(knowledge_base.catalog.get(r))
+            for r in explorer.ruleset(setting, window)
+        )
+        assert sorted(hmine.ruleset(setting, window)) == tara_keys
+        assert sorted(paras.ruleset(setting, window)) == tara_keys
+
+
+class TestTaraOnQuest:
+    def test_quest_pipeline_runs(self):
+        database = quest_t5k_scaled(scale=0.0003)
+        windows = WindowedDatabase.partition_by_count(database, 5)
+        knowledge_base = build_knowledge_base(windows, GenerationConfig(0.02, 0.2))
+        explorer = TaraExplorer(knowledge_base)
+        setting = ParameterSetting(0.03, 0.4)
+        per_window = [
+            len(explorer.ruleset(setting, w)) for w in range(windows.window_count)
+        ]
+        assert any(count > 0 for count in per_window)
+        answer = explorer.mine_rolled_up(setting, PeriodSpec.window_range(0, 4))
+        assert {e.rule_id for e in answer.certain} <= {
+            e.rule_id for e in answer.possible
+        }
+
+
+class TestMarasOnFaers:
+    @pytest.fixture(scope="class")
+    def faers(self):
+        database, reference, truth = faers_quarter(seed=97, report_count=4000)
+        analyzer = MarasAnalyzer(database, MarasConfig(min_count=5))
+        return database, reference, truth, analyzer.signals()
+
+    def test_precision_beats_chance_and_decays(self, faers):
+        _, reference, _, signals = faers
+        curve = precision_at_k(signals, reference, [5, 50])
+        assert curve.at(5) >= 0.6
+        assert curve.at(5) >= curve.at(50)
+
+    def test_full_recall_of_planted_interactions(self, faers):
+        _, reference, _, signals = faers
+        assert recall_of_known(signals, reference) >= 0.9
+
+    def test_top_signal_is_a_planted_interaction(self, faers):
+        _, reference, _, signals = faers
+        assert reference.is_hit(signals[0].association)
+
+    def test_confounders_do_not_top_the_ranking(self, faers):
+        """Frequently co-prescribed pairs without interaction ADRs must
+        not dominate the top of the list."""
+        _, _, truth, signals = faers
+        confounders = {frozenset(pair) for pair in truth.confounder_pairs}
+        top_confounders = sum(
+            1
+            for signal in signals[:10]
+            if frozenset(signal.association.drugs) in confounders
+        )
+        assert top_confounders <= 2

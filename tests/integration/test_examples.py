@@ -1,0 +1,60 @@
+"""Every example script must run to completion and print its key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "knowledge base:" in output
+    assert "stable region" in output
+    assert "trajectory of" in output
+
+
+@pytest.mark.slow
+def test_retail_exploration():
+    output = run_example("retail_exploration.py")
+    assert "most stable rules" in output
+    assert "roll-up" in output
+    assert "seasonal item" in output
+
+
+@pytest.mark.slow
+def test_pharmacovigilance_ddi():
+    output = run_example("pharmacovigilance_ddi.py")
+    assert "top 5 MARAS signals" in output
+    assert "evidence dossier" in output
+    assert "precision@K" in output
+    assert "recall of planted interactions" in output
+
+
+@pytest.mark.slow
+def test_streaming_updates():
+    output = run_example("streaming_updates.py")
+    assert "verified against the from-scratch build" in output
+
+
+@pytest.mark.slow
+def test_temporal_signals():
+    output = run_example("temporal_signals.py")
+    assert "signals present in every quarter" in output
+    # The case-study interactions are planted in every quarter, so they
+    # are the persistent core.
+    assert "Eliquis" in output or "Ondansetron" in output

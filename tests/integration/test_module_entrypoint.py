@@ -1,0 +1,46 @@
+"""``python -m repro`` and miscellaneous entry-point edge cases."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.panorama import render_slice, rule_count_grid
+from repro.core.regions import ParameterSetting, WindowSlice
+
+
+def test_python_dash_m_repro_version():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--version"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert result.stdout.strip()
+
+
+def test_python_dash_m_repro_requires_command():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 2  # argparse: missing subcommand
+
+
+class TestPanoramaEmptySlice:
+    @pytest.fixture()
+    def empty_slice(self):
+        return WindowSlice(
+            0, {}, generation_setting=ParameterSetting(0.0, 0.0)
+        )
+
+    def test_grid_all_zero(self, empty_slice):
+        grid = rule_count_grid(empty_slice, width=4, height=3)
+        assert grid == [[0] * 4 for _ in range(3)]
+
+    def test_render_does_not_crash(self, empty_slice):
+        art = render_slice(empty_slice, width=4, height=3)
+        assert "max 0 rules" in art

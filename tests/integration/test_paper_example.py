@@ -1,0 +1,207 @@
+"""The paper's running example (Table 1, Figures 4-5), end to end.
+
+The dissertation's Table 1 pregenerates itemsets and rules for two
+windows T1 (11 transactions) and T2 (9 transactions) over items
+a, b, c; Figure 4 plots the resulting parametric locations and Figure 5
+slices the space at T2 into four stable regions.  The ``tiny_windows``
+fixture reverse-engineers exactly that data; this module asserts every
+published number.
+
+Items: a=0, b=1, c=2.  Thresholds: min supp 0.05, min conf 0.25.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    GenerationConfig,
+    ParameterSetting,
+    TaraExplorer,
+    build_knowledge_base,
+)
+from repro.data import PeriodSpec
+from repro.mining.fpgrowth import mine_fpgrowth
+
+A, B, C = 0, 1, 2
+
+
+@pytest.fixture(scope="module")
+def kb(tiny_windows):
+    config = GenerationConfig(min_support=0.05, min_confidence=0.25)
+    return build_knowledge_base(tiny_windows, config)
+
+
+@pytest.fixture(scope="module")
+def explorer(kb):
+    return TaraExplorer(kb)
+
+
+class TestTable1aItemsets:
+    """Table 1(a): per-window itemset supports at min supp 0.05."""
+
+    EXPECTED = {
+        # itemset: (support in T1, support in T2) as exact fractions
+        (A,): (Fraction(4, 11), Fraction(4, 9)),
+        (B,): (Fraction(5, 11), Fraction(2, 9)),
+        (C,): (Fraction(4, 11), Fraction(4, 9)),
+        (A, B): (Fraction(2, 11), Fraction(1, 9)),
+        (A, C): (Fraction(2, 11), Fraction(3, 9)),
+        (B, C): (Fraction(1, 11), Fraction(1, 9)),
+    }
+
+    def test_window_supports_match_the_paper(self, tiny_windows):
+        for window in (0, 1):
+            mined = mine_fpgrowth(tiny_windows.window(window), 0.05)
+            for itemset, supports in self.EXPECTED.items():
+                count = mined.count(itemset)
+                assert Fraction(count, mined.transaction_count) == supports[window], (
+                    itemset,
+                    window,
+                )
+
+    def test_paper_rounded_values(self, tiny_windows):
+        """The decimal values printed in Table 1(a)."""
+        mined = mine_fpgrowth(tiny_windows.window(0), 0.05)
+        assert mined.support((A,)) == pytest.approx(0.36, abs=0.005)
+        assert mined.support((B,)) == pytest.approx(0.45, abs=0.005)
+        assert mined.support((A, B)) == pytest.approx(0.18, abs=0.005)
+        assert mined.support((B, C)) == pytest.approx(0.09, abs=0.005)
+
+
+class TestTable1bRules:
+    """Table 1(b): the six rules with their (support, confidence)."""
+
+    # rule -> ((supp T1, conf T1) or None, (supp T2, conf T2))
+    EXPECTED = {
+        ((A,), (B,)): ((Fraction(2, 11), Fraction(1, 2)),
+                       (Fraction(1, 9), Fraction(1, 4))),
+        ((B,), (A,)): ((Fraction(2, 11), Fraction(2, 5)),
+                       (Fraction(1, 9), Fraction(1, 2))),
+        ((A,), (C,)): ((Fraction(2, 11), Fraction(1, 2)),
+                       (Fraction(3, 9), Fraction(3, 4))),
+        ((C,), (A,)): ((Fraction(2, 11), Fraction(1, 2)),
+                       (Fraction(3, 9), Fraction(3, 4))),
+        ((C,), (B,)): ((Fraction(1, 11), Fraction(1, 4)),
+                       (Fraction(1, 9), Fraction(1, 4))),
+        # R6 = b->c only qualifies in T2 (conf 1/5 < 0.25 in T1).
+        ((B,), (C,)): (None, (Fraction(1, 9), Fraction(1, 2))),
+    }
+
+    def test_rule_measures_match_the_paper(self, kb):
+        for (antecedent, consequent), expected in self.EXPECTED.items():
+            rule_id = kb.catalog.find(antecedent, consequent)
+            assert rule_id is not None, (antecedent, consequent)
+            for window, values in enumerate(expected):
+                measure = kb.archive.measure_at(rule_id, window)
+                if values is None:
+                    assert measure is None, (antecedent, consequent, window)
+                    continue
+                supp, conf = values
+                assert Fraction(
+                    measure.rule_count, measure.window_size
+                ) == supp
+                assert Fraction(
+                    measure.rule_count, measure.antecedent_count
+                ) == conf
+
+    def test_exactly_the_published_ruleset(self, kb, explorer):
+        """At the generation thresholds T1 has 5 rules, T2 has 6."""
+        setting = ParameterSetting(0.05, 0.25)
+        t1_rules = {
+            (kb.catalog.get(r).antecedent, kb.catalog.get(r).consequent)
+            for r in explorer.ruleset(setting, 0)
+        }
+        t2_rules = {
+            (kb.catalog.get(r).antecedent, kb.catalog.get(r).consequent)
+            for r in explorer.ruleset(setting, 1)
+        }
+        assert t1_rules == {
+            key for key, (t1, _) in self.EXPECTED.items() if t1 is not None
+        }
+        assert t2_rules == set(self.EXPECTED)
+
+
+class TestFigure4Locations:
+    """Figure 4's parametric-location claims."""
+
+    def test_r1_r3_r4_share_a_location_in_t1(self, kb):
+        """'Rules R1, R3 and R4 map to the same temporal parametric
+        location (0.18, 0.5) in the time period T1.'"""
+        r1 = kb.catalog.find((A,), (B,))
+        r3 = kb.catalog.find((A,), (C,))
+        r4 = kb.catalog.find((C,), (A,))
+        groups = {
+            location: rule_ids
+            for location, rule_ids in kb.slice(0).locations()
+        }
+        shared = [
+            (location, ids)
+            for location, ids in groups.items()
+            if set(ids) >= {r1, r3, r4}
+        ]
+        assert len(shared) == 1
+        location = shared[0][0]
+        assert location.support == Fraction(2, 11)
+        assert location.confidence == Fraction(1, 2)
+
+    def test_r1_travels_to_r5s_location_in_t2(self, kb):
+        """In T2, R1 = a->b relocates to R5 = c->b's location
+        (0.11, 0.25).  (The running text misprints it as (0.11, 0.5);
+        Table 1(b)'s values are authoritative.)"""
+        r1 = kb.catalog.find((A,), (B,))
+        r5 = kb.catalog.find((C,), (B,))
+        for location, rule_ids in kb.slice(1).locations():
+            if r1 in rule_ids:
+                assert r5 in rule_ids
+                assert location.support == Fraction(1, 9)
+                assert location.confidence == Fraction(1, 4)
+                return
+        pytest.fail("R1 not found in the T2 slice")
+
+
+class TestFigure5StableRegions:
+    """Figure 5: the T2 slice partitions into four stable regions; a
+    setting inside region S3 always yields {R3, R4}."""
+
+    def test_t2_has_three_occupied_locations(self, kb):
+        locations = list(kb.slice(1).locations())
+        assert len(locations) == 3
+
+    def test_region_s3_yields_r3_r4(self, kb, explorer):
+        r3 = kb.catalog.find((A,), (C,))
+        r4 = kb.catalog.find((C,), (A,))
+        # Anywhere inside S3 (supp in (0.11, 0.33], conf in (0.5, 0.75]).
+        for supp, conf in [(0.2, 0.6), (0.33, 0.75), (0.12, 0.51), (0.3, 0.7)]:
+            assert explorer.ruleset(ParameterSetting(supp, conf), 1) == sorted(
+                [r3, r4]
+            ), (supp, conf)
+
+    def test_region_recommendation_matches_figure(self, explorer):
+        recommendation = explorer.recommend(ParameterSetting(0.2, 0.6), window=1)
+        region = recommendation.region
+        assert region.cut is not None
+        assert region.cut.support == Fraction(3, 9)
+        assert region.cut.confidence == Fraction(3, 4)
+        assert region.support_floor == Fraction(1, 9)
+        assert region.confidence_floor == Fraction(1, 2)
+        assert region.ruleset_size == 2
+
+    def test_dominating_region_includes_dominated_rules(self, kb, explorer):
+        """Lemma 4 on the example: the region at (0.05, 0.25) dominates
+        S3, so its ruleset is a superset of {R3, R4}."""
+        loose = set(explorer.ruleset(ParameterSetting(0.05, 0.25), 1))
+        s3 = set(explorer.ruleset(ParameterSetting(0.2, 0.6), 1))
+        assert s3 < loose
+
+
+class TestTrajectoryAcrossTheExample:
+    def test_r6_has_a_gap_in_t1(self, kb, explorer):
+        r6 = kb.catalog.find((B,), (C,))
+        trajectories = explorer.trajectories(
+            ParameterSetting(0.05, 0.25), anchor_window=1, spec=PeriodSpec([0, 1])
+        )
+        trajectory = next(t for t in trajectories if t.rule_id == r6)
+        assert trajectory.measures[0] is None
+        assert trajectory.measures[1] is not None
+        assert trajectory.present_windows() == (1,)

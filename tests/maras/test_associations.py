@@ -1,0 +1,174 @@
+"""Non-spurious association learning: Definitions 3/4 and Lemma 1."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.maras.associations import (
+    DrugAdrAssociation,
+    SupportKind,
+    is_explicitly_supported,
+    is_implicitly_supported,
+    iter_spurious_variants,
+    learn_associations,
+)
+from repro.maras.reports import Report, ReportDatabase
+
+
+class TestDrugAdrAssociation:
+    def test_valid(self):
+        association = DrugAdrAssociation(drugs=(1, 2), adrs=(3,))
+        assert association.drug_count == 2
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ValidationError):
+            DrugAdrAssociation(drugs=(), adrs=(1,))
+
+    def test_format(self, toy_reports):
+        association = DrugAdrAssociation(drugs=(0,), adrs=(1,))
+        assert association.format(toy_reports) == "[drug0] => [adr1]"
+
+
+class TestPaperExample:
+    """Section 2.3.2's running example, verified end to end."""
+
+    def test_full_reports_are_explicit(self, toy_reports):
+        for drugs, adrs in [((0, 1, 2), (0, 1)), ((0, 1, 3), (0, 1))]:
+            association = DrugAdrAssociation(drugs=drugs, adrs=adrs)
+            assert is_explicitly_supported(toy_reports, association)
+
+    def test_intersection_is_implicit(self, toy_reports):
+        # R4 = (d1 ∧ d2) => (a1 ∧ a2): the intersection of t_i and t_j.
+        association = DrugAdrAssociation(drugs=(0, 1), adrs=(0, 1))
+        assert not is_explicitly_supported(toy_reports, association)
+        assert is_implicitly_supported(toy_reports, association)
+
+    def test_partial_interpretation_is_spurious(self, toy_reports):
+        # R2 = d1 => a2 is a partial interpretation: not explicit, and no
+        # two reports intersect to exactly ({d1}, {a2}).
+        association = DrugAdrAssociation(drugs=(0,), adrs=(1,))
+        assert not is_explicitly_supported(toy_reports, association)
+        assert not is_implicitly_supported(toy_reports, association)
+
+    def test_learned_set_matches_example(self, toy_reports):
+        learned = learn_associations(toy_reports, min_count=1, min_drugs=2)
+        keys = {
+            (la.association.drugs, la.association.adrs, la.kind)
+            for la in learned
+        }
+        assert ((0, 1, 2), (0, 1), SupportKind.EXPLICIT) in keys
+        assert ((0, 1, 3), (0, 1), SupportKind.EXPLICIT) in keys
+        assert ((0, 1), (0, 1), SupportKind.IMPLICIT) in keys
+        # Spurious partial interpretations are absent.
+        assert not any(k[:2] == ((0,), (1,)) for k in keys)
+
+    def test_spurious_variant_count(self):
+        # One report with 3 drugs and 2 ADRs has (2^3-1)(2^2-1) - 1 = 20
+        # partial interpretations.
+        report = Report.create([0, 1, 2], [0, 1])
+        assert sum(1 for _ in iter_spurious_variants(report)) == 20
+
+    def test_learned_stats_are_exact(self, toy_reports):
+        learned = learn_associations(toy_reports, min_count=1, min_drugs=1)
+        for la in learned:
+            drugs, adrs = la.association.drugs, la.association.adrs
+            assert la.count == toy_reports.count(drugs, adrs)
+            assert la.confidence == pytest.approx(
+                toy_reports.confidence(drugs, adrs)
+            )
+            assert la.support == pytest.approx(la.count / len(toy_reports))
+
+
+class TestLearnParameters:
+    def test_min_count_filters(self, toy_reports):
+        learned = learn_associations(toy_reports, min_count=2)
+        assert all(la.count >= 2 for la in learned)
+
+    def test_min_drugs_filters(self, toy_reports):
+        learned = learn_associations(toy_reports, min_drugs=2)
+        assert all(la.association.drug_count >= 2 for la in learned)
+
+    def test_bad_parameters(self, toy_reports):
+        with pytest.raises(ValidationError):
+            learn_associations(toy_reports, min_count=0)
+        with pytest.raises(ValidationError):
+            learn_associations(toy_reports, min_drugs=0)
+
+    def test_sorted_by_count_descending(self, toy_reports):
+        learned = learn_associations(toy_reports, min_count=1)
+        counts = [la.count for la in learned]
+        assert counts == sorted(counts, reverse=True)
+
+
+def random_reports(seed, count):
+    rng = random.Random(seed)
+    reports = []
+    for t in range(count):
+        drugs = rng.sample(range(5), rng.randint(1, 3))
+        adrs = rng.sample(range(4), rng.randint(1, 2))
+        reports.append(Report.create(drugs, adrs, t))
+    return ReportDatabase(reports)
+
+
+class TestLemmaOne:
+    """learn_associations == explicitly ∪ implicitly supported (Lemma 1)."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_learned_equals_oracles(self, seed):
+        database = random_reports(seed, 12)
+        learned = learn_associations(database, min_count=1, min_drugs=1)
+        learned_keys = {
+            (la.association.drugs, la.association.adrs) for la in learned
+        }
+
+        # Brute-force enumerate every candidate Drug-ADR association.
+        from itertools import combinations
+
+        all_drugs = sorted({d for r in database for d in r.drugs})
+        all_adrs = sorted({a for r in database for a in r.adrs})
+        expected = set()
+        for drug_size in range(1, len(all_drugs) + 1):
+            for drugs in combinations(all_drugs, drug_size):
+                for adr_size in range(1, len(all_adrs) + 1):
+                    for adrs in combinations(all_adrs, adr_size):
+                        association = DrugAdrAssociation(drugs=drugs, adrs=adrs)
+                        if is_explicitly_supported(
+                            database, association
+                        ) or is_implicitly_supported(database, association):
+                            expected.add((drugs, adrs))
+        assert learned_keys == expected
+
+    def test_kind_labels_match_oracles(self):
+        database = random_reports(7, 12)
+        for la in learn_associations(database, min_count=1, min_drugs=1):
+            if la.kind is SupportKind.EXPLICIT:
+                assert is_explicitly_supported(database, la.association)
+            else:
+                assert is_implicitly_supported(database, la.association)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.frozensets(st.integers(min_value=0, max_value=3), min_size=1, max_size=3),
+            st.frozensets(st.integers(min_value=0, max_value=2), min_size=1, max_size=2),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_lemma_one_property(report_contents):
+    """Property form of Lemma 1 over arbitrary small report collections."""
+    database = ReportDatabase(
+        [Report.create(d, a, t) for t, (d, a) in enumerate(report_contents)]
+    )
+    learned = learn_associations(database, min_count=1, min_drugs=1)
+    for la in learned:
+        explicit = is_explicitly_supported(database, la.association)
+        implicit = is_implicitly_supported(database, la.association)
+        assert explicit or implicit
+        assert (la.kind is SupportKind.EXPLICIT) == explicit

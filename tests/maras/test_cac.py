@@ -1,0 +1,95 @@
+"""Contextual association clusters (the Table 1 structure)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.maras.associations import DrugAdrAssociation
+from repro.maras.cac import build_cluster
+from repro.maras.reports import Report, ReportDatabase
+
+
+@pytest.fixture(scope="module")
+def database() -> ReportDatabase:
+    """Reports giving every subset of drugs {0,1,2} some exposure."""
+    reports = [
+        Report.create([0, 1, 2], [0], 0),
+        Report.create([0, 1, 2], [0], 1),
+        Report.create([0, 1], [1], 2),
+        Report.create([0, 2], [0], 3),
+        Report.create([1, 2], [1], 4),
+        Report.create([0], [1], 5),
+        Report.create([1], [1], 6),
+        Report.create([2], [0], 7),
+    ]
+    return ReportDatabase(reports)
+
+
+class TestClusterStructure:
+    def test_three_drug_target_has_six_contextual(self, database):
+        """Table 1: a 3-drug target yields 3 + 3 contextual associations."""
+        target = DrugAdrAssociation(drugs=(0, 1, 2), adrs=(0,))
+        cluster = build_cluster(database, target)
+        assert set(cluster.levels) == {1, 2}
+        assert len(cluster.levels[1]) == 3
+        assert len(cluster.levels[2]) == 3
+        assert cluster.size == 7  # target + 6
+
+    def test_two_drug_target_has_two_contextual(self, database):
+        target = DrugAdrAssociation(drugs=(0, 1), adrs=(0,))
+        cluster = build_cluster(database, target)
+        assert set(cluster.levels) == {1}
+        assert len(cluster.levels[1]) == 2
+
+    def test_contextual_antecedents_are_proper_subsets(self, database):
+        target = DrugAdrAssociation(drugs=(0, 1, 2), adrs=(0,))
+        cluster = build_cluster(database, target)
+        for contextual in cluster.all_contextual():
+            drugs = set(contextual.association.drugs)
+            assert drugs < set(target.drugs)
+            assert contextual.association.adrs == target.adrs
+
+    def test_antecedents_cover_power_set_minus_extremes(self, database):
+        """Definition 7: the union of contextual antecedents is P(D)−{∅,D}."""
+        target = DrugAdrAssociation(drugs=(0, 1, 2), adrs=(0,))
+        cluster = build_cluster(database, target)
+        antecedents = {c.association.drugs for c in cluster.all_contextual()}
+        expected = {(0,), (1,), (2,), (0, 1), (0, 2), (1, 2)}
+        assert antecedents == expected
+
+
+class TestClusterConfidences:
+    def test_target_confidence_exact(self, database):
+        target = DrugAdrAssociation(drugs=(0, 1, 2), adrs=(0,))
+        cluster = build_cluster(database, target)
+        assert cluster.target_confidence == pytest.approx(
+            database.confidence((0, 1, 2), (0,))
+        )
+
+    def test_contextual_confidences_exact(self, database):
+        target = DrugAdrAssociation(drugs=(0, 1, 2), adrs=(0,))
+        cluster = build_cluster(database, target)
+        for contextual in cluster.all_contextual():
+            assert contextual.confidence == pytest.approx(
+                database.confidence(
+                    contextual.association.drugs, contextual.association.adrs
+                )
+            )
+
+    def test_confidences_flattened_in_level_order(self, database):
+        target = DrugAdrAssociation(drugs=(0, 1, 2), adrs=(0,))
+        cluster = build_cluster(database, target)
+        confidences = cluster.contextual_confidences()
+        assert len(confidences) == 6
+        level_1 = [c.confidence for c in cluster.levels[1]]
+        assert confidences[:3] == level_1
+
+
+class TestValidation:
+    def test_single_drug_target_rejected(self, database):
+        with pytest.raises(ValidationError, match="multi-drug"):
+            build_cluster(database, DrugAdrAssociation(drugs=(0,), adrs=(0,)))
+
+    def test_oversized_target_rejected(self, database):
+        target = DrugAdrAssociation(drugs=tuple(range(13)), adrs=(0,))
+        with pytest.raises(ValidationError, match="capped"):
+            build_cluster(database, target)

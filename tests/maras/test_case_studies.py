@@ -1,0 +1,83 @@
+"""Case-study dossiers: evidence content and rendering."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.datagen import faers_quarter
+from repro.maras import MarasAnalyzer, MarasConfig
+from repro.maras.case_studies import build_case_study, top_case_studies
+
+
+@pytest.fixture(scope="module")
+def setup():
+    database, reference, _ = faers_quarter(seed=97, report_count=2000)
+    signals = MarasAnalyzer(database, MarasConfig(min_count=5)).signals(top_k=10)
+    return database, reference, signals
+
+
+class TestBuildCaseStudy:
+    def test_evidence_covers_whole_cluster(self, setup):
+        database, reference, signals = setup
+        study = build_case_study(signals[0], database, reference)
+        assert len(study.evidence) == signals[0].cluster.size - 1
+
+    def test_gaps_are_confidence_differences(self, setup):
+        database, _, signals = setup
+        study = build_case_study(signals[0], database)
+        for line in study.evidence:
+            assert line.gap == pytest.approx(
+                study.target_confidence - line.confidence
+            )
+
+    def test_report_counts_are_real(self, setup):
+        database, _, signals = setup
+        study = build_case_study(signals[0], database)
+        for line in study.evidence:
+            assert line.report_count >= 0
+
+    def test_known_interaction_flagged(self, setup):
+        database, reference, signals = setup
+        hits = [s for s in signals if reference.is_hit(s.association)]
+        assert hits, "expected at least one planted hit in the top 10"
+        study = build_case_study(hits[0], database, reference)
+        assert study.known_interactions
+
+    def test_strongest_alternative(self, setup):
+        database, _, signals = setup
+        study = build_case_study(signals[0], database)
+        strongest = study.strongest_alternative
+        assert strongest is not None
+        assert strongest.confidence == max(
+            line.confidence for line in study.evidence
+        )
+
+
+class TestRendering:
+    def test_render_contains_key_facts(self, setup):
+        database, reference, signals = setup
+        study = build_case_study(signals[0], database, reference)
+        text = study.render()
+        assert "Case study:" in text
+        assert "combination confidence" in text
+        assert "contextual associations" in text
+        assert f"{study.signal.score:.4f}" in text
+
+    def test_every_evidence_line_rendered(self, setup):
+        database, _, signals = setup
+        study = build_case_study(signals[0], database)
+        text = study.render()
+        for line in study.evidence:
+            assert line.description in text
+
+
+class TestTopCaseStudies:
+    def test_returns_k_dossiers(self, setup):
+        database, reference, signals = setup
+        studies = top_case_studies(signals, database, reference=reference, k=3)
+        assert len(studies) == 3
+        assert [s.signal for s in studies] == list(signals[:3])
+
+    def test_bad_k(self, setup):
+        database, _, signals = setup
+        with pytest.raises(ValidationError):
+            top_case_studies(signals, database, k=0)

@@ -1,0 +1,142 @@
+"""The contrast measure family, pinned to the paper's worked examples."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.maras.associations import DrugAdrAssociation
+from repro.maras.cac import ContextualAssociation, ContextualAssociationCluster
+from repro.maras.contrast import (
+    contrast_avg,
+    contrast_cv,
+    contrast_max,
+    contrast_score,
+    dispersion_penalty,
+    level_weight,
+)
+
+
+def make_cluster(target_confidence, levels):
+    """Build a cluster from {level: [confidences]} without a database."""
+    target_drugs = tuple(range(max(levels) + 1))
+    built = {}
+    for level, confidences in levels.items():
+        entries = []
+        for index, confidence in enumerate(confidences):
+            association = DrugAdrAssociation(
+                drugs=tuple(range(level)) if level > 1 else (index,),
+                adrs=(99,),
+            )
+            entries.append(
+                ContextualAssociation(association=association, confidence=confidence)
+            )
+        built[level] = tuple(entries)
+    return ContextualAssociationCluster(
+        target=DrugAdrAssociation(drugs=target_drugs, adrs=(99,)),
+        target_confidence=target_confidence,
+        levels=built,
+    )
+
+
+class TestPaperWorkedExample:
+    """Section 2.3.5: C1 = {1, 0.2, 0.8}, C2 = {1, 0.5, 0.55}, θ = 0.75."""
+
+    def test_contrast_avg(self):
+        c1 = make_cluster(1.0, {1: [0.2, 0.8]})
+        c2 = make_cluster(1.0, {1: [0.5, 0.55]})
+        assert contrast_avg(c1) == pytest.approx(0.5)
+        assert contrast_avg(c2) == pytest.approx(0.475)
+
+    def test_contrast_avg_prefers_wrong_cluster(self):
+        """The paper's motivation: plain averaging ranks C1 above C2."""
+        c1 = make_cluster(1.0, {1: [0.2, 0.8]})
+        c2 = make_cluster(1.0, {1: [0.5, 0.55]})
+        assert contrast_avg(c1) > contrast_avg(c2)
+
+    def test_contrast_cv_flips_the_ranking(self):
+        c1 = make_cluster(1.0, {1: [0.2, 0.8]})
+        c2 = make_cluster(1.0, {1: [0.5, 0.55]})
+        assert contrast_cv(c1, theta=0.75) == pytest.approx(0.18, abs=0.005)
+        assert contrast_cv(c2, theta=0.75) == pytest.approx(0.45, abs=0.005)
+        assert contrast_cv(c2, theta=0.75) > contrast_cv(c1, theta=0.75)
+
+
+class TestContrastMax:
+    def test_gap_to_best_contextual(self):
+        cluster = make_cluster(0.9, {1: [0.1, 0.6]})
+        assert contrast_max(cluster) == pytest.approx(0.3)
+
+    def test_negative_when_subset_dominates(self):
+        """A dominating subset (the anti-signal case) goes negative."""
+        cluster = make_cluster(0.5, {1: [0.8, 0.1]})
+        assert contrast_max(cluster) < 0
+
+    def test_empty_cluster_rejected(self):
+        cluster = make_cluster(0.9, {1: []})
+        with pytest.raises(ValidationError):
+            contrast_max(cluster)
+
+
+class TestDispersionPenalty:
+    def test_no_dispersion_no_penalty(self):
+        assert dispersion_penalty([0.3, 0.3], theta=0.75) == pytest.approx(1.0)
+
+    def test_theta_zero_disables_penalty(self):
+        assert dispersion_penalty([0.1, 0.9], theta=0.0) == 1.0
+
+    def test_clamped_at_zero(self):
+        # Extremely dispersed near-zero confidences can push G below 0.
+        assert dispersion_penalty([0.001, 0.9], theta=1.0) == 0.0
+
+    def test_theta_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            dispersion_penalty([0.5], theta=1.5)
+
+
+class TestLevelWeight:
+    def test_linear_decay(self):
+        # H(i, n) = 1 - (i-1)/n
+        assert level_weight(1, 3) == pytest.approx(1.0)
+        assert level_weight(2, 3) == pytest.approx(1 - 1 / 3)
+
+    def test_single_drug_level_weighs_most(self):
+        weights = [level_weight(i, 5) for i in range(1, 5)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_out_of_range_level_rejected(self):
+        with pytest.raises(ValidationError):
+            level_weight(0, 3)
+        with pytest.raises(ValidationError):
+            level_weight(3, 3)
+
+
+class TestContrastScore:
+    def test_two_drug_target_formula(self):
+        """n=2: score = (mean level-1 gap) * H(1,2) * G / 2."""
+        cluster = make_cluster(0.9, {1: [0.1, 0.3]})
+        gaps_mean = (0.8 + 0.6) / 2
+        penalty = dispersion_penalty([0.1, 0.3], 0.75)
+        assert contrast_score(cluster) == pytest.approx(
+            gaps_mean * 1.0 * penalty / 2
+        )
+
+    def test_higher_when_contextuals_weaker(self):
+        strong = make_cluster(0.9, {1: [0.05, 0.05]})
+        weak = make_cluster(0.9, {1: [0.5, 0.5]})
+        assert contrast_score(strong) > contrast_score(weak)
+
+    def test_monotone_in_target_confidence(self):
+        low = make_cluster(0.5, {1: [0.1, 0.1]})
+        high = make_cluster(0.9, {1: [0.1, 0.1]})
+        assert contrast_score(high) > contrast_score(low)
+
+    def test_multi_level_cluster(self):
+        cluster = make_cluster(1.0, {1: [0.1, 0.1, 0.1], 2: [0.2, 0.2, 0.2]})
+        level_1 = 0.9 * level_weight(1, 3) * 1.0
+        level_2 = 0.8 * level_weight(2, 3) * 1.0
+        assert contrast_score(cluster, theta=0.75) == pytest.approx(
+            (level_1 + level_2) / 3
+        )
+
+    def test_anti_signal_scores_negative(self):
+        cluster = make_cluster(0.2, {1: [0.9, 0.9]})
+        assert contrast_score(cluster) < 0

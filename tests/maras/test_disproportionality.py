@@ -1,0 +1,145 @@
+"""PRR / ROR / chi-squared disproportionality statistics."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.maras.disproportionality import (
+    ContingencyTable,
+    contingency_table,
+    rank_by_prr,
+    rank_by_ror,
+)
+from repro.maras.baselines import enumerate_candidate_pool
+from repro.maras.reports import Report, ReportDatabase
+
+
+class TestContingencyTable:
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValidationError):
+            ContingencyTable(a=-1, b=0, c=0, d=0)
+
+    def test_prr_textbook_value(self):
+        # 10/(10+90) = 0.1 exposed rate; 5/(5+895) ≈ 0.00556 unexposed.
+        table = ContingencyTable(a=10, b=90, c=5, d=895)
+        assert table.prr == pytest.approx((10 / 100) / (5 / 900))
+
+    def test_prr_one_at_independence(self):
+        # Exposed and unexposed report the ADR at the same 10% rate.
+        table = ContingencyTable(a=10, b=90, c=100, d=900)
+        assert table.prr == pytest.approx(1.0)
+
+    def test_prr_infinite_when_only_exposed(self):
+        assert ContingencyTable(a=5, b=5, c=0, d=90).prr == math.inf
+
+    def test_prr_zero_without_cases(self):
+        assert ContingencyTable(a=0, b=10, c=5, d=85).prr == 0.0
+
+    def test_ror_textbook_value(self):
+        table = ContingencyTable(a=10, b=90, c=5, d=895)
+        assert table.ror == pytest.approx((10 * 895) / (90 * 5))
+
+    def test_ror_infinite_and_zero_cases(self):
+        assert ContingencyTable(a=5, b=0, c=5, d=90).ror == math.inf
+        assert ContingencyTable(a=0, b=10, c=5, d=85).ror == 0.0
+
+    def test_chi_squared_zero_at_independence(self):
+        table = ContingencyTable(a=10, b=90, c=10, d=90)
+        assert table.chi_squared == pytest.approx(0.0, abs=0.3)
+
+    def test_chi_squared_large_for_strong_association(self):
+        table = ContingencyTable(a=50, b=10, c=10, d=930)
+        assert table.chi_squared > 100
+
+    def test_signal_criterion(self):
+        strong = ContingencyTable(a=10, b=20, c=5, d=965)
+        assert strong.is_signal()
+        too_few_cases = ContingencyTable(a=2, b=0, c=1, d=997)
+        assert not too_few_cases.is_signal()
+
+    def test_n(self):
+        assert ContingencyTable(a=1, b=2, c=3, d=4).n == 10
+
+
+@pytest.fixture(scope="module")
+def database() -> ReportDatabase:
+    reports = []
+    time = 0
+    for _ in range(8):  # strong DDI: 0+1 -> ADR 5
+        reports.append(Report.create([0, 1], [5], time))
+        time += 1
+    for _ in range(10):  # drug 0 alone, other ADR
+        reports.append(Report.create([0], [7], time))
+        time += 1
+    for _ in range(10):  # drug 1 alone, other ADR
+        reports.append(Report.create([1], [8], time))
+        time += 1
+    for _ in range(20):  # background
+        reports.append(Report.create([2], [9], time))
+        time += 1
+    return ReportDatabase(reports)
+
+
+class TestContingencyFromDatabase:
+    def test_cells_sum_to_n(self, database):
+        table = contingency_table(database, [0, 1], [5])
+        assert table.n == len(database)
+
+    def test_cells_match_brute_force(self, database):
+        table = contingency_table(database, [0, 1], [5])
+        a = sum(
+            1
+            for r in database
+            if {0, 1} <= set(r.drugs) and 5 in r.adrs
+        )
+        b = sum(
+            1
+            for r in database
+            if {0, 1} <= set(r.drugs) and 5 not in r.adrs
+        )
+        assert (table.a, table.b) == (a, b)
+        assert table.c == sum(
+            1
+            for r in database
+            if not {0, 1} <= set(r.drugs) and 5 in r.adrs
+        )
+
+    def test_planted_pair_is_a_signal(self, database):
+        table = contingency_table(database, [0, 1], [5])
+        assert table.is_signal()
+
+    def test_background_is_not_a_signal(self, database):
+        table = contingency_table(database, [2], [5])
+        assert not table.is_signal()
+
+
+class TestRanking:
+    def test_prr_ranks_planted_pair_first(self, database):
+        pool = enumerate_candidate_pool(database, min_count=2, min_drugs=2)
+        ranking = rank_by_prr(database, pool)
+        assert ranking, "criterion should keep the planted pair"
+        top_association = ranking[0][0]
+        assert set(top_association.drugs) == {0, 1}
+
+    def test_prr_criterion_filters(self, database):
+        pool = enumerate_candidate_pool(database, min_count=2, min_drugs=2)
+        with_criterion = rank_by_prr(database, pool, apply_signal_criterion=True)
+        without = rank_by_prr(database, pool, apply_signal_criterion=False)
+        assert len(with_criterion) <= len(without)
+
+    def test_ror_ranking_descending(self, database):
+        pool = enumerate_candidate_pool(database, min_count=2, min_drugs=2)
+        ranking = rank_by_ror(database, pool)
+        finite = [v for _, v in ranking if not math.isinf(v)]
+        assert finite == sorted(finite, reverse=True)
+
+    def test_infinite_values_rank_first(self, database):
+        pool = enumerate_candidate_pool(database, min_count=2, min_drugs=2)
+        ranking = rank_by_ror(database, pool)
+        values = [v for _, v in ranking]
+        if any(math.isinf(v) for v in values):
+            last_infinite = max(
+                i for i, v in enumerate(values) if math.isinf(v)
+            )
+            assert all(math.isinf(v) for v in values[: last_infinite + 1])

@@ -1,0 +1,149 @@
+"""Reference KB hits and the precision@K evaluation."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.maras.associations import DrugAdrAssociation
+from repro.maras.cac import ContextualAssociation, ContextualAssociationCluster
+from repro.maras.evaluation import (
+    average_precision,
+    hit_table,
+    precision_at_k,
+    recall_of_known,
+)
+from repro.maras.reference_kb import KnownInteraction, ReferenceKnowledgeBase
+from repro.maras.signals import Signal
+from repro.maras.associations import SupportKind
+
+
+def make_signal(drugs, adrs, score=0.5):
+    association = DrugAdrAssociation(drugs=tuple(drugs), adrs=tuple(adrs))
+    cluster = ContextualAssociationCluster(
+        target=association,
+        target_confidence=0.9,
+        levels={
+            1: tuple(
+                ContextualAssociation(
+                    association=DrugAdrAssociation(drugs=(d,), adrs=tuple(adrs)),
+                    confidence=0.1,
+                )
+                for d in drugs
+            )
+        },
+    )
+    return Signal(
+        association=association,
+        kind=SupportKind.IMPLICIT,
+        score=score,
+        confidence=0.9,
+        count=5,
+        cluster=cluster,
+    )
+
+
+@pytest.fixture
+def reference() -> ReferenceKnowledgeBase:
+    return ReferenceKnowledgeBase(
+        [
+            KnownInteraction.create([0, 1], [5]),
+            KnownInteraction.create([2, 3], [6, 7]),
+        ]
+    )
+
+
+class TestKnownInteraction:
+    def test_needs_two_drugs(self):
+        with pytest.raises(ValidationError):
+            KnownInteraction.create([0], [5])
+
+    def test_needs_an_adr(self):
+        with pytest.raises(ValidationError):
+            KnownInteraction.create([0, 1], [])
+
+
+class TestHitSemantics:
+    def test_exact_match_hits(self, reference):
+        assert reference.is_hit(DrugAdrAssociation(drugs=(0, 1), adrs=(5,)))
+
+    def test_superset_drugs_still_hit(self, reference):
+        """A signal naming extra co-medications still hits."""
+        assert reference.is_hit(DrugAdrAssociation(drugs=(0, 1, 9), adrs=(5,)))
+
+    def test_adr_overlap_suffices(self, reference):
+        assert reference.is_hit(DrugAdrAssociation(drugs=(2, 3), adrs=(7, 9)))
+
+    def test_drug_subset_misses(self, reference):
+        assert not reference.is_hit(DrugAdrAssociation(drugs=(0,), adrs=(5,)))
+
+    def test_wrong_adrs_miss(self, reference):
+        assert not reference.is_hit(DrugAdrAssociation(drugs=(0, 1), adrs=(9,)))
+
+    def test_matching_interactions_listed(self, reference):
+        matches = reference.matching_interactions(
+            DrugAdrAssociation(drugs=(0, 1), adrs=(5,))
+        )
+        assert len(matches) == 1
+        assert matches[0].drugs == frozenset({0, 1})
+
+
+class TestPrecisionAtK:
+    def test_known_curve(self, reference):
+        signals = [
+            make_signal([0, 1], [5]),   # hit
+            make_signal([8, 9], [1]),   # miss
+            make_signal([2, 3], [6]),   # hit
+            make_signal([7, 8], [2]),   # miss
+        ]
+        curve = precision_at_k(signals, reference, [1, 2, 3, 4])
+        assert curve.precisions == (1.0, 0.5, pytest.approx(2 / 3), 0.5)
+        assert curve.hits == (True, False, True, False)
+        assert curve.at(2) == 0.5
+
+    def test_k_beyond_signals_divides_by_k(self, reference):
+        signals = [make_signal([0, 1], [5])]
+        curve = precision_at_k(signals, reference, [5])
+        assert curve.at(5) == pytest.approx(1 / 5)
+
+    def test_uncomputed_k_rejected(self, reference):
+        curve = precision_at_k([], reference, [1])
+        with pytest.raises(ValidationError):
+            curve.at(3)
+
+    def test_bad_ks_rejected(self, reference):
+        with pytest.raises(ValidationError):
+            precision_at_k([], reference, [])
+        with pytest.raises(ValidationError):
+            precision_at_k([], reference, [0])
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self, reference):
+        signals = [make_signal([0, 1], [5]), make_signal([2, 3], [6])]
+        assert average_precision(signals, reference) == 1.0
+
+    def test_hit_after_miss(self, reference):
+        signals = [make_signal([8, 9], [1]), make_signal([0, 1], [5])]
+        assert average_precision(signals, reference) == pytest.approx(0.5)
+
+    def test_no_hits(self, reference):
+        assert average_precision([make_signal([8, 9], [1])], reference) == 0.0
+
+
+class TestRecall:
+    def test_full_recall(self, reference):
+        signals = [make_signal([0, 1], [5]), make_signal([2, 3, 4], [7])]
+        assert recall_of_known(signals, reference) == 1.0
+
+    def test_partial_recall(self, reference):
+        assert recall_of_known([make_signal([0, 1], [5])], reference) == 0.5
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValidationError):
+            recall_of_known([], ReferenceKnowledgeBase())
+
+
+class TestHitTable:
+    def test_rank_to_flag(self, reference):
+        signals = [make_signal([0, 1], [5]), make_signal([8, 9], [1])]
+        table = hit_table(signals, reference, top_k=2)
+        assert table == {1: True, 2: False}

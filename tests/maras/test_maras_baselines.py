@@ -1,0 +1,99 @@
+"""Confidence/RR baseline rankers and the rank-of-signal lookup."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.maras.associations import DrugAdrAssociation
+from repro.maras.baselines import (
+    enumerate_candidate_pool,
+    rank_by_confidence,
+    rank_by_reporting_ratio,
+    rank_of_association,
+)
+from repro.maras.reports import Report, ReportDatabase
+
+
+@pytest.fixture(scope="module")
+def database() -> ReportDatabase:
+    reports = []
+    time = 0
+    for _ in range(5):
+        reports.append(Report.create([0, 1], [0], time))
+        time += 1
+    for _ in range(3):
+        reports.append(Report.create([0, 1, 2], [0, 1], time))
+        time += 1
+    for _ in range(4):
+        reports.append(Report.create([2, 3], [2], time))
+        time += 1
+    return ReportDatabase(reports)
+
+
+class TestCandidatePool:
+    def test_pool_counts_are_containment_counts(self, database):
+        pool = enumerate_candidate_pool(database, min_count=2)
+        for association, count in pool:
+            assert count == database.count(association.drugs, association.adrs)
+            assert count >= 2
+
+    def test_pool_includes_spurious_partials(self, database):
+        """Unlike MARAS, the pool keeps partial interpretations."""
+        pool_keys = {
+            (a.drugs, a.adrs) for a, _ in enumerate_candidate_pool(database, min_count=2)
+        }
+        # (0,1) => (1,) is a partial interpretation of the 3-drug reports
+        # (drug 2 dropped) - spurious under Definitions 3/4, kept here.
+        assert ((0, 1), (1,)) in pool_keys
+
+    def test_min_drugs_respected(self, database):
+        pool = enumerate_candidate_pool(database, min_count=1, min_drugs=2)
+        assert all(a.drug_count >= 2 for a, _ in pool)
+
+    def test_size_caps_respected(self, database):
+        pool = enumerate_candidate_pool(
+            database, min_count=1, max_drugs=2, max_adrs=1
+        )
+        for association, _ in pool:
+            assert association.drug_count <= 2
+            assert len(association.adrs) <= 1
+
+    def test_bad_min_count(self, database):
+        with pytest.raises(ValidationError):
+            enumerate_candidate_pool(database, min_count=0)
+
+
+class TestRankers:
+    def test_confidence_ranking_descending(self, database):
+        ranking = rank_by_confidence(database, min_count=2)
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_confidence_values_correct(self, database):
+        ranking = rank_by_confidence(database, min_count=2)
+        for association, value in ranking:
+            assert value == pytest.approx(
+                database.confidence(association.drugs, association.adrs)
+            )
+
+    def test_rr_ranking_descending(self, database):
+        ranking = rank_by_reporting_ratio(database, min_count=2)
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_shared_pool_reused(self, database):
+        pool = enumerate_candidate_pool(database, min_count=2)
+        by_conf = rank_by_confidence(database, pool=pool)
+        by_rr = rank_by_reporting_ratio(database, pool=pool)
+        assert {a for a, _ in by_conf} == {a for a, _ in by_rr}
+
+
+class TestRankOf:
+    def test_finds_rank(self, database):
+        ranking = rank_by_confidence(database, min_count=2)
+        target = ranking[2][0]
+        assert rank_of_association(ranking, target) == 3
+
+    def test_absent_association_is_none(self, database):
+        ranking = rank_by_confidence(database, min_count=2)
+        ghost = DrugAdrAssociation(drugs=(97, 98), adrs=(99,))
+        assert rank_of_association(ranking, ghost) is None

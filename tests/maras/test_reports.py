@@ -1,0 +1,122 @@
+"""Reports and the containment-counting index."""
+
+import pytest
+
+from repro.common.errors import DataFormatError, ValidationError
+from repro.data.items import ItemVocabulary
+from repro.maras.reports import (
+    Report,
+    ReportDatabase,
+    combine_report,
+    encode_adr,
+    encode_drug,
+    split_combined,
+)
+
+
+class TestReport:
+    def test_create_canonicalizes(self):
+        report = Report.create([3, 1], [2, 2], time=5)
+        assert report.drugs == (1, 3)
+        assert report.adrs == (2,)
+        assert report.time == 5
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(DataFormatError):
+            Report.create([], [1])
+        with pytest.raises(DataFormatError):
+            Report.create([1], [])
+
+    def test_signature_is_exact_content(self):
+        report = Report.create([1, 2], [3])
+        assert report.signature == ((1, 2), (3,))
+
+
+class TestCombinedEncoding:
+    def test_parity_encoding_disjoint(self):
+        assert encode_drug(3) != encode_adr(3)
+        assert encode_drug(0) == 0 and encode_adr(0) == 1
+
+    def test_split_roundtrip(self):
+        report = Report.create([0, 2], [0, 1])
+        combined = combine_report(report)
+        drugs, adrs = split_combined(combined)
+        assert drugs == report.drugs
+        assert adrs == report.adrs
+
+    def test_combined_is_canonical(self):
+        combined = combine_report(Report.create([5, 1], [3]))
+        assert combined == tuple(sorted(combined))
+
+
+class TestReportDatabase:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ReportDatabase([])
+
+    def test_counts_match_brute_force(self, toy_reports):
+        for drugs, adrs in [((0,), ()), ((0, 1), (0,)), ((), (2,)), ((0, 1), (0, 1))]:
+            brute = sum(
+                1
+                for report in toy_reports
+                if set(drugs) <= set(report.drugs)
+                and set(adrs) <= set(report.adrs)
+            )
+            assert toy_reports.count(drugs, adrs) == brute
+
+    def test_count_of_unknown_item_is_zero(self, toy_reports):
+        assert toy_reports.count((99,)) == 0
+        assert toy_reports.count((0,), (99,)) == 0
+
+    def test_empty_query_rejected(self, toy_reports):
+        with pytest.raises(ValidationError):
+            toy_reports.matching((), ())
+
+    def test_confidence(self, toy_reports):
+        # d1 (id 0) appears in 4 reports; (d1, a1) in 2.
+        assert toy_reports.confidence((0,), (0,)) == pytest.approx(2 / 4)
+
+    def test_confidence_zero_when_drug_absent(self, toy_reports):
+        assert toy_reports.confidence((99,), (0,)) == 0.0
+
+    def test_support(self, toy_reports):
+        assert toy_reports.support((0, 1), (0, 1)) == pytest.approx(2 / 7)
+
+    def test_lift(self, toy_reports):
+        joint = toy_reports.count((0, 1), (0,))
+        expected = joint * len(toy_reports) / (
+            toy_reports.count((0, 1)) * toy_reports.count((), (0,))
+        )
+        assert toy_reports.lift((0, 1), (0,)) == pytest.approx(expected)
+
+    def test_lift_zero_when_disjoint(self, toy_reports):
+        assert toy_reports.lift((2,), (0,)) == pytest.approx(
+            toy_reports.count((2,), (0,))
+            * len(toy_reports)
+            / (toy_reports.count((2,)) * toy_reports.count((), (0,)))
+            if toy_reports.count((2,), (0,))
+            else 0.0
+        )
+
+    def test_has_exact_report(self, toy_reports):
+        assert toy_reports.has_exact_report((0, 1, 2), (0, 1))
+        assert not toy_reports.has_exact_report((0, 1), (0, 1))
+
+    def test_vocab_names(self):
+        drug_vocab = ItemVocabulary(["aspirin"])
+        adr_vocab = ItemVocabulary(["nausea"])
+        database = ReportDatabase(
+            [Report.create([0], [0])],
+            drug_vocabulary=drug_vocab,
+            adr_vocabulary=adr_vocab,
+        )
+        assert database.drug_name(0) == "aspirin"
+        assert database.adr_name(0) == "nausea"
+
+    def test_fallback_names(self, toy_reports):
+        assert toy_reports.drug_name(3) == "drug3"
+        assert toy_reports.adr_name(1) == "adr1"
+
+    def test_distinct_counts(self, toy_reports):
+        assert toy_reports.drug_count == 4
+        assert toy_reports.adr_count == 3

@@ -1,0 +1,126 @@
+"""The signal pipeline: ranking, filtering, determinism, planted recovery."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.maras.reports import Report, ReportDatabase
+from repro.maras.signals import MarasAnalyzer, MarasConfig
+
+
+def interaction_database() -> ReportDatabase:
+    """A tiny corpus with one real interaction and one confounder.
+
+    Drugs 0+1 interact: ADR 5 appears (only) when both are present.
+    Drugs 2+3 are co-prescribed as often, but their reports only show
+    drug 2's own ADR 6 — which drug 2 also shows alone.
+    """
+    reports = []
+    time = 0
+    for _ in range(6):  # interaction reports
+        reports.append(Report.create([0, 1], [5], time))
+        time += 1
+    for _ in range(6):  # confounder reports
+        reports.append(Report.create([2, 3], [6], time))
+        time += 1
+    for _ in range(8):  # solo exposure: drug 2 causes 6 alone too
+        reports.append(Report.create([2], [6], time))
+        time += 1
+    for _ in range(8):  # solo exposure without the interaction ADR
+        reports.append(Report.create([0], [7], time))
+        time += 1
+        reports.append(Report.create([1], [8], time))
+        time += 1
+    return ReportDatabase(reports)
+
+
+class TestSignalRanking:
+    def test_interaction_outranks_confounder(self):
+        analyzer = MarasAnalyzer(
+            interaction_database(), MarasConfig(min_count=2)
+        )
+        signals = analyzer.signals()
+        assert signals, "no signals produced"
+        top = signals[0]
+        assert set(top.association.drugs) == {0, 1}
+        assert set(top.association.adrs) == {5}
+        ranks = {
+            frozenset(s.association.drugs): rank
+            for rank, s in enumerate(signals)
+        }
+        if frozenset({2, 3}) in ranks:
+            assert ranks[frozenset({0, 1})] < ranks[frozenset({2, 3})]
+
+    def test_scores_descending(self):
+        signals = MarasAnalyzer(
+            interaction_database(), MarasConfig(min_count=2)
+        ).signals()
+        scores = [s.score for s in signals]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic(self):
+        first = MarasAnalyzer(interaction_database(), MarasConfig(min_count=2)).signals()
+        second = MarasAnalyzer(interaction_database(), MarasConfig(min_count=2)).signals()
+        assert [(s.association, s.score) for s in first] == [
+            (s.association, s.score) for s in second
+        ]
+
+    def test_top_k_truncates(self):
+        analyzer = MarasAnalyzer(interaction_database(), MarasConfig(min_count=2))
+        assert len(analyzer.signals(top_k=1)) == 1
+
+    def test_bad_top_k(self):
+        analyzer = MarasAnalyzer(interaction_database(), MarasConfig(min_count=2))
+        with pytest.raises(ValidationError):
+            analyzer.signals(top_k=0)
+
+
+class TestFilters:
+    def test_min_score_drops_anti_signals(self):
+        signals = MarasAnalyzer(
+            interaction_database(), MarasConfig(min_count=2, min_score=0.0)
+        ).signals()
+        assert all(s.score > 0 for s in signals)
+
+    def test_min_count_respected(self):
+        signals = MarasAnalyzer(
+            interaction_database(), MarasConfig(min_count=6)
+        ).signals()
+        assert all(s.count >= 6 for s in signals)
+
+    def test_all_signals_multi_drug(self):
+        signals = MarasAnalyzer(
+            interaction_database(), MarasConfig(min_count=2)
+        ).signals()
+        assert all(s.association.drug_count >= 2 for s in signals)
+
+    def test_max_drugs_cap(self):
+        signals = MarasAnalyzer(
+            interaction_database(), MarasConfig(min_count=2, max_drugs=2)
+        ).signals()
+        assert all(s.association.drug_count <= 2 for s in signals)
+
+
+class TestConfig:
+    def test_min_drugs_below_two_rejected(self):
+        with pytest.raises(ValidationError):
+            MarasConfig(min_drugs=1)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ValidationError):
+            MarasConfig(min_drugs=3, max_drugs=2)
+
+
+class TestSignalEvidence:
+    def test_signal_carries_cluster(self):
+        signals = MarasAnalyzer(
+            interaction_database(), MarasConfig(min_count=2)
+        ).signals()
+        top = signals[0]
+        assert top.cluster.target == top.association
+        assert top.cluster.size >= 3
+
+    def test_describe_renders(self):
+        database = interaction_database()
+        signals = MarasAnalyzer(database, MarasConfig(min_count=2)).signals()
+        line = signals[0].describe(database)
+        assert "=>" in line and "score=" in line

@@ -1,0 +1,140 @@
+"""Temporal MDAR tracking: digests, trajectories, persistence, emergence."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.maras.reports import Report, ReportDatabase
+from repro.maras.signals import MarasConfig
+from repro.maras.temporal import TemporalSignalTracker
+
+
+def quarter(interactions, noise_seed, n_noise=20):
+    """Build one period: interaction reports plus solo-drug noise.
+
+    *interactions* is a list of ((drugs), (adrs), copies).
+    """
+    import random
+
+    rng = random.Random(noise_seed)
+    reports = []
+    time = 0
+    for drugs, adrs, copies in interactions:
+        for _ in range(copies):
+            reports.append(Report.create(drugs, adrs, time))
+            time += 1
+    for _ in range(n_noise):
+        drug = rng.randrange(10)
+        reports.append(Report.create([drug], [20 + drug % 5], time))
+        time += 1
+    return ReportDatabase(reports)
+
+
+STRONG = ([0, 1], [5], 8)
+MEDIUM = ([2, 3], [6], 5)
+LATE = ([4, 5], [7], 8)
+
+
+class TestAddPeriod:
+    def test_first_period_all_new(self):
+        tracker = TemporalSignalTracker(MarasConfig(min_count=3))
+        digest = tracker.add_period(quarter([STRONG, MEDIUM], 1))
+        assert digest.period == 0
+        assert len(digest.new_signals) >= 2
+        assert digest.vanished == ()
+
+    def test_new_signal_detected_in_later_period(self):
+        tracker = TemporalSignalTracker(MarasConfig(min_count=3))
+        tracker.add_period(quarter([STRONG], 1))
+        digest = tracker.add_period(quarter([STRONG, LATE], 2))
+        new_drug_sets = {frozenset(a.drugs) for a in digest.new_signals}
+        assert frozenset({4, 5}) in new_drug_sets
+
+    def test_vanished_signal_detected(self):
+        tracker = TemporalSignalTracker(MarasConfig(min_count=3))
+        tracker.add_period(quarter([STRONG, MEDIUM], 1))
+        digest = tracker.add_period(quarter([STRONG], 2))
+        vanished_drug_sets = {frozenset(a.drugs) for a in digest.vanished}
+        assert frozenset({2, 3}) in vanished_drug_sets
+
+    def test_strengthened_and_weakened(self):
+        tracker = TemporalSignalTracker(
+            MarasConfig(min_count=3), strengthen_threshold=0.01
+        )
+        # Period 0: the pair co-occurs but the ADR follows only some of
+        # the time; period 1: the pair always shows the ADR.
+        weak = [([0, 1], [5], 4), ([0, 1], [8], 4)]
+        strong = [([0, 1], [5], 8)]
+        tracker.add_period(quarter(weak, 1))
+        digest = tracker.add_period(quarter(strong, 2))
+        strengthened_sets = {frozenset(a.drugs) for a in digest.strengthened}
+        assert frozenset({0, 1}) in strengthened_sets
+
+
+class TestTrajectories:
+    @pytest.fixture()
+    def tracker(self):
+        tracker = TemporalSignalTracker(MarasConfig(min_count=3))
+        tracker.add_period(quarter([STRONG, MEDIUM], 1))
+        tracker.add_period(quarter([STRONG], 2))
+        tracker.add_period(quarter([STRONG, LATE], 3))
+        return tracker
+
+    def test_period_count(self, tracker):
+        assert tracker.period_count == 3
+
+    def test_persistent_signal_spans_all_periods(self, tracker):
+        persistent = tracker.persistent_signals()
+        drug_sets = {frozenset(t.association.drugs) for t in persistent}
+        assert frozenset({0, 1}) in drug_sets
+        for trajectory in persistent:
+            assert trajectory.periods_present == (0, 1, 2)
+
+    def test_emerging_signal_detected(self, tracker):
+        emerging = tracker.emerging_signals(last_periods=1)
+        drug_sets = {frozenset(t.association.drugs) for t in emerging}
+        assert frozenset({4, 5}) in drug_sets
+        assert frozenset({0, 1}) not in drug_sets
+
+    def test_snapshots_carry_ranks(self, tracker):
+        for trajectory in tracker.trajectories():
+            for snapshot in trajectory.snapshots:
+                assert snapshot.rank >= 1
+                assert 0 <= snapshot.period < 3
+
+    def test_signals_of_period_roundtrip(self, tracker):
+        signals = tracker.signals_of_period(0)
+        assert signals
+        assert tracker.signals_of_period(0) == signals
+
+    def test_period_out_of_range(self, tracker):
+        with pytest.raises(ValidationError):
+            tracker.signals_of_period(3)
+
+    def test_score_delta(self, tracker):
+        for trajectory in tracker.trajectories():
+            expected = (
+                trajectory.snapshots[-1].score - trajectory.snapshots[0].score
+            )
+            assert trajectory.score_delta() == pytest.approx(expected)
+
+
+class TestConfigValidation:
+    def test_bad_top_k(self):
+        with pytest.raises(ValidationError):
+            TemporalSignalTracker(top_k=0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValidationError):
+            TemporalSignalTracker(strengthen_threshold=-0.1)
+
+    def test_bad_min_periods(self):
+        tracker = TemporalSignalTracker(MarasConfig(min_count=3))
+        tracker.add_period(quarter([STRONG], 1))
+        with pytest.raises(ValidationError):
+            tracker.persistent_signals(min_periods=0)
+
+    def test_bad_last_periods(self):
+        tracker = TemporalSignalTracker(MarasConfig(min_count=3))
+        tracker.add_period(quarter([STRONG], 1))
+        with pytest.raises(ValidationError):
+            tracker.emerging_signals(last_periods=0)

@@ -1,0 +1,91 @@
+"""CHARM closed-itemset mining on crafted datasets."""
+
+import pytest
+
+from repro.mining.closed import is_closed_in, mine_closed
+
+
+class TestCraftedClosedSets:
+    def test_equal_support_collapse(self):
+        # Items 1 and 2 always co-occur: {1}, {2} are not closed.
+        transactions = [(1, 2), (1, 2, 3), (3,)]
+        closed = mine_closed(transactions, 0.0, min_count=1)
+        assert closed.counts == {
+            (1, 2): 2,
+            (1, 2, 3): 1,
+            (3,): 2,
+        }
+
+    def test_all_distinct_singletons_closed(self):
+        transactions = [(1,), (2,), (3,)]
+        closed = mine_closed(transactions, 0.0, min_count=1)
+        assert closed.counts == {(1,): 1, (2,): 1, (3,): 1}
+
+    def test_min_count_two_keeps_only_intersections(self):
+        transactions = [(1, 2, 3), (1, 2, 4), (5,)]
+        closed = mine_closed(transactions, 0.0, min_count=2)
+        # Only {1,2} occurs in >= 2 transactions.
+        assert closed.counts == {(1, 2): 2}
+
+    def test_identical_transactions(self):
+        closed = mine_closed([(1, 2)] * 3, 0.0, min_count=1)
+        assert closed.counts == {(1, 2): 3}
+
+    def test_empty_input(self):
+        assert len(mine_closed([], 0.5)) == 0
+
+    def test_fractional_threshold(self):
+        transactions = [(1, 2), (1, 2), (1, 3), (4,)]
+        closed = mine_closed(transactions, 0.5)
+        # min count 2: {1} (3 times), {1,2} (2 times).
+        assert closed.counts == {(1,): 3, (1, 2): 2}
+
+
+class TestClosednessOracle:
+    def test_closed_itemset_detected(self):
+        transactions = [(1, 2), (1, 2, 3)]
+        assert is_closed_in((1, 2), transactions)
+
+    def test_non_closed_itemset_detected(self):
+        transactions = [(1, 2), (1, 2, 3)]
+        assert not is_closed_in((1,), transactions)  # closure is {1,2}
+
+    def test_absent_itemset_not_closed(self):
+        assert not is_closed_in((9,), [(1, 2)])
+
+    def test_every_mined_set_passes_oracle(self):
+        transactions = [
+            (1, 2, 3),
+            (2, 3, 4),
+            (1, 3),
+            (2, 4),
+            (1, 2, 3, 4),
+        ]
+        closed = mine_closed(transactions, 0.0, min_count=1)
+        for itemset in closed:
+            assert is_closed_in(itemset, transactions), itemset
+
+
+class TestSubsumption:
+    def test_duplicate_branches_yield_one_closed_set(self):
+        # A dataset where multiple CHARM branches reach the same closure:
+        # items 1..4 always co-occur in the two full transactions, so
+        # {4} (and every subset containing 4) is absorbed into the
+        # closure {1,2,3,4}; items 1..3 keep their own closed singletons
+        # from the extra transactions they appear in alone.
+        transactions = [
+            (1, 2, 3, 4),
+            (1, 2, 3, 4),
+            (1, 5),
+            (2, 6),
+            (3, 7),
+        ]
+        closed = mine_closed(transactions, 0.0, min_count=2)
+        assert closed.counts == {
+            (1, 2, 3, 4): 2,
+            (1,): 3,
+            (2,): 3,
+            (3,): 3,
+        }
+        assert (4,) not in closed.counts
+        assert (1, 2) not in closed.counts

@@ -1,0 +1,116 @@
+"""Objective interestingness measures over contingency counts."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.mining.measures import (
+    ContingencyCounts,
+    available_measures,
+    get_measure,
+    improvement,
+)
+
+
+@pytest.fixture
+def counts() -> ContingencyCounts:
+    # 100 transactions; X in 40, Y in 50, X∪Y in 20.
+    return ContingencyCounts(n_xy=20, n_x=40, n_y=50, n=100)
+
+
+class TestContingencyCounts:
+    def test_valid_counts_accepted(self, counts):
+        assert counts.n == 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            ContingencyCounts(n_xy=-1, n_x=1, n_y=1, n=2)
+
+    def test_joint_exceeding_marginal_rejected(self):
+        with pytest.raises(ValidationError):
+            ContingencyCounts(n_xy=5, n_x=4, n_y=9, n=10)
+
+    def test_marginal_exceeding_total_rejected(self):
+        with pytest.raises(ValidationError):
+            ContingencyCounts(n_xy=1, n_x=11, n_y=1, n=10)
+
+
+class TestCoreMeasures:
+    def test_support(self, counts):
+        assert get_measure("support")(counts) == pytest.approx(0.2)
+
+    def test_confidence(self, counts):
+        assert get_measure("confidence")(counts) == pytest.approx(0.5)
+
+    def test_lift(self, counts):
+        # P(XY)/P(X)P(Y) = 0.2 / (0.4 * 0.5) = 1.0: independence.
+        assert get_measure("lift")(counts) == pytest.approx(1.0)
+
+    def test_lift_above_one_for_positive_association(self):
+        counts = ContingencyCounts(n_xy=30, n_x=40, n_y=50, n=100)
+        assert get_measure("lift")(counts) == pytest.approx(1.5)
+
+    def test_leverage_zero_at_independence(self, counts):
+        assert get_measure("leverage")(counts) == pytest.approx(0.0)
+
+    def test_conviction_at_independence_is_one(self, counts):
+        assert get_measure("conviction")(counts) == pytest.approx(1.0)
+
+    def test_conviction_infinite_without_counterexamples(self):
+        counts = ContingencyCounts(n_xy=40, n_x=40, n_y=50, n=100)
+        assert get_measure("conviction")(counts) == math.inf
+
+    def test_jaccard(self, counts):
+        assert get_measure("jaccard")(counts) == pytest.approx(20 / 70)
+
+    def test_cosine(self, counts):
+        assert get_measure("cosine")(counts) == pytest.approx(
+            20 / math.sqrt(40 * 50)
+        )
+
+    def test_kulczynski(self, counts):
+        assert get_measure("kulczynski")(counts) == pytest.approx(
+            0.5 * (20 / 40 + 20 / 50)
+        )
+
+
+class TestDegenerateInputs:
+    def test_all_measures_handle_empty_database(self):
+        empty = ContingencyCounts(n_xy=0, n_x=0, n_y=0, n=0)
+        for name in available_measures():
+            value = get_measure(name)(empty)
+            assert value == 0.0, name
+
+    def test_confidence_zero_when_antecedent_absent(self):
+        counts = ContingencyCounts(n_xy=0, n_x=0, n_y=5, n=10)
+        assert get_measure("confidence")(counts) == 0.0
+
+
+class TestRegistry:
+    def test_available_measures_sorted_and_complete(self):
+        names = available_measures()
+        assert names == tuple(sorted(names))
+        for expected in (
+            "support",
+            "confidence",
+            "lift",
+            "leverage",
+            "conviction",
+            "jaccard",
+            "cosine",
+            "kulczynski",
+        ):
+            assert expected in names
+
+    def test_unknown_measure_raises_with_known_list(self):
+        with pytest.raises(ValidationError, match="known:"):
+            get_measure("nope")
+
+
+class TestImprovement:
+    def test_positive_when_rule_beats_subrules(self):
+        assert improvement(0.9, 0.4) == pytest.approx(0.5)
+
+    def test_negative_when_subrule_dominates(self):
+        assert improvement(0.3, 0.7) == pytest.approx(-0.4)

@@ -1,0 +1,158 @@
+"""The frequent-itemset miners on crafted data with known answers."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.mining.apriori import generate_candidates, mine_apriori
+from repro.mining.fpgrowth import mine_fpgrowth
+from repro.mining.eclat import mine_eclat
+from repro.mining.hmine import mine_hmine
+from repro.mining.itemsets import FrequentItemsets, min_count_for
+
+MINERS = [mine_apriori, mine_eclat, mine_fpgrowth, mine_hmine]
+
+# The textbook example: 5 transactions over items 1..5.
+TEXTBOOK = [
+    (1, 3, 4),
+    (2, 3, 5),
+    (1, 2, 3, 5),
+    (2, 5),
+    (1, 2, 3, 5),
+]
+
+# Expected counts at min support 0.4 (min count 2).
+TEXTBOOK_EXPECTED = {
+    (1,): 3,
+    (2,): 4,
+    (3,): 4,
+    (5,): 4,
+    (1, 2): 2,
+    (1, 3): 3,
+    (2, 3): 3,
+    (2, 5): 4,
+    (3, 5): 3,
+    (1, 2, 3): 2,
+    (1, 2, 5): 2,
+    (1, 3, 5): 2,
+    (2, 3, 5): 3,
+    (1, 2, 3, 5): 2,
+    (1, 5): 2,
+}
+
+
+class TestMinCountFor:
+    def test_exact_fraction(self):
+        assert min_count_for(0.4, 5) == 2
+
+    def test_rounds_up(self):
+        assert min_count_for(0.41, 5) == 3
+
+    def test_zero_support_still_needs_one(self):
+        assert min_count_for(0.0, 100) == 1
+
+    def test_full_support(self):
+        assert min_count_for(1.0, 7) == 7
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            min_count_for(1.5, 10)
+
+
+@pytest.mark.parametrize("miner", MINERS)
+class TestTextbookExample:
+    def test_exact_counts(self, miner):
+        result = miner(TEXTBOOK, 0.4)
+        assert result.counts == TEXTBOOK_EXPECTED
+
+    def test_transaction_count_recorded(self, miner):
+        assert miner(TEXTBOOK, 0.4).transaction_count == 5
+
+    def test_supports_are_count_ratios(self, miner):
+        result = miner(TEXTBOOK, 0.4)
+        assert result.support((2, 5)) == pytest.approx(0.8)
+        assert result.support((9,)) == 0.0
+
+    def test_downward_closure_holds(self, miner):
+        miner(TEXTBOOK, 0.4).validate_downward_closure()
+
+    def test_higher_threshold_prunes(self, miner):
+        result = miner(TEXTBOOK, 0.8)
+        assert set(result.counts) == {(2,), (3,), (5,), (2, 5)}
+
+    def test_max_size_caps_cardinality(self, miner):
+        result = miner(TEXTBOOK, 0.4, max_size=2)
+        assert result.max_size() == 2
+        # All size-1 and size-2 sets still found.
+        expected = {s: c for s, c in TEXTBOOK_EXPECTED.items() if len(s) <= 2}
+        assert result.counts == expected
+
+    def test_empty_input(self, miner):
+        result = miner([], 0.5)
+        assert len(result) == 0
+        assert result.transaction_count == 0
+
+    def test_nothing_frequent(self, miner):
+        result = miner([(1,), (2,), (3,)], 0.9)
+        assert len(result) == 0
+
+    def test_single_transaction(self, miner):
+        result = miner([(1, 2)], 0.5)
+        assert result.counts == {(1,): 1, (2,): 1, (1, 2): 1}
+
+    def test_duplicate_transactions_counted(self, miner):
+        result = miner([(1, 2)] * 4, 1.0)
+        assert result.count((1, 2)) == 4
+
+
+class TestFrequentItemsetsContainer:
+    def test_of_size(self):
+        result = mine_apriori(TEXTBOOK, 0.4)
+        pairs = result.of_size(2)
+        assert all(len(s) == 2 for s in pairs)
+        assert pairs[(2, 5)] == 4
+
+    def test_contains_normalizes(self):
+        result = mine_apriori(TEXTBOOK, 0.4)
+        assert (5, 2) in result  # unsorted query
+        assert (9,) not in result
+
+    def test_validate_detects_missing_subset(self):
+        broken = FrequentItemsets(
+            counts={(1, 2): 2, (1,): 2}, transaction_count=4
+        )
+        with pytest.raises(ValidationError, match="missing"):
+            broken.validate_downward_closure()
+
+    def test_validate_detects_count_inversion(self):
+        broken = FrequentItemsets(
+            counts={(1, 2): 3, (1,): 2, (2,): 3}, transaction_count=4
+        )
+        with pytest.raises(ValidationError, match="count"):
+            broken.validate_downward_closure()
+
+
+class TestAprioriCandidateGeneration:
+    def test_joins_common_prefix(self):
+        frequent = {(1, 2), (1, 3), (2, 3)}
+        assert sorted(generate_candidates(frequent, 3)) == [(1, 2, 3)]
+
+    def test_prunes_candidates_with_infrequent_subsets(self):
+        # (1,2) and (1,3) join to (1,2,3) but (2,3) is not frequent.
+        frequent = {(1, 2), (1, 3)}
+        assert generate_candidates(frequent, 3) == []
+
+    def test_no_join_without_shared_prefix(self):
+        assert generate_candidates({(1, 2), (3, 4)}, 3) == []
+
+
+class TestSingleLongTransaction:
+    """FP-Growth's single-path shortcut must agree with the others."""
+
+    def test_chain_data(self):
+        transactions = [(1, 2, 3, 4)] * 3 + [(1, 2)] * 2 + [(1,)]
+        results = [miner(transactions, 0.3) for miner in MINERS]
+        for other in results[1:]:
+            assert other.counts == results[0].counts
+        assert results[0].count((1, 2, 3, 4)) == 3
+        assert results[0].count((1, 2)) == 5
+        assert results[0].count((1,)) == 6

@@ -1,0 +1,109 @@
+"""Property-based cross-validation of the miners against a brute oracle."""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.apriori import mine_apriori
+from repro.mining.closed import mine_closed
+from repro.mining.eclat import mine_eclat
+from repro.mining.fpgrowth import mine_fpgrowth
+from repro.mining.hmine import mine_hmine
+from repro.mining.itemsets import min_count_for
+
+transactions_strategy = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=7), min_size=1, max_size=5),
+    min_size=1,
+    max_size=25,
+)
+support_strategy = st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.75, 1.0])
+
+
+def brute_force_frequent(transactions, min_support):
+    """Enumerate every subset of every transaction and count directly."""
+    min_count = min_count_for(min_support, len(transactions))
+    counts = {}
+    universe = sorted(set().union(*transactions)) if transactions else []
+    for size in range(1, len(universe) + 1):
+        for candidate in combinations(universe, size):
+            count = sum(
+                1 for t in transactions if set(candidate) <= t
+            )
+            if count >= min_count:
+                counts[candidate] = count
+        if not any(len(s) == size for s in counts):
+            break  # downward closure: no larger itemset can be frequent
+    return counts
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions_strategy, support_strategy)
+def test_apriori_matches_brute_force(transactions, min_support):
+    mined = mine_apriori(transactions, min_support)
+    assert mined.counts == brute_force_frequent(transactions, min_support)
+
+
+@settings(max_examples=120, deadline=None)
+@given(transactions_strategy, support_strategy)
+def test_all_miners_agree(transactions, min_support):
+    apriori = mine_apriori(transactions, min_support)
+    fpgrowth = mine_fpgrowth(transactions, min_support)
+    hmine = mine_hmine(transactions, min_support)
+    eclat = mine_eclat(transactions, min_support)
+    assert apriori.counts == fpgrowth.counts
+    assert apriori.counts == hmine.counts
+    assert apriori.counts == eclat.counts
+
+
+@settings(max_examples=80, deadline=None)
+@given(transactions_strategy, support_strategy)
+def test_downward_closure_invariant(transactions, min_support):
+    mine_fpgrowth(transactions, min_support).validate_downward_closure()
+
+
+@settings(max_examples=80, deadline=None)
+@given(transactions_strategy, support_strategy)
+def test_closed_sets_are_frequent_subset_with_same_counts(
+    transactions, min_support
+):
+    frequent = mine_apriori(transactions, min_support)
+    closed = mine_closed(transactions, min_support)
+    for itemset, count in closed.items():
+        assert frequent.counts.get(itemset) == count
+
+
+@settings(max_examples=80, deadline=None)
+@given(transactions_strategy, support_strategy)
+def test_closed_sets_match_definition(transactions, min_support):
+    """An itemset is closed iff no same-count strict superset is frequent."""
+    frequent = mine_apriori(transactions, min_support)
+    closed = mine_closed(transactions, min_support)
+    universe = set().union(*transactions)
+    expected = {}
+    for itemset, count in frequent.counts.items():
+        items = set(itemset)
+        has_equal_superset = any(
+            frequent.counts.get(tuple(sorted(items | {extra}))) == count
+            for extra in universe - items
+        )
+        if not has_equal_superset:
+            expected[itemset] = count
+    assert closed.counts == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions_strategy)
+def test_every_closed_set_recovers_every_frequent_count(transactions):
+    """Closure property: count of any frequent itemset equals the count of
+    its smallest closed superset (the classic lossless-compression claim)."""
+    frequent = mine_apriori(transactions, 0.0)
+    closed = mine_closed(transactions, 0.0, min_count=1)
+    for itemset, count in frequent.counts.items():
+        supersets = [
+            c
+            for candidate, c in closed.items()
+            if set(itemset) <= set(candidate)
+        ]
+        assert supersets, f"no closed superset for {itemset}"
+        assert max(supersets) == count
