@@ -1,0 +1,47 @@
+"""Static analysis for the TARA reproduction: ``repro lint``.
+
+The EPS index is only correct because the codebase keeps a handful of
+promises that ordinary tests cannot see from the outside: parametric
+locations are exact fractions of integer counts (never floats), cut
+locations are immutable value types, the archive codec round-trips, and
+layering stays acyclic.  This package turns those promises into
+machine-checked invariants: an AST-based linter with project-specific
+rules, each carrying a stable ID, a rationale, a fix hint, and explicit
+per-line / per-file suppression syntax.
+
+Rules
+-----
+R001  no float equality/inequality comparisons in exact-arithmetic layers
+R002  import-layering contract (``common -> data -> mining -> core ->
+      {baselines, maras} -> datagen -> cli``)
+R003  library code raises only :mod:`repro.common.errors` types and never
+      swallows ``except Exception:``
+R004  value-type dataclasses must be ``@dataclass(frozen=True)``
+R005  no direct wall-clock reads outside :mod:`repro.common.timing`
+
+Entry points: the ``repro lint`` CLI subcommand and
+``python -m repro.analysis``; the programmatic API is
+:func:`repro.analysis.runner.lint_paths`.
+
+Suppression syntax (see ``docs/static_analysis.md``)::
+
+    risky_line()  # repro-lint: disable=R001
+    # repro-lint: disable-file=R004
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import Rule, RuleScope, all_rules, get_rule
+from repro.analysis.findings import Finding, LintReport
+from repro.analysis.runner import lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "RuleScope",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,133 @@
+"""Rule protocol, per-file context, and the rule registry.
+
+Every rule is a small class with a stable ``rule_id`` (``R00x``), a
+docstring carrying the rationale (surfaced by ``repro lint
+--list-rules``), a ``fix_hint`` shown inline with findings, and a
+``scope`` restricting which logical paths it audits.  Rules receive a
+parsed :class:`ast.Module` plus a :class:`FileContext` and yield
+:class:`~repro.analysis.findings.Finding` objects; suppression
+filtering happens centrally in the runner so rules stay oblivious to
+directives.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import SuppressionIndex
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RuleScope:
+    """Which logical paths a rule audits.
+
+    ``include`` is a tuple of logical-path prefixes (``repro/core/``);
+    an empty tuple means the whole ``repro`` tree.  ``exclude`` prefixes
+    win over includes; exact file paths are expressed as full logical
+    paths (``repro/common/timing.py``).
+    """
+
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def contains(self, logical_path: str) -> bool:
+        """True when *logical_path* falls inside this scope."""
+        for prefix in self.exclude:
+            if logical_path == prefix or logical_path.startswith(prefix):
+                return False
+        if not self.include:
+            return logical_path.startswith("repro/")
+        return any(
+            logical_path == prefix or logical_path.startswith(prefix)
+            for prefix in self.include
+        )
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may consult about the file under audit."""
+
+    logical_path: str
+    display_path: str
+    source: str
+    suppressions: SuppressionIndex
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Construct a finding for *node* with the rule's identity."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=self.display_path,
+            line=line,
+            column=column,
+            rule_id=rule.rule_id,
+            message=message,
+            fix_hint=rule.fix_hint,
+        )
+
+
+class Rule(ABC):
+    """Base class for all lint rules."""
+
+    #: Stable identifier, referenced by suppressions — never reuse one.
+    rule_id: str = ""
+    #: One-line imperative summary shown by ``--list-rules``.
+    title: str = ""
+    #: Actionable remediation advice appended to every finding.
+    fix_hint: str = ""
+    #: Logical-path scope the rule audits.
+    scope: RuleScope = RuleScope()
+
+    @abstractmethod
+    def check(self, tree: ast.Module, context: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file; must not mutate *tree*."""
+
+    @property
+    def rationale(self) -> str:
+        """The rule's docstring — the 'why' behind the invariant."""
+        return (self.__doc__ or "").strip()
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValidationError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValidationError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(select: Optional[Tuple[str, ...]] = None) -> List[Rule]:
+    """Instantiate registered rules, optionally restricted to *select* ids."""
+    # Importing the rules package populates the registry on first use.
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    if select:
+        unknown = sorted(set(select) - set(_REGISTRY))
+        if unknown:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ValidationError(
+                f"unknown rule id(s) {', '.join(unknown)}; known: {known}"
+            )
+        return [_REGISTRY[rule_id]() for rule_id in sorted(set(select))]
+    return [cls() for _, cls in sorted(_REGISTRY.items())]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate one rule by id; raises for unknown ids."""
+    rules = all_rules((rule_id,))
+    return rules[0]

@@ -1,0 +1,103 @@
+"""Argument handling for ``repro lint`` and ``python -m repro.analysis``.
+
+Kept separate from :mod:`repro.cli` so the linter is runnable (and
+testable) without importing the heavyweight mining/CLI stack, e.g. in a
+pre-commit hook or a minimal CI container.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.base import all_rules
+from repro.analysis.runner import lint_paths
+from repro.common.errors import ReproError
+
+#: Default lint target when none is given: the installed package tree
+#: if run from a checkout (src/repro), else the current directory.
+DEFAULT_TARGETS = ("src/repro",)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``lint`` options to *parser*."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_TARGETS),
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is stable for CI consumption)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed *args*; returns exit code."""
+    if args.list_rules:
+        print(format_rule_catalogue())
+        return 0
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [token.strip() for token in args.select.split(",") if token.strip()]
+    try:
+        rules = all_rules(tuple(select) if select else None)
+        report = lint_paths(args.paths, rules)
+    except ReproError as error:
+        # Usage errors (unknown rule id, missing target) exit 2 from both
+        # entry points; the main CLI's generic ReproError handler would
+        # otherwise report 1, conflating them with findings.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format_text())
+    return report.exit_code
+
+
+def format_rule_catalogue() -> str:
+    """Human-readable id / title / scope / hint table of every rule."""
+    lines: List[str] = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scope.include) or "repro/**"
+        if rule.scope.exclude:
+            scope += f" (except {', '.join(rule.scope.exclude)})"
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"      scope: {scope}")
+        lines.append(f"      fix:   {rule.fix_hint}")
+        rationale = rule.rationale.splitlines()
+        if rationale:
+            lines.append(f"      why:   {rationale[0]}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,100 @@
+"""Finding and report value types produced by the linter.
+
+A :class:`Finding` is itself a frozen value type (it is deduplicated in
+sets and sorted into reports), so the linter practices the R004 contract
+it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Ordering is (path, line, column, rule) so reports read top-to-bottom
+    per file regardless of which rule produced each finding.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    message: str
+    fix_hint: str = ""
+
+    def format(self) -> str:
+        """Render as the classic ``path:line:col: ID message`` line."""
+        text = f"{self.path}:{self.line}:{self.column}: {self.rule_id} {self.message}"
+        if self.fix_hint:
+            text += f" [fix: {self.fix_hint}]"
+        return text
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable mapping for the ``--format json`` mode."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule_id,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Aggregated result of one linter run."""
+
+    findings: Tuple[Finding, ...]
+    files_checked: int
+    suppressed_count: int = 0
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no finding survived suppression filtering."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 findings present."""
+        return 0 if self.is_clean else 1
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Rule id -> number of findings, sorted by rule id."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def format_text(self) -> str:
+        """Multi-line human-readable report."""
+        lines: List[str] = [finding.format() for finding in self.findings]
+        if self.findings:
+            by_rule = ", ".join(
+                f"{rule}={count}" for rule, count in self.counts_by_rule().items()
+            )
+            lines.append(
+                f"{len(self.findings)} finding(s) in {self.files_checked} "
+                f"file(s) ({by_rule}; {self.suppressed_count} suppressed)"
+            )
+        else:
+            lines.append(
+                f"clean: {self.files_checked} file(s), "
+                f"{self.suppressed_count} suppressed finding(s)"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable mapping of the whole report (for CI)."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed_count,
+            "clean": self.is_clean,
+            "counts": self.counts_by_rule(),
+            "findings": [finding.to_json() for finding in self.findings],
+        }

@@ -1,0 +1,76 @@
+"""The declared import-layering contract of the ``repro`` package.
+
+The architecture is a strict layering (DESIGN.md)::
+
+    _version -> common -> {data, analysis} -> mining -> core
+             -> {baselines, maras} -> datagen -> cli
+
+A module may import from its own layer or from any *strictly lower*
+rank.  Layers sharing a rank (``data``/``analysis``, and the two rule
+consumers ``baselines``/``maras``) are siblings: neither may import the
+other, which keeps the baselines honest (they must not peek at TARA
+internals' siblings) and keeps the linter importable everywhere.
+
+``datagen`` sits above ``maras`` because the FAERS generator plants
+known interactions from the MARAS reference knowledge base; the CLI and
+the package root sit on top and may import anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Layer name -> rank.  Imports must flow from higher ranks to lower.
+LAYER_RANKS: Dict[str, int] = {
+    "_version": 0,
+    "common": 1,
+    "data": 2,
+    "analysis": 2,
+    "mining": 3,
+    "core": 4,
+    "baselines": 5,
+    "maras": 5,
+    "datagen": 6,
+    "cli": 7,
+    # Entry-point modules sit above everything, including the CLI.
+    "__init__": 8,
+    "__main__": 8,
+}
+
+#: Human-readable rendering of the contract, used in findings and docs.
+LAYER_CHAIN = (
+    "common -> {data, analysis} -> mining -> core -> "
+    "{baselines, maras} -> datagen -> cli"
+)
+
+
+def layer_of_logical_path(logical_path: str) -> Optional[str]:
+    """Map ``repro/<layer>/...`` or ``repro/<module>.py`` to a layer name.
+
+    Returns ``None`` for paths outside the ``repro`` package (the
+    layering rule then does not apply).
+    """
+    parts = logical_path.split("/")
+    if not parts or parts[0] != "repro" or len(parts) < 2:
+        return None
+    if len(parts) == 2:  # a top-level module such as repro/cli.py
+        name = parts[1]
+        return name[:-3] if name.endswith(".py") else name
+    return parts[1]
+
+
+def layer_of_module(module_name: str) -> Optional[str]:
+    """Map a dotted import target (``repro.core.archive``) to its layer."""
+    parts = module_name.split(".")
+    if not parts or parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return "__init__"
+    return parts[1]
+
+
+def rank_of(layer: Optional[str]) -> Optional[int]:
+    """Rank of a layer name; ``None`` for unknown/out-of-tree layers."""
+    if layer is None:
+        return None
+    return LAYER_RANKS.get(layer)

@@ -1,0 +1,83 @@
+"""R005 — no direct wall-clock reads outside the timing layer.
+
+Phase timings feed the paper's Figure-9 offline/online breakdowns; they
+are comparable across runs only because every measurement flows through
+:class:`repro.common.timing.PhaseTimer` / ``stopwatch`` and can be
+faked in tests.  A stray ``time.perf_counter()`` in library code
+produces unmockable, untracked timings and couples pure algorithms to
+the wall clock.  Benchmarks keep direct access — they *are* the clock
+consumers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Rule, RuleScope, register_rule
+from repro.analysis.findings import Finding
+
+#: Clock callables that must stay confined to the timing module.
+CLOCK_NAMES = frozenset(
+    {
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "time",
+        "time_ns",
+    }
+)
+
+
+@register_rule
+class DirectClockRule(Rule):
+    """Route every wall-clock read through ``repro.common.timing``.
+
+    Flags ``time.<clock>()`` calls and ``from time import <clock>``
+    anywhere in the ``repro`` tree except ``repro/common/timing.py``;
+    ``benchmarks/`` trees are exempt by scope when linting a whole
+    repository.
+    """
+
+    rule_id = "R005"
+    title = "no direct time.time()/perf_counter() outside common/timing"
+    fix_hint = (
+        "use repro.common.timing.PhaseTimer or stopwatch() so timings "
+        "stay attributable and mockable"
+    )
+    scope = RuleScope(exclude=("repro/common/timing.py",))
+
+    def check(self, tree: ast.Module, context: FileContext) -> Iterator[Finding]:
+        """Flag clock calls and clock imports from the ``time`` module."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in CLOCK_NAMES
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                ):
+                    yield context.finding(
+                        self,
+                        node,
+                        f"direct clock read time.{func.attr}()",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "time":
+                    clocks = sorted(
+                        alias.name
+                        for alias in node.names
+                        if alias.name in CLOCK_NAMES
+                    )
+                    if clocks:
+                        yield context.finding(
+                            self,
+                            node,
+                            "importing clock(s) "
+                            + ", ".join(clocks)
+                            + " from time",
+                        )

@@ -1,0 +1,122 @@
+"""R003 — library code raises only :mod:`repro.common.errors` types.
+
+Callers embed this library behind one contract: every deliberate
+failure derives from :class:`repro.common.errors.ReproError`, so a
+single ``except ReproError`` protects a serving loop.  A stray ``raise
+ValueError`` punches through that contract, and a blanket ``except
+Exception:`` handler swallows programming errors (including the typed
+ones) instead of letting them surface.  The rule flags raises of
+builtin exception types and broad handlers that do not re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.base import FileContext, Rule, RuleScope, register_rule
+from repro.analysis.findings import Finding
+
+#: Builtin exception names that library code must not raise directly.
+BANNED_RAISES = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "EOFError",
+        "Exception",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "StopIteration",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+#: Handler types too broad to catch without re-raising.
+BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    """The bare name being raised (``ValueError`` / ``ValueError(...)``)."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains a bare ``raise``."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    """Names of the exception types a handler catches (bare = '')."""
+    if handler.type is None:
+        yield ""
+        return
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for item in types:
+        if isinstance(item, ast.Name):
+            yield item.id
+
+
+@register_rule
+class ExceptionDisciplineRule(Rule):
+    """Keep the single-catch contract of ``repro.common.errors`` intact.
+
+    Flags ``raise`` of a builtin exception type by bare name, bare
+    ``except:`` clauses, and ``except Exception:`` /
+    ``except BaseException:`` handlers whose body never re-raises.
+    ``SystemExit``, ``KeyboardInterrupt``, and ``NotImplementedError``
+    stay allowed (process control and abstract methods are not library
+    failures).
+    """
+
+    rule_id = "R003"
+    title = "raise only repro.common.errors types; no swallowed broad excepts"
+    fix_hint = (
+        "raise a subclass of repro.common.errors.ReproError, or narrow "
+        "the except clause (re-raise if cleanup genuinely needs Exception)"
+    )
+    scope = RuleScope()  # the whole repro tree
+
+    def check(self, tree: ast.Module, context: FileContext) -> Iterator[Finding]:
+        """Flag builtin raises and swallowing broad except handlers."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Raise):
+                name = _raised_name(node)
+                if name in BANNED_RAISES:
+                    yield context.finding(
+                        self,
+                        node,
+                        f"raise of builtin {name}; library errors must "
+                        "derive from repro.common.errors.ReproError",
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                for name in _handler_names(node):
+                    if name == "" and not _reraises(node):
+                        yield context.finding(
+                            self, node, "bare except: swallows all errors"
+                        )
+                    elif name in BROAD_HANDLERS and not _reraises(node):
+                        yield context.finding(
+                            self,
+                            node,
+                            f"except {name}: without re-raise swallows "
+                            "programming errors",
+                        )

@@ -1,0 +1,71 @@
+"""R001 — no float equality/inequality comparisons in exact layers.
+
+The EPS index derives region boundaries from *exact* rational
+arithmetic: parametric locations are fractions of the underlying
+integer counts (``src/repro/core/locations.py``), and cut-location
+domination assumes two equal settings compare equal bit-for-bit.  A
+``measure == 0.0``-style guard silently breaks that promise the moment
+a value arrives via floating-point division — boundaries drift by one
+ULP and a region absorbs or leaks rules.  Compare the underlying
+integer counts instead (``n_x == n_xy``), or use an explicit,
+documented epsilon when a quantity is inherently float-valued.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Rule, RuleScope, register_rule
+from repro.analysis.findings import Finding
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    """True for ``0.0``-style literals, including negated ones."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """Float equality corrupts exact region boundaries.
+
+    Flags ``==`` / ``!=`` comparisons in which any operand is a float
+    literal, inside the exact-arithmetic layers (``common``, ``core``,
+    ``mining``, ``maras``).  Ordering comparisons (``<``, ``<=``) are
+    fine — they are how epsilon guards are written.
+    """
+
+    rule_id = "R001"
+    title = "no float equality/inequality comparisons in exact layers"
+    fix_hint = (
+        "compare the underlying integer counts, or use an explicit "
+        "epsilon guard (see repro.common.stats)"
+    )
+    scope = RuleScope(
+        include=(
+            "repro/common/",
+            "repro/core/",
+            "repro/mining/",
+            "repro/maras/",
+        )
+    )
+
+    def check(self, tree: ast.Module, context: FileContext) -> Iterator[Finding]:
+        """Flag ``==``/``!=`` chains with a float-literal operand."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield context.finding(
+                        self,
+                        node,
+                        f"float {symbol} comparison against a float literal",
+                    )
+                    break

@@ -1,0 +1,82 @@
+"""R004 — value-type dataclasses must be ``@dataclass(frozen=True)``.
+
+Regions, locations, rule ids, and measure records are used as dict
+keys, set members, and sort keys throughout the EPS index; cut-location
+domination (Definition 8) silently assumes a location never changes
+after it is indexed.  A mutable dataclass in these layers is either an
+unhashable landmine or — worse, when a ``__hash__`` sneaks in — a key
+whose hash can rot inside a dict.  Freezing is the default; a genuine
+mutable accumulator (e.g. :class:`repro.common.timing.PhaseTimer`)
+documents itself with a suppression directive carrying the rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Rule, RuleScope, register_rule
+from repro.analysis.findings import Finding
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    """Match ``@dataclass`` and ``@dataclass(...)`` (also dotted forms)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr == "dataclass"
+    return isinstance(node, ast.Name) and node.id == "dataclass"
+
+
+def _has_frozen_true(node: ast.expr) -> bool:
+    """True when the decorator passes ``frozen=True``."""
+    if not isinstance(node, ast.Call):
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "frozen":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+@register_rule
+class FrozenValueTypeRule(Rule):
+    """Dataclasses in the value-type layers default to immutable.
+
+    Flags every ``@dataclass`` in ``common``, ``data``, ``mining``,
+    ``core``, and ``maras`` that does not pass ``frozen=True``.
+    Deliberate mutable accumulators suppress the rule on the decorator
+    line with a comment explaining why mutation is safe there.
+    """
+
+    rule_id = "R004"
+    title = "value-type dataclasses must be frozen"
+    fix_hint = (
+        "add frozen=True (hashability and safe dict-key use follow), or "
+        "suppress with a rationale if the class is a mutable accumulator"
+    )
+    scope = RuleScope(
+        include=(
+            "repro/common/",
+            "repro/data/",
+            "repro/mining/",
+            "repro/core/",
+            "repro/maras/",
+        )
+    )
+
+    def check(self, tree: ast.Module, context: FileContext) -> Iterator[Finding]:
+        """Flag ``@dataclass`` decorators that omit ``frozen=True``."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                if not _is_dataclass_decorator(decorator):
+                    continue
+                if not _has_frozen_true(decorator):
+                    yield context.finding(
+                        self,
+                        decorator,
+                        f"dataclass {node.name!r} is not frozen=True",
+                    )
+                break

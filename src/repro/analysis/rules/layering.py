@@ -1,0 +1,86 @@
+"""R002 — the import-layering contract.
+
+The offline/online split of the paper maps onto a strict package
+layering (see :mod:`repro.analysis.layers`).  Upward or cross imports
+create cycles that break incremental builds, make the baselines dishonest
+(they must not reuse TARA internals they are benchmarked against), and
+couple the data layer to analytics it should know nothing about.  The
+rule resolves every ``import repro...`` / ``from repro...`` statement —
+including ones nested inside functions, the classic way layering
+violations hide — against the declared layer map.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.base import FileContext, Rule, RuleScope, register_rule
+from repro.analysis.findings import Finding
+from repro.analysis.layers import (
+    LAYER_CHAIN,
+    layer_of_logical_path,
+    layer_of_module,
+    rank_of,
+)
+
+
+@register_rule
+class ImportLayeringRule(Rule):
+    """Imports must flow down the declared layer chain.
+
+    A module may import from its own layer or any strictly lower rank;
+    sibling layers at the same rank (``data``/``analysis``,
+    ``baselines``/``maras``) may not import each other.
+    """
+
+    rule_id = "R002"
+    title = "import-layering contract (no upward or cross-layer imports)"
+    fix_hint = (
+        "move the shared code into a lower layer or invert the "
+        f"dependency; contract: {LAYER_CHAIN}"
+    )
+    scope = RuleScope()  # the whole repro tree
+
+    def check(self, tree: ast.Module, context: FileContext) -> Iterator[Finding]:
+        """Resolve every absolute ``repro`` import against the layer map."""
+        source_layer = layer_of_logical_path(context.logical_path)
+        source_rank = rank_of(source_layer)
+        if source_layer is None or source_rank is None:
+            return
+        for node, module in _imported_modules(tree):
+            target_layer = layer_of_module(module)
+            if target_layer is None or target_layer == source_layer:
+                continue
+            target_rank = rank_of(target_layer)
+            if target_rank is None:
+                yield context.finding(
+                    self,
+                    node,
+                    f"import of {module!r} targets undeclared layer "
+                    f"{target_layer!r}; add it to repro.analysis.layers",
+                )
+            elif target_rank >= source_rank:
+                direction = "cross" if target_rank == source_rank else "upward"
+                yield context.finding(
+                    self,
+                    node,
+                    f"{direction} import: {source_layer!r} (rank {source_rank}) "
+                    f"may not import {module!r} ({target_layer!r}, "
+                    f"rank {target_rank})",
+                )
+
+
+def _imported_modules(tree: ast.Module) -> Iterator[Tuple[ast.stmt, str]]:
+    """Yield ``(node, dotted_module)`` for every absolute repro import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            # Relative imports (level > 0) stay within the source layer's
+            # package by construction here, so only absolute ones matter.
+            if node.level == 0 and node.module is not None:
+                if node.module == "repro" or node.module.startswith("repro."):
+                    yield node, node.module

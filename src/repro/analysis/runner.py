@@ -1,0 +1,130 @@
+"""Walking, parsing, rule dispatch, and suppression filtering.
+
+The runner owns everything rules should not care about: discovering
+``.py`` files, mapping filesystem paths to logical ``repro/...`` paths,
+parsing, collecting findings, filtering them through the suppression
+index, and aggregating the result into a
+:class:`~repro.analysis.findings.LintReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.base import FileContext, Rule, all_rules
+from repro.analysis.findings import Finding, LintReport
+from repro.analysis.suppressions import parse_suppressions
+from repro.common.errors import ValidationError
+
+PathLike = Union[str, Path]
+
+#: Directory names never descended into while walking.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+def logical_path_of(path: Path) -> Optional[str]:
+    """Map a filesystem path to its ``repro/...`` logical path.
+
+    The logical path anchors scopes and the layer map.  It is derived
+    from the *last* ``repro`` component so the rule set works no matter
+    where the tree is checked out (``src/repro/...``, an installed
+    site-packages copy, or a test fixture that recreates the layout).
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return None
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
+    """Yield every ``.py`` file under *paths* (files pass through)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+        elif not path.exists():
+            raise ValidationError(f"lint target does not exist: {path}")
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    display_path: Optional[str] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one source blob under the logical *path*.
+
+    Returns ``(findings, suppressed_count)``.  *path* is the logical
+    ``repro/...`` path used for scoping; *display_path* (default:
+    *path*) is what findings print.  A syntax error becomes a single
+    ``E001`` finding rather than an exception, so one broken file
+    cannot hide the rest of the report.
+    """
+    shown = display_path if display_path is not None else path
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        finding = Finding(
+            path=shown,
+            line=error.lineno or 1,
+            column=(error.offset or 1),
+            rule_id="E001",
+            message=f"file does not parse: {error.msg}",
+            fix_hint="fix the syntax error; no rules ran on this file",
+        )
+        return [finding], 0
+    suppressions = parse_suppressions(source)
+    context = FileContext(
+        logical_path=path,
+        display_path=shown,
+        source=source,
+        suppressions=suppressions,
+    )
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in active:
+        if not rule.scope.contains(path):
+            continue
+        for finding in rule.check(tree, context):
+            if suppressions.is_suppressed(finding.rule_id, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def lint_paths(
+    paths: Iterable[PathLike],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint every Python file under *paths* and aggregate the report."""
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    files_checked = 0
+    suppressed_total = 0
+    for file_path in iter_python_files(paths):
+        files_checked += 1
+        logical = logical_path_of(file_path)
+        if logical is None:
+            # Outside any repro tree: no scope matches, nothing to check.
+            continue
+        source = file_path.read_text("utf-8")
+        file_findings, suppressed = lint_source(
+            source, logical, active, display_path=str(file_path)
+        )
+        findings.extend(file_findings)
+        suppressed_total += suppressed
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        files_checked=files_checked,
+        suppressed_count=suppressed_total,
+    )

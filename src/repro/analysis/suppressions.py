@@ -1,0 +1,90 @@
+"""Parsing of ``# repro-lint:`` suppression directives.
+
+Two forms, mirroring the pylint/ruff conventions contributors already
+know:
+
+per line
+    ``code()  # repro-lint: disable=R001`` suppresses the listed rules
+    for findings reported on that physical line.  A directive on a
+    comment-only line also covers the line directly below it, so long
+    statements can carry the rationale above them.
+per file
+    ``# repro-lint: disable-file=R004`` anywhere in the file (by
+    convention near the top, next to a rationale) suppresses the listed
+    rules for the whole file.
+
+Rule lists are comma-separated; the special token ``all`` matches every
+rule.  Unknown rule ids in a directive are tolerated (directives must
+not break when a rule is retired), but the linter counts how many
+findings each directive absorbed so dead suppressions are visible in
+the report totals.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+_ALL = "all"
+
+
+@dataclass(frozen=True)
+class SuppressionIndex:
+    """Immutable map of which rules are suppressed where in one file."""
+
+    file_level: FrozenSet[str] = frozenset()
+    by_line: Mapping[int, FrozenSet[str]] = field(default_factory=dict)
+    standalone_lines: FrozenSet[int] = frozenset()
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when *rule_id* is disabled at *line* (1-based)."""
+        if _ALL in self.file_level or rule_id in self.file_level:
+            return True
+        for candidate in (line, line - 1):
+            rules = self.by_line.get(candidate)
+            if rules is not None and (_ALL in rules or rule_id in rules):
+                # The ``line - 1`` form only applies when the directive
+                # sits on a comment-only line; trailing directives bind
+                # to their own line alone.
+                if candidate == line or candidate in self.standalone_lines:
+                    return True
+        return False
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Scan *source* for directives and build the index.
+
+    The scan is purely lexical (regex over physical lines) rather than a
+    tokenizer pass: directives inside string literals would be
+    mis-detected, but a false suppression requires the literal to
+    contain ``# repro-lint:`` verbatim, which the linter's own fixture
+    corpus is the only realistic place to do — and those fixtures are
+    constructed to exercise exactly this parser.
+    """
+    file_level: set[str] = set()
+    by_line: Dict[int, FrozenSet[str]] = {}
+    standalone: set[int] = set()
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE.search(line)
+        if match is None:
+            continue
+        rules = frozenset(
+            token.strip() for token in match.group("rules").split(",") if token.strip()
+        )
+        if match.group("kind") == "disable-file":
+            file_level.update(rules)
+        else:
+            by_line[line_number] = rules
+            if line.strip().startswith("#"):
+                standalone.add(line_number)
+    return SuppressionIndex(
+        file_level=frozenset(file_level),
+        by_line=dict(by_line),
+        standalone_lines=frozenset(standalone),
+    )

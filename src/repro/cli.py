@@ -15,6 +15,8 @@ Covers the full workflow without writing Python:
     Q2 ruleset comparison between two settings.
 ``repro maras``
     Rank MDAR signals from an ADR-report TSV.
+``repro lint``
+    Run the AST-based invariant checker over the source tree.
 
 Every subcommand prints plain text to stdout; exit code 0 on success,
 2 on argument errors (argparse convention), 1 on domain errors with the
@@ -28,6 +30,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro._version import __version__
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.common.errors import ReproError
 from repro.core import (
     GenerationConfig,
@@ -39,7 +42,8 @@ from repro.core import (
     save_knowledge_base,
 )
 from repro.data import WindowedDatabase
-from repro.data.io import read_fimi, read_reports, write_fimi, write_reports
+from repro.data.io import read_fimi, write_fimi
+from repro.maras.io import read_reports, write_reports
 from repro.datagen import (
     QuestParameters,
     RetailParameters,
@@ -123,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
     maras.add_argument("--min-count", type=int, default=5)
     maras.add_argument("--top", type=int, default=10)
     maras.add_argument("--theta", type=float, default=0.75)
+
+    lint = commands.add_parser(
+        "lint", help="run the AST-based invariant checker (see docs/static_analysis.md)"
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -272,6 +281,7 @@ _COMMANDS = {
     "recommend": _cmd_recommend,
     "compare": _cmd_compare,
     "maras": _cmd_maras,
+    "lint": run_lint,
 }
 
 

@@ -11,6 +11,25 @@ from typing import Sequence
 
 from repro.common.errors import ValidationError
 
+#: Relative tolerance below which a derived float statistic is treated
+#: as zero.  Derived quantities (means, standard deviations) accumulate
+#: rounding error even when the underlying data is exactly constant —
+#: e.g. ``population_std([0.1, 0.1, 0.1])`` is ~1.4e-17, not 0 — so
+#: exact ``== 0.0`` guards both miss true zeros and let near-zero
+#: divisors blow ratios up to 1e16.  See docs/static_analysis.md (R001).
+ZERO_TOLERANCE = 1e-12
+
+
+def near_zero(value: float, *, scale: float = 1.0) -> bool:
+    """True when *value* is zero up to rounding error at *scale*.
+
+    *scale* should be the magnitude of the data the statistic was
+    derived from (e.g. the largest absolute input); the guard is
+    ``|value| <= ZERO_TOLERANCE * max(1, |scale|)`` so it behaves
+    absolutely near 1.0 and relatively for large-magnitude data.
+    """
+    return abs(value) <= ZERO_TOLERANCE * max(1.0, abs(scale))
+
 
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean; raises on an empty sequence."""
@@ -56,7 +75,7 @@ def coefficient_of_variation(values: Sequence[float]) -> float:
     by zero.
     """
     center = mean(values)
-    if center == 0.0:
+    if near_zero(center, scale=max(abs(value) for value in values)):
         return 0.0
     return sample_std(values) / center
 
@@ -64,13 +83,16 @@ def coefficient_of_variation(values: Sequence[float]) -> float:
 def z_score(value: float, reference: Sequence[float]) -> float:
     """Standard score of *value* against the *reference* population.
 
-    When the reference has zero spread the z-score is defined here as 0.0
-    if the value equals the (constant) reference, else signed infinity.
+    When the reference has zero spread (up to rounding error — a
+    bit-for-bit constant reference can still yield a ~1e-17 standard
+    deviation) the z-score is defined here as 0.0 if the value matches
+    the (constant) reference, else signed infinity.
     """
     center = mean(reference)
     spread = population_std(reference)
-    if spread == 0.0:
-        if value == center:
+    scale = max(abs(value) for value in reference)
+    if near_zero(spread, scale=scale):
+        if near_zero(value - center, scale=max(scale, abs(value))):
             return 0.0
         return math.inf if value > center else -math.inf
     return (value - center) / spread

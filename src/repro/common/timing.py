@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
 
-@dataclass
+# Mutable by design: a timer accumulates durations in place and is never
+# used as a dict key or set member.
+@dataclass  # repro-lint: disable=R004
 class PhaseTimer:
     """Accumulates wall-clock durations per named phase.
 

@@ -31,8 +31,8 @@ def check_fraction(value: float, name: str, *, allow_zero: bool = True) -> float
         raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
     if math.isnan(value) or math.isinf(value):
         raise ValidationError(f"{name} must be finite, got {value!r}")
-    low = 0.0 if allow_zero else 0.0 + 0.0
-    if value < low or value > 1.0 or (not allow_zero and value == 0.0):
+    out_of_range = value < 0.0 or value > 1.0 or (not allow_zero and value <= 0.0)
+    if out_of_range:
         bound = "[0, 1]" if allow_zero else "(0, 1]"
         raise ValidationError(f"{name} must be in {bound}, got {value!r}")
     return float(value)
@@ -56,7 +56,7 @@ def check_non_negative_int(value: int, name: str) -> int:
     return value
 
 
-def check_non_empty(items: Sequence | Iterable, name: str) -> None:
+def check_non_empty(items: "Sequence[object] | Iterable[object]", name: str) -> None:
     """Validate that a sized or iterable argument holds at least one element."""
     try:
         size = len(items)  # type: ignore[arg-type]

@@ -21,11 +21,25 @@ from repro.common.errors import CodecError
 _CONTINUATION = 0x80
 _PAYLOAD = 0x7F
 
+#: The codec is a 64-bit wire format: 10 bytes of 7 payload bits cover
+#: every ``uint64``.  Hard caps on both directions keep a malformed or
+#: adversarial buffer from consuming unbounded bytes (or memory) and
+#: keep encode/decode exactly inverse of each other.
+UINT64_MAX = 2**64 - 1
+MAX_UVARINT_BYTES = 10
+
 
 def encode_uvarint(value: int, out: bytearray) -> None:
-    """Append the unsigned varint encoding of *value* to *out*."""
+    """Append the unsigned varint encoding of *value* to *out*.
+
+    *value* must fit the 64-bit wire format; out-of-range values raise
+    :class:`CodecError` rather than emitting bytes a compliant decoder
+    would reject.
+    """
     if value < 0:
         raise CodecError(f"uvarint cannot encode negative value {value}")
+    if value > UINT64_MAX:
+        raise CodecError(f"uvarint cannot encode {value} (exceeds 64 bits)")
     while True:
         byte = value & _PAYLOAD
         value >>= 7
@@ -39,8 +53,16 @@ def encode_uvarint(value: int, out: bytearray) -> None:
 def decode_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
     """Decode one unsigned varint from *data* starting at *offset*.
 
-    Returns ``(value, next_offset)``.
+    Returns ``(value, next_offset)``.  Raises :class:`CodecError` for an
+    *offset* outside ``[0, len(data))``, a varint cut off by the end of
+    the buffer, a continuation run past :data:`MAX_UVARINT_BYTES`, or an
+    encoding whose value overflows 64 bits — a decoder fed garbage must
+    fail loudly, never loop or return a wrapped value.
     """
+    if offset < 0 or offset >= len(data):
+        raise CodecError(
+            f"decode offset {offset} outside buffer of {len(data)} byte(s)"
+        )
     result = 0
     shift = 0
     position = offset
@@ -51,10 +73,14 @@ def decode_uvarint(data: bytes, offset: int) -> Tuple[int, int]:
         position += 1
         result |= (byte & _PAYLOAD) << shift
         if not byte & _CONTINUATION:
+            if result > UINT64_MAX:
+                raise CodecError("uvarint overflows 64 bits")
             return result, position
         shift += 7
-        if shift > 63:
-            raise CodecError("uvarint too long (more than 64 bits)")
+        if position - offset >= MAX_UVARINT_BYTES:
+            raise CodecError(
+                f"uvarint too long (continuation past {MAX_UVARINT_BYTES} bytes)"
+            )
 
 
 def zigzag(value: int) -> int:

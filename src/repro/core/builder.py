@@ -73,7 +73,10 @@ class GenerationConfig:
         return ParameterSetting(self.min_support, self.min_confidence)
 
 
-@dataclass
+# Mutable by design: the incremental builder appends window slices and
+# archive entries in place; the knowledge base is an aggregate root, not
+# a value used as a key.
+@dataclass  # repro-lint: disable=R004
 class TaraKnowledgeBase:
     """Everything the online explorer needs, produced by the offline phase."""
 

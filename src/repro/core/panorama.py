@@ -16,6 +16,7 @@ equivalents used by the examples and handy in notebooks:
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import List, Optional, Sequence
 
 from repro.common.errors import QueryError, ValidationError
@@ -92,9 +93,7 @@ def rule_count_grid(
     return grid
 
 
-def _approx_fraction(value: float):
-    from fractions import Fraction
-
+def _approx_fraction(value: float) -> Fraction:
     return Fraction(value).limit_denominator(10**12)
 
 

@@ -99,14 +99,20 @@ def summarize_trajectory(
 
 
 def _slope(xs: Sequence[int], ys: Sequence[float]) -> float:
-    """Least-squares slope; 0.0 when under-determined (single point)."""
+    """Least-squares slope; 0.0 when under-determined.
+
+    Uses the cross-moment form ``(n·Σxy − Σx·Σy) / (n·Σx² − (Σx)²)``:
+    the window indices *xs* are integers, so the denominator is an
+    exact integer and "all windows coincide" is an exact integer test
+    rather than a float ``== 0.0`` comparison on an accumulated sum.
+    """
     n = len(xs)
     if n < 2:
         return 0.0
-    mean_x = sum(xs) / n
-    mean_y = sum(ys) / n
-    denominator = sum((x - mean_x) ** 2 for x in xs)
-    if denominator == 0.0:
+    sum_x = sum(xs)
+    denominator = n * sum(x * x for x in xs) - sum_x * sum_x
+    if denominator == 0:  # all x identical -> vertical, undefined slope
         return 0.0
-    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
-    return numerator / denominator
+    sum_y = sum(ys)
+    sum_xy = sum(x * y for x, y in zip(xs, ys))
+    return (n * sum_xy - sum_x * sum_y) / denominator

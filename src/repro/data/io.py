@@ -8,9 +8,10 @@ Two interchange formats:
   non-negative integers.  Plain FIMI has no timestamps; the *timed*
   variant used here prefixes each line with ``<time>:``.  Reading
   auto-detects which variant a file uses.
-* **ADR report TSV** — ``time<TAB>drug;drug<TAB>adr;adr`` with
-  free-form names, the closest simple analogue of a FAERS extract.
-  Vocabularies are built on read (ids assigned in first-seen order).
+ADR-report TSV I/O lives in :mod:`repro.maras.io` — its record types
+are MARAS domain objects, and the data layer may not import upward
+(R002).  ``read_reports`` / ``write_reports`` remain importable from
+here through a lazy compatibility shim for existing callers.
 
 These let a deployment swap the synthetic generators for the real files
 without touching anything downstream.
@@ -19,13 +20,11 @@ without touching anything downstream.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import Any, List, Union
 
 from repro.common.errors import DataFormatError
 from repro.data.database import TransactionDatabase
-from repro.data.items import ItemVocabulary
 from repro.data.transactions import Transaction
-from repro.maras.reports import Report, ReportDatabase
 
 PathLike = Union[str, Path]
 
@@ -98,59 +97,20 @@ def read_fimi(path: PathLike) -> TransactionDatabase:
 
 
 # ----------------------------------------------------------------------
-# ADR report TSV
+# ADR report TSV (compatibility shim)
 # ----------------------------------------------------------------------
-def write_reports(database: ReportDatabase, path: PathLike) -> int:
-    """Write ADR reports as ``time<TAB>drugs<TAB>adrs`` (names, ``;``-joined)."""
-    lines: List[str] = []
-    for report in database:
-        drugs = ";".join(database.drug_name(d) for d in report.drugs)
-        adrs = ";".join(database.adr_name(a) for a in report.adrs)
-        lines.append(f"{report.time}\t{drugs}\t{adrs}")
-    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""), "utf-8")
-    return len(lines)
+def __getattr__(name: str) -> Any:
+    """Lazily forward the relocated report I/O names to ``repro.maras.io``.
 
+    A module-level ``__getattr__`` (PEP 562) keeps ``from repro.data.io
+    import read_reports`` working without a static upward import: the
+    maras layer only loads if a caller actually touches these names.
+    """
+    if name in ("read_reports", "write_reports"):
+        import repro.maras.io as _maras_io  # repro-lint: disable=R002
 
-def read_reports(path: PathLike) -> ReportDatabase:
-    """Read a report TSV back, rebuilding drug/ADR vocabularies."""
-    text = Path(path).read_text("utf-8")
-    drug_vocabulary = ItemVocabulary()
-    adr_vocabulary = ItemVocabulary()
-    reports: List[Report] = []
-    for line_number, raw_line in enumerate(text.splitlines(), start=1):
-        line = raw_line.rstrip("\n")
-        if not line.strip():
-            continue
-        fields = line.split("\t")
-        if len(fields) != 3:
-            raise DataFormatError(
-                f"{path}:{line_number}: expected 3 tab-separated fields, "
-                f"got {len(fields)}"
-            )
-        time_text, drugs_text, adrs_text = fields
-        try:
-            time = int(time_text)
-        except ValueError:
-            raise DataFormatError(
-                f"{path}:{line_number}: bad timestamp {time_text!r}"
-            ) from None
-        drug_names = [name for name in drugs_text.split(";") if name]
-        adr_names = [name for name in adrs_text.split(";") if name]
-        if not drug_names or not adr_names:
-            raise DataFormatError(
-                f"{path}:{line_number}: a report needs drugs and ADRs"
-            )
-        reports.append(
-            Report.create(
-                (drug_vocabulary.encode(name) for name in drug_names),
-                (adr_vocabulary.encode(name) for name in adr_names),
-                time,
-            )
-        )
-    if not reports:
-        raise DataFormatError(f"{path}: no reports found")
-    return ReportDatabase(
-        reports,
-        drug_vocabulary=drug_vocabulary,
-        adr_vocabulary=adr_vocabulary,
+        return getattr(_maras_io, name)
+    # The PEP 562 protocol itself demands AttributeError here.
+    raise AttributeError(  # repro-lint: disable=R003
+        f"module {__name__!r} has no attribute {name!r}"
     )

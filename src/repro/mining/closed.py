@@ -145,7 +145,7 @@ def mine_closed(
     if n == 0:
         return result
 
-    vertical: Dict[int, set] = {}
+    vertical: Dict[int, set[int]] = {}
     for tid, itemset in enumerate(itemsets):
         for item in itemset:
             vertical.setdefault(item, set()).add(tid)

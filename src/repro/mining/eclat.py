@@ -65,7 +65,7 @@ def mine_eclat(
     if n == 0:
         return result
 
-    vertical: Dict[ItemId, set] = {}
+    vertical: Dict[ItemId, set[int]] = {}
     for tid, itemset in enumerate(itemsets):
         for item in itemset:
             vertical.setdefault(item, set()).add(tid)

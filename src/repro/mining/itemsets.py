@@ -48,7 +48,9 @@ def min_count_for(min_support: float, transaction_count: int) -> int:
     return max(count, 1)
 
 
-@dataclass
+# Mutable by design: miners insert counts incrementally while walking
+# their search space; the collection itself is never hashed or keyed.
+@dataclass  # repro-lint: disable=R004
 class FrequentItemsets:
     """Frequent itemsets with their absolute counts.
 

@@ -111,10 +111,14 @@ def conviction(c: ContingencyCounts) -> float:
     """``P(X)P(¬Y) / P(X ∧ ¬Y)``; +inf for a rule with no counterexamples."""
     if c.n == 0 or c.n_x == 0:
         return 0.0
+    # "No counterexamples" is an exact statement about the integer
+    # counts (every X-transaction contains Y), not about a derived
+    # float — testing the quotient against 0.0 would misfire once the
+    # division rounds.
+    if c.n_x == c.n_xy:
+        return math.inf
     p_not_y = 1.0 - c.n_y / c.n
     counterexamples = (c.n_x - c.n_xy) / c.n
-    if counterexamples == 0.0:
-        return math.inf
     return (c.n_x / c.n) * p_not_y / counterexamples
 
 

@@ -1,0 +1,135 @@
+"""Runner behaviour: walking, logical paths, aggregation, output modes."""
+
+import json
+
+import pytest
+
+from repro.analysis.findings import Finding, LintReport
+from repro.analysis.runner import (
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    logical_path_of,
+)
+from repro.common.errors import ValidationError
+
+
+class TestLogicalPaths:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("src/repro/core/archive.py", "repro/core/archive.py"),
+            ("/site-packages/repro/cli.py", "repro/cli.py"),
+            ("elsewhere/code.py", None),
+        ],
+    )
+    def test_mapping(self, raw, expected, tmp_path):
+        from pathlib import Path
+
+        assert logical_path_of(Path(raw)) == expected
+
+    def test_last_repro_component_wins(self):
+        from pathlib import Path
+
+        path = Path("repro/vendored/repro/core/x.py")
+        assert logical_path_of(path) == "repro/core/x.py"
+
+
+class TestWalk:
+    def test_walks_tree_and_skips_caches(self, tmp_path):
+        (tmp_path / "repro" / "core").mkdir(parents=True)
+        (tmp_path / "repro" / "core" / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "repro" / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("x = 1\n")
+        files = list(iter_python_files([tmp_path]))
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_missing_target_raises(self):
+        with pytest.raises(ValidationError, match="does not exist"):
+            list(iter_python_files(["definitely/not/here"]))
+
+    def test_single_file_passes_through(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        assert list(iter_python_files([target])) == [target]
+
+
+class TestLintPaths:
+    def fixture_tree(self, tmp_path):
+        core = tmp_path / "repro" / "core"
+        core.mkdir(parents=True)
+        (core / "bad.py").write_text("flag = value == 0.0\n")
+        (core / "good.py").write_text("flag = value == 0\n")
+        return tmp_path
+
+    def test_aggregates_sorted_findings(self, tmp_path):
+        report = lint_paths([self.fixture_tree(tmp_path)])
+        assert report.files_checked == 2
+        assert [f.rule_id for f in report.findings] == ["R001"]
+        assert report.findings[0].path.endswith("bad.py")
+        assert not report.is_clean
+        assert report.exit_code == 1
+
+    def test_clean_report(self, tmp_path):
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "ok.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path])
+        assert report.is_clean and report.exit_code == 0
+        assert "clean" in report.format_text()
+
+    def test_out_of_tree_files_are_counted_not_checked(self, tmp_path):
+        (tmp_path / "loose.py").write_text("x == 0.0\n")
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 1
+        assert report.is_clean
+
+    def test_syntax_error_becomes_e001_finding(self, tmp_path):
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "broken.py").write_text("def f(:\n")
+        report = lint_paths([tmp_path])
+        assert [f.rule_id for f in report.findings] == ["E001"]
+        assert report.exit_code == 1
+
+    def test_json_payload_is_stable(self, tmp_path):
+        report = lint_paths([self.fixture_tree(tmp_path)])
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["version"] == 1
+        assert payload["clean"] is False
+        assert payload["counts"] == {"R001": 1}
+        finding = payload["findings"][0]
+        assert finding["rule"] == "R001"
+        assert finding["line"] == 1
+
+
+class TestFormatting:
+    def test_finding_format_line(self):
+        finding = Finding(
+            path="repro/core/x.py",
+            line=3,
+            column=7,
+            rule_id="R001",
+            message="float == comparison",
+            fix_hint="use counts",
+        )
+        assert finding.format() == (
+            "repro/core/x.py:3:7: R001 float == comparison [fix: use counts]"
+        )
+
+    def test_report_counts_by_rule(self):
+        findings = (
+            Finding("a.py", 1, 1, "R001", "m"),
+            Finding("a.py", 2, 1, "R001", "m"),
+            Finding("b.py", 1, 1, "R004", "m"),
+        )
+        report = LintReport(findings=findings, files_checked=2)
+        assert report.counts_by_rule() == {"R001": 2, "R004": 1}
+        assert "R001=2" in report.format_text()
+
+
+class TestSuppressionAccounting:
+    def test_suppressed_counted_not_reported(self):
+        source = "x == 0.0  # repro-lint: disable=R001\ny == 0.0\n"
+        findings, suppressed = lint_source(source, "repro/core/f.py")
+        assert len(findings) == 1 and findings[0].line == 2
+        assert suppressed == 1

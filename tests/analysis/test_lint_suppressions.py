@@ -1,0 +1,62 @@
+"""Suppression-directive parsing: per-line, standalone, and per-file."""
+
+from repro.analysis.suppressions import parse_suppressions
+
+
+class TestLineDirectives:
+    def test_trailing_directive_covers_its_line(self):
+        index = parse_suppressions("x = 1\ny == 0.0  # repro-lint: disable=R001\n")
+        assert index.is_suppressed("R001", 2)
+        assert not index.is_suppressed("R001", 1)
+        assert not index.is_suppressed("R002", 2)
+
+    def test_multiple_rules_comma_separated(self):
+        index = parse_suppressions("thing()  # repro-lint: disable=R001, R004\n")
+        assert index.is_suppressed("R001", 1)
+        assert index.is_suppressed("R004", 1)
+        assert not index.is_suppressed("R003", 1)
+
+    def test_standalone_comment_covers_next_line(self):
+        source = "# repro-lint: disable=R004\n@dataclass\nclass C: ...\n"
+        index = parse_suppressions(source)
+        assert index.is_suppressed("R004", 2)
+        assert not index.is_suppressed("R004", 3)
+
+    def test_trailing_directive_does_not_leak_to_next_line(self):
+        source = "a == 0.0  # repro-lint: disable=R001\nb == 0.0\n"
+        index = parse_suppressions(source)
+        assert index.is_suppressed("R001", 1)
+        assert not index.is_suppressed("R001", 2)
+
+    def test_disable_all_token(self):
+        index = parse_suppressions("x()  # repro-lint: disable=all\n")
+        assert index.is_suppressed("R001", 1)
+        assert index.is_suppressed("R999", 1)
+
+
+class TestFileDirectives:
+    def test_disable_file_covers_every_line(self):
+        source = "# repro-lint: disable-file=R005\n" + "x = 1\n" * 50
+        index = parse_suppressions(source)
+        assert index.is_suppressed("R005", 1)
+        assert index.is_suppressed("R005", 51)
+        assert not index.is_suppressed("R001", 10)
+
+    def test_disable_file_anywhere_in_file(self):
+        source = "x = 1\ny = 2\n# repro-lint: disable-file=R003\n"
+        assert parse_suppressions(source).is_suppressed("R003", 1)
+
+
+class TestRobustness:
+    def test_no_directives(self):
+        index = parse_suppressions("plain = 'code'\n")
+        assert not index.is_suppressed("R001", 1)
+
+    def test_whitespace_variants(self):
+        index = parse_suppressions("x()  #  repro-lint:  disable = R001\n")
+        assert index.is_suppressed("R001", 1)
+
+    def test_unknown_rule_ids_are_tolerated(self):
+        index = parse_suppressions("x()  # repro-lint: disable=R999\n")
+        assert index.is_suppressed("R999", 1)
+        assert not index.is_suppressed("R001", 1)

@@ -11,6 +11,7 @@ from repro.common.stats import (
     coefficient_of_variation,
     mean,
     min_max,
+    near_zero,
     population_std,
     population_variance,
     sample_std,
@@ -92,6 +93,44 @@ class TestZScore:
 
     def test_constant_reference_below(self):
         assert z_score(2.0, [3.0, 3.0]) == -math.inf
+
+
+class TestZeroGuardBoundaries:
+    """Regression: the zero guards use epsilons, not float ``== 0.0``.
+
+    ``population_std`` of a bit-for-bit constant sequence is *not*
+    exactly zero (``[0.1]*3`` yields ~1.4e-17), so the old exact-zero
+    guards mis-classified constant references; and a mean that rounds
+    to ~1e-17 used to blow the coefficient of variation up to ~1e16.
+    """
+
+    def test_z_score_of_constant_float_reference_is_zero(self):
+        # mean([0.1]*3) != 0.1 in binary; the old spread == 0.0 guard
+        # missed this and returned ~-1.0 instead of 0.0.
+        assert z_score(0.1, [0.1, 0.1, 0.1]) == 0.0
+
+    def test_z_score_of_large_constant_reference_is_zero(self):
+        assert z_score(1e6, [1e6, 1e6, 1e6]) == 0.0
+
+    def test_z_score_above_near_constant_reference_is_inf(self):
+        assert z_score(0.2, [0.1, 0.1, 0.1]) == math.inf
+
+    def test_cv_with_cancelled_mean_degrades_to_zero(self):
+        # The mean of these is ~5e-17, pure cancellation noise; dividing
+        # by it would report a CV of ~1e16 instead of "no dispersion
+        # ratio" (0.0).
+        assert coefficient_of_variation([-0.5, 0.5, 1e-16]) == 0.0
+
+    def test_cv_of_constant_floats_is_exactly_zero(self):
+        assert coefficient_of_variation([0.1, 0.1, 0.1]) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_near_zero_is_relative_to_scale(self):
+        assert near_zero(1e-13)
+        assert not near_zero(1e-10)
+        assert near_zero(1e-7, scale=1e6)
+        assert not near_zero(1e-7, scale=1.0)
 
 
 class TestMinMax:

@@ -52,12 +52,58 @@ class TestUvarint:
         with pytest.raises(CodecError, match="too long"):
             decode_uvarint(blob, 0)
 
+    def test_overlong_input_raises_even_if_all_continuations(self):
+        # A buffer of nothing but continuation bytes must terminate with
+        # an error after the 10-byte cap, not scan the whole buffer.
+        blob = bytes([0x80] * 10_000)
+        with pytest.raises(CodecError, match="too long"):
+            decode_uvarint(blob, 0)
+
+    def test_uint64_boundary_roundtrips(self):
+        out = bytearray()
+        encode_uvarint(2**64 - 1, out)
+        assert len(out) == 10
+        assert decode_uvarint(bytes(out), 0) == (2**64 - 1, 10)
+
+    def test_encode_rejects_values_beyond_64_bits(self):
+        with pytest.raises(CodecError, match="64 bits"):
+            encode_uvarint(2**64, bytearray())
+
+    def test_decode_rejects_64_bit_overflow(self):
+        # Ten bytes whose payloads decode past UINT64_MAX: a compliant
+        # decoder must refuse rather than return a wrapped value.
+        blob = bytes([0xFF] * 9 + [0x7F])
+        with pytest.raises(CodecError, match="overflows"):
+            decode_uvarint(blob, 0)
+
+    @pytest.mark.parametrize("offset", [-1, -100, 1, 2, 50])
+    def test_out_of_range_offset_rejected(self, offset):
+        with pytest.raises(CodecError, match="offset"):
+            decode_uvarint(b"\x05", offset)
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(CodecError):
+            decode_uvarint(b"", 0)
+
     @given(st.integers(min_value=0, max_value=2**63 - 1))
     def test_roundtrip_property(self, value):
         out = bytearray()
         encode_uvarint(value, out)
         decoded, _ = decode_uvarint(bytes(out), 0)
         assert decoded == value
+
+    @given(st.binary(max_size=64), st.integers(min_value=-4, max_value=68))
+    def test_fuzz_decode_never_hangs_or_escapes(self, blob, offset):
+        # Decoding arbitrary bytes at an arbitrary offset either yields a
+        # value with a sane next-offset or raises CodecError — never any
+        # other exception, never an out-of-bounds cursor.
+        try:
+            value, next_offset = decode_uvarint(blob, offset)
+        except CodecError:
+            return
+        assert 0 <= value <= 2**64 - 1
+        assert offset < next_offset <= len(blob)
+        assert next_offset - offset <= 10
 
 
 class TestZigzag:
@@ -88,6 +134,22 @@ class TestSvarint:
             out = bytearray()
             encode_svarint(value, out)
             assert len(out) == 1, value
+
+    def test_int64_boundaries_roundtrip(self):
+        for value in (-(2**63), 2**63 - 1):
+            out = bytearray()
+            encode_svarint(value, out)
+            assert decode_svarint(bytes(out), 0) == (value, len(out))
+
+    def test_beyond_int64_rejected(self):
+        with pytest.raises(CodecError, match="64 bits"):
+            encode_svarint(2**63, bytearray())
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_roundtrip_property_full_range(self, value):
+        out = bytearray()
+        encode_svarint(value, out)
+        assert decode_svarint(bytes(out), 0) == (value, len(out))
 
 
 class TestSequences:

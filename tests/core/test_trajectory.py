@@ -105,6 +105,17 @@ class TestTrend:
     def test_single_point_trend_zero(self):
         assert summarize_trajectory(0, [measure(0, 10, 20), None]).trend == 0.0
 
+    def test_slope_degenerate_positions_exact(self):
+        # Regression: the undetermined-slope guard compares an *integer*
+        # denominator (n·Σx² − (Σx)²), not a float sum against 0.0.
+        from repro.core.trajectory import _slope
+
+        assert _slope([4, 4, 4], [0.1, 0.2, 0.3]) == 0.0
+        assert _slope([7], [0.5]) == 0.0
+        # Huge window indices one apart: the integer form stays exact.
+        base = 10**8
+        assert _slope([base, base + 1], [0.0, 1.0]) == 1.0
+
     def test_gap_positions_use_window_indexes(self):
         # Rising across windows 0 and 3 (gap in between): slope uses the
         # true spacing of 3 windows, not consecutive positions.

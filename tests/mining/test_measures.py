@@ -57,6 +57,16 @@ class TestCoreMeasures:
     def test_conviction_at_independence_is_one(self, counts):
         assert get_measure("conviction")(counts) == pytest.approx(1.0)
 
+    def test_conviction_counterexample_check_is_integer_exact(self):
+        # Regression: "no counterexamples" is decided on the integer
+        # counts (n_x == n_xy), not on the rounded float quotient, so
+        # awkward totals still yield exactly +inf...
+        counts = ContingencyCounts(n_xy=3, n_x=3, n_y=5, n=7)
+        assert get_measure("conviction")(counts) == math.inf
+        # ...and a single counterexample stays finite.
+        near = ContingencyCounts(n_xy=3, n_x=4, n_y=5, n=7)
+        assert math.isfinite(get_measure("conviction")(near))
+
     def test_conviction_infinite_without_counterexamples(self):
         counts = ContingencyCounts(n_xy=40, n_x=40, n_y=50, n=100)
         assert get_measure("conviction")(counts) == math.inf
