@@ -23,7 +23,13 @@ def report(figure: str, line: str) -> None:
 
 
 def mean_seconds(benchmark) -> float:
-    """Mean measured seconds of a completed ``benchmark`` fixture run."""
+    """Mean measured seconds of a completed ``benchmark`` fixture run.
+
+    Handles both pytest-benchmark stats shapes (the nested ``Metadata``
+    object of >=4 and the older mapping protocol).  Only the two errors
+    a missing key can raise are caught — anything else is real API
+    drift and should fail loudly, not dissolve into NaN.
+    """
     stats = getattr(benchmark, "stats", None)
     if stats is None:
         return math.nan
@@ -32,7 +38,7 @@ def mean_seconds(benchmark) -> float:
         return inner.mean
     try:
         return stats["mean"]
-    except Exception:  # pragma: no cover - version drift fallback
+    except (KeyError, TypeError):
         return math.nan
 
 

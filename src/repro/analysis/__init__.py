@@ -13,7 +13,7 @@ Rules
 -----
 R001  no float equality/inequality comparisons in exact-arithmetic layers
 R002  import-layering contract (``common -> data -> mining -> core ->
-      {baselines, maras} -> datagen -> cli``)
+      {baselines, maras} -> datagen -> bench -> cli``)
 R003  library code raises only :mod:`repro.common.errors` types and never
       swallows ``except Exception:``
 R004  value-type dataclasses must be ``@dataclass(frozen=True)``

@@ -3,7 +3,7 @@
 The architecture is a strict layering (DESIGN.md)::
 
     _version -> common -> {data, analysis} -> mining -> core
-             -> {baselines, maras} -> datagen -> cli
+             -> {baselines, maras} -> datagen -> bench -> cli
 
 A module may import from its own layer or from any *strictly lower*
 rank.  Layers sharing a rank (``data``/``analysis``, and the two rule
@@ -12,8 +12,10 @@ other, which keeps the baselines honest (they must not peek at TARA
 internals' siblings) and keeps the linter importable everywhere.
 
 ``datagen`` sits above ``maras`` because the FAERS generator plants
-known interactions from the MARAS reference knowledge base; the CLI and
-the package root sit on top and may import anything.
+known interactions from the MARAS reference knowledge base; ``bench``
+(the ``repro bench`` perf harness) builds workloads from ``datagen``
+and is wired into the CLI from above; the CLI and the package root sit
+on top and may import anything.
 """
 
 from __future__ import annotations
@@ -31,16 +33,17 @@ LAYER_RANKS: Dict[str, int] = {
     "baselines": 5,
     "maras": 5,
     "datagen": 6,
-    "cli": 7,
+    "bench": 7,
+    "cli": 8,
     # Entry-point modules sit above everything, including the CLI.
-    "__init__": 8,
-    "__main__": 8,
+    "__init__": 9,
+    "__main__": 9,
 }
 
 #: Human-readable rendering of the contract, used in findings and docs.
 LAYER_CHAIN = (
     "common -> {data, analysis} -> mining -> core -> "
-    "{baselines, maras} -> datagen -> cli"
+    "{baselines, maras} -> datagen -> bench -> cli"
 )
 
 

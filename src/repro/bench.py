@@ -1,0 +1,303 @@
+"""``repro bench`` — the offline-phase performance harness.
+
+Runs a small fixed workload matrix (dataset × miner × executor
+strategy) through the complete offline build, records wall-clock and
+the Figure 9 per-task phase breakdown for every cell, verifies that
+every parallel build is bit-identical to its serial twin, and emits a
+machine-readable ``BENCH_offline.json`` that seeds the repository's
+performance trajectory (one file per commit that cares to record one;
+CI regenerates it on every PR).  docs/performance.md explains how to
+read the numbers and why they scale the way they do.
+
+Schema of ``BENCH_offline.json`` (``repro-bench-offline/1``)
+============================================================
+
+``schema``
+    The literal string ``"repro-bench-offline/1"``.  Consumers must
+    reject files whose schema string they do not recognise.
+``version``
+    The ``repro`` package version that produced the file.
+``quick``
+    ``true`` when the reduced CI matrix ran (``--quick``).
+``host``
+    ``{"platform", "python", "implementation", "cpu_count"}`` — enough
+    to judge whether two trajectory points are comparable.  No wall
+    date is recorded (clock isolation, rule R005); the git history of
+    the file carries the timeline.
+``workers`` / ``repeat``
+    The ``--workers`` cap (``null`` = all CPUs) and how many times each
+    cell was built (wall seconds are the best of the repeats).
+``results``
+    One object per matrix cell::
+
+        {"dataset", "transactions", "windows", "miner", "strategy",
+         "workers",            # resolved worker count for this cell
+         "wall_seconds",       # best-of-``repeat`` full build wall time
+         "phases",             # Figure 9 task -> seconds, of the best run
+         "rules", "archive_entries", "archive_bytes",
+         "fingerprint"}        # sha256 over catalog + archive bytes + EPS axes
+
+    Equal fingerprints across a (dataset, miner) row are *enforced*
+    before the file is written: a parallel build that diverges from
+    serial aborts the bench with a nonzero exit instead of recording a
+    lie.
+``speedups``
+    One object per parallel cell:
+    ``{"dataset", "miner", "strategy", "workers", "speedup_vs_serial"}``
+    where the speedup is serial best wall over the cell's best wall.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.common.errors import ValidationError
+from repro.common.executors import EXECUTOR_STRATEGIES, ExecutorConfig
+from repro.common.timing import stopwatch
+from repro.core import GenerationConfig, TaraKnowledgeBase, build_knowledge_base
+from repro.data import TransactionDatabase, WindowedDatabase
+from repro.datagen import quest_t5k_scaled, retail_dataset
+
+SCHEMA = "repro-bench-offline/1"
+DEFAULT_OUT = "BENCH_offline.json"
+
+#: The fixed workload matrix.  Sizes and thresholds are chosen so the
+#: quick matrix finishes in about a minute on a laptop while per-window
+#: mining cost dwarfs both the per-window pickling toll and the
+#: serial-only archive/EPS tail (the two conditions for process-pool
+#: speedup — docs/performance.md).  The quick matrix uses Apriori
+#: because its candidate counting concentrates ~95% of build time in
+#: the workers; FP-Growth's lighter mining shifts the balance toward
+#: the serial merge and shows the Amdahl ceiling instead.
+QUICK_DATASETS: Tuple[str, ...] = ("retail",)
+QUICK_MINERS: Tuple[str, ...] = ("apriori",)
+FULL_DATASETS: Tuple[str, ...] = ("retail", "T5k")
+FULL_MINERS: Tuple[str, ...] = ("apriori", "fpgrowth")
+
+#: Per-dataset (transaction count, windows, supp_g, conf_g).
+_WORKLOADS: Dict[str, Tuple[int, int, float, float]] = {
+    "retail": (5_000, 8, 0.010, 0.30),
+    "T5k": (2_500, 8, 0.020, 0.30),
+}
+
+
+def _database(name: str) -> TransactionDatabase:
+    size = _WORKLOADS[name][0]
+    if name == "retail":
+        return retail_dataset(transaction_count=size, seed=11)
+    if name == "T5k":
+        return quest_t5k_scaled(scale=size / 5_000_000, seed=5)
+    raise ValidationError(f"unknown bench dataset {name!r}")
+
+
+def _windows(name: str) -> WindowedDatabase:
+    return WindowedDatabase.partition_by_count(_database(name), _WORKLOADS[name][1])
+
+
+def knowledge_base_fingerprint(knowledge_base: TaraKnowledgeBase) -> str:
+    """sha256 over everything the offline phase produces.
+
+    Covers the interned rules in id order, every rule's encoded archive
+    series, per-window sizes/bounds, and each EPS slice's distinct
+    support/confidence axes — the structures the serial-equivalence
+    guarantee promises are identical across executor strategies.
+    """
+    digest = hashlib.sha256()
+    catalog = knowledge_base.catalog
+    for rule_id in range(len(catalog)):
+        rule = catalog.get(rule_id)
+        digest.update(repr((rule_id, rule.antecedent, rule.consequent)).encode())
+    archive = knowledge_base.archive
+    for rule_id in sorted(archive.rule_ids()):
+        digest.update(repr(rule_id).encode())
+        digest.update(archive.encoded_series(rule_id))
+    for window in range(archive.window_count):
+        digest.update(
+            repr((archive.window_size(window), archive.missing_count_bound(window))).encode()
+        )
+    for window_slice in knowledge_base.slices:
+        digest.update(
+            repr(
+                (
+                    window_slice.window,
+                    tuple(window_slice.supports),
+                    tuple(window_slice.confidences),
+                )
+            ).encode()
+        )
+    digest.update(repr(knowledge_base.rules_in_window).encode())
+    return digest.hexdigest()
+
+
+def _run_cell(
+    dataset: str,
+    miner: str,
+    strategy: str,
+    workers: Optional[int],
+    repeat: int,
+) -> Dict[str, Any]:
+    """Build one matrix cell ``repeat`` times; keep the fastest run."""
+    windows = _windows(dataset)
+    _, _, min_support, min_confidence = _WORKLOADS[dataset]
+    executor = ExecutorConfig(strategy=strategy, max_workers=workers)
+    config = GenerationConfig(
+        min_support=min_support,
+        min_confidence=min_confidence,
+        miner=miner,
+        executor=executor,
+    )
+    best_seconds = None
+    best_kb = None
+    for _ in range(repeat):
+        with stopwatch() as clock:
+            knowledge_base = build_knowledge_base(windows, config)
+        if best_seconds is None or clock.seconds < best_seconds:
+            best_seconds = clock.seconds
+            best_kb = knowledge_base
+    assert best_kb is not None and best_seconds is not None  # repeat >= 1
+    return {
+        "dataset": dataset,
+        "transactions": len(_database(dataset)),
+        "windows": windows.window_count,
+        "miner": miner,
+        "strategy": strategy,
+        "workers": executor.resolved_workers(windows.window_count),
+        "wall_seconds": best_seconds,
+        "phases": best_kb.timer.breakdown(),
+        "rules": len(best_kb.catalog),
+        "archive_entries": best_kb.archive.entry_count(),
+        "archive_bytes": best_kb.archive.encoded_size_bytes(),
+        "fingerprint": knowledge_base_fingerprint(best_kb),
+    }
+
+
+def run_matrix(
+    datasets: Sequence[str],
+    miners: Sequence[str],
+    strategies: Sequence[str],
+    workers: Optional[int],
+    repeat: int,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Run the workload matrix; returns (results, speedups).
+
+    Raises :class:`ValidationError` when any parallel cell's fingerprint
+    deviates from its serial twin — the bench refuses to record numbers
+    for a build that broke serial equivalence.
+    """
+    results: List[Dict[str, Any]] = []
+    speedups: List[Dict[str, Any]] = []
+    for dataset in datasets:
+        for miner in miners:
+            serial_cell: Optional[Dict[str, Any]] = None
+            for strategy in strategies:
+                cell = _run_cell(dataset, miner, strategy, workers, repeat)
+                results.append(cell)
+                print(
+                    f"  {dataset:<8} {miner:<9} {strategy:<8} "
+                    f"workers={cell['workers']}  "
+                    f"wall={cell['wall_seconds'] * 1e3:9.1f} ms  "
+                    f"rules={cell['rules']}"
+                )
+                if strategy == "serial":
+                    serial_cell = cell
+                    continue
+                if serial_cell is None:
+                    continue
+                if cell["fingerprint"] != serial_cell["fingerprint"]:
+                    raise ValidationError(
+                        f"{strategy} build of {dataset}/{miner} diverged "
+                        f"from serial (fingerprint mismatch) — refusing to "
+                        f"record benchmark results"
+                    )
+                speedup = serial_cell["wall_seconds"] / cell["wall_seconds"]
+                speedups.append(
+                    {
+                        "dataset": dataset,
+                        "miner": miner,
+                        "strategy": strategy,
+                        "workers": cell["workers"],
+                        "speedup_vs_serial": speedup,
+                    }
+                )
+                print(
+                    f"  {'':<8} {'':<9} {strategy:<8} speedup vs serial: "
+                    f"{speedup:.2f}x"
+                )
+    return results, speedups
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``repro bench`` arguments on *parser*."""
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced CI matrix: retail x fpgrowth x all strategies",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT}; '-' for stdout only)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="builds per cell; wall time is the best of them (default: 2)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker cap for parallel strategies (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--strategies",
+        nargs="+",
+        choices=EXECUTOR_STRATEGIES,
+        default=list(EXECUTOR_STRATEGIES),
+        help="executor strategies to benchmark (default: all three)",
+    )
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    """Entry point for the ``repro bench`` subcommand."""
+    if args.repeat < 1:
+        raise ValidationError(f"--repeat must be >= 1, got {args.repeat}")
+    datasets = QUICK_DATASETS if args.quick else FULL_DATASETS
+    miners = QUICK_MINERS if args.quick else FULL_MINERS
+    print(
+        f"repro bench ({'quick' if args.quick else 'full'} matrix): "
+        f"{len(datasets)} dataset(s) x {len(miners)} miner(s) x "
+        f"{len(args.strategies)} strategies, repeat={args.repeat}, "
+        f"cpus={os.cpu_count()}"
+    )
+    results, speedups = run_matrix(
+        datasets, miners, args.strategies, args.workers, args.repeat
+    )
+    payload = {
+        "schema": SCHEMA,
+        "version": __version__,
+        "quick": args.quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
+        },
+        "workers": args.workers,
+        "repeat": args.repeat,
+        "results": results,
+        "speedups": speedups,
+    }
+    if args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.out} ({SCHEMA})")
+    return 0

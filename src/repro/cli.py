@@ -17,6 +17,9 @@ Covers the full workflow without writing Python:
     Rank MDAR signals from an ADR-report TSV.
 ``repro lint``
     Run the AST-based invariant checker over the source tree.
+``repro bench``
+    Offline-phase perf harness: build the fixed workload matrix under
+    every executor strategy and emit ``BENCH_offline.json``.
 
 Every subcommand prints plain text to stdout; exit code 0 on success,
 2 on argument errors (argparse convention), 1 on domain errors with the
@@ -31,6 +34,7 @@ from typing import Optional, Sequence
 
 from repro._version import __version__
 from repro.analysis.cli import add_lint_arguments, run_lint
+from repro.bench import add_bench_arguments, run_bench
 from repro.common.errors import ReproError
 from repro.core import (
     GenerationConfig,
@@ -132,6 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the AST-based invariant checker (see docs/static_analysis.md)"
     )
     add_lint_arguments(lint)
+
+    bench = commands.add_parser(
+        "bench",
+        help="offline-build perf harness -> BENCH_offline.json (see docs/performance.md)",
+    )
+    add_bench_arguments(bench)
     return parser
 
 
@@ -282,6 +292,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "maras": _cmd_maras,
     "lint": run_lint,
+    "bench": run_bench,
 }
 
 

@@ -1,4 +1,4 @@
-"""Cross-cutting utilities: errors, validation, timing, codecs, statistics."""
+"""Cross-cutting utilities: errors, validation, timing, codecs, executors."""
 
 from repro.common.errors import (
     CodecError,
@@ -10,14 +10,24 @@ from repro.common.errors import (
     UnknownWindowError,
     ValidationError,
 )
+from repro.common.executors import (
+    EXECUTOR_STRATEGIES,
+    ExecutorConfig,
+    available_cpus,
+    run_ordered,
+)
 
 __all__ = [
     "CodecError",
     "DataFormatError",
+    "EXECUTOR_STRATEGIES",
+    "ExecutorConfig",
     "NotBuiltError",
     "QueryError",
     "ReproError",
     "UnknownRuleError",
     "UnknownWindowError",
     "ValidationError",
+    "available_cpus",
+    "run_ordered",
 ]

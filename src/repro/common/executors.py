@@ -1,0 +1,132 @@
+"""Execution strategies for embarrassingly parallel offline work.
+
+The offline phase (Figure 2) is independent per basic window: the TAR
+Archive is append-only per rule and the EPS index is sliced by time, so
+per-window mining can run anywhere as long as the results are *merged
+back in window order*.  This module provides the strategy half of that
+split: :func:`run_ordered` maps a function over work items under one of
+three interchangeable strategies —
+
+``serial``
+    a plain in-process loop (the reference behaviour);
+``thread``
+    a :class:`~concurrent.futures.ThreadPoolExecutor` — useful when the
+    work releases the GIL (I/O, native extensions); pure-Python mining
+    is GIL-bound and gains little (docs/performance.md);
+``process``
+    a :class:`~concurrent.futures.ProcessPoolExecutor` — the strategy
+    for CPU-bound mining; the function and every work item must be
+    picklable, and each item pays a serialization toll.
+
+All three return results **in submission order**, so a deterministic
+caller-side merge sees exactly the serial sequence regardless of the
+order workers finish in.  The layering contract keeps this module
+generic: it knows nothing about windows, miners or archives — callers
+(e.g. ``repro.core.builder``) supply picklable work units.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.common.errors import ValidationError
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: The recognised strategy names, in documentation order.
+EXECUTOR_STRATEGIES: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware; at least 1)."""
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return max(1, len(getter(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """How to execute a batch of independent work items.
+
+    Attributes:
+        strategy: one of :data:`EXECUTOR_STRATEGIES`.
+        max_workers: worker cap; ``None`` means "all available CPUs".
+            The effective count never exceeds the item count.
+        chunk_size: items handed to a process worker per pickling round
+            trip; ``None`` picks ``ceil(items / (workers * 4))`` so the
+            pool stays load-balanced without per-item pickling overhead.
+            Ignored by the serial and thread strategies.
+    """
+
+    strategy: str = "serial"
+    max_workers: Optional[int] = None
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in EXECUTOR_STRATEGIES:
+            raise ValidationError(
+                f"unknown executor strategy {self.strategy!r}; "
+                f"known: {list(EXECUTOR_STRATEGIES)}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValidationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+
+    @property
+    def is_parallel(self) -> bool:
+        """True for the strategies that may use worker pools."""
+        return self.strategy != "serial"
+
+    def resolved_workers(self, item_count: int) -> int:
+        """Effective worker count for a batch of *item_count* items."""
+        cap = self.max_workers if self.max_workers is not None else available_cpus()
+        return max(1, min(cap, item_count))
+
+    def resolved_chunk_size(self, item_count: int, workers: int) -> int:
+        """Effective process-pool chunk size for a batch."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, -(-item_count // (workers * 4)))
+
+
+def run_ordered(
+    function: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    config: Optional[ExecutorConfig] = None,
+) -> List[ResultT]:
+    """Apply *function* to every item, returning results in input order.
+
+    The degenerate cases — serial strategy, a single resolved worker, or
+    fewer than two items — run in-process without spawning a pool, so
+    callers can route every batch through here unconditionally.
+
+    For the ``process`` strategy, *function* must be a module-level
+    callable and every item (and result) picklable.
+    """
+    if config is None:
+        config = ExecutorConfig()
+    work = list(items)
+    if not work:
+        return []
+    workers = config.resolved_workers(len(work))
+    if not config.is_parallel or workers == 1 or len(work) == 1:
+        return [function(item) for item in work]
+    if config.strategy == "thread":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(function, work))
+    chunk = config.resolved_chunk_size(len(work), workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(function, work, chunksize=chunk))

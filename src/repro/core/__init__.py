@@ -9,9 +9,12 @@ index).  Online phase: :class:`TaraExplorer`.  Incremental maintenance:
 from repro.core.archive import RolledUpMeasure, TarArchive, WindowMeasure
 from repro.core.builder import (
     GenerationConfig,
+    MinedWindow,
     TaraBuilder,
     TaraKnowledgeBase,
+    WindowTask,
     build_knowledge_base,
+    mine_window_task,
 )
 from repro.core.explorer import TaraExplorer
 from repro.core.incremental import IncrementalTara
@@ -38,6 +41,7 @@ __all__ = [
     "Location",
     "MatchMode",
     "MinedRule",
+    "MinedWindow",
     "ParameterSetting",
     "Recommendation",
     "RolledUpMeasure",
@@ -53,7 +57,9 @@ __all__ = [
     "WindowDiff",
     "WindowMeasure",
     "WindowSlice",
+    "WindowTask",
     "build_knowledge_base",
+    "mine_window_task",
     "group_by_location",
     "load_knowledge_base",
     "location_of",

@@ -378,6 +378,22 @@ class TarArchive:
         total += sum(len(self._decode(rid)) for rid in self._sealed)
         return total
 
+    def encoded_series(self, rule_id: RuleId) -> bytes:
+        """The byte encoding of one rule's series.
+
+        Sealed rules return their stored blob; staged rules are encoded
+        on the fly.  Used by the persistence layer's callers and by the
+        determinism tests, which compare serial vs. parallel builds at
+        byte level.
+        """
+        blob = self._sealed.get(rule_id)
+        if blob is not None:
+            return blob
+        staged = self._staged.get(rule_id)
+        if staged is not None:
+            return _encode_series(staged)
+        raise UnknownRuleError(f"rule {rule_id} has no archived entries")
+
     def encoded_size_bytes(self) -> int:
         """Bytes used by the sealed encodings (plus staged estimate).
 

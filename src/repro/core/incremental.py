@@ -53,21 +53,45 @@ class IncrementalTara:
         batch = list(transactions)
         if not batch:
             raise ValidationError("cannot append an empty batch")
-        self._check_order(batch)
+        self._check_order(
+            batch, is_first_window=self.knowledge_base.window_count == 0
+        )
         return self._builder.add_window(self.knowledge_base, batch)
 
     def append_batches(
         self, batches: Iterable[Sequence[Transaction]]
     ) -> List[WindowSlice]:
-        """Append several batches in order; returns their new slices."""
-        return [self.append_batch(batch) for batch in batches]
+        """Append several batches in order; returns their new slices.
+
+        Validation (non-empty, time-sorted) happens up front for every
+        batch; the incorporation itself goes through
+        :meth:`TaraBuilder.add_windows`, so a parallel
+        :attr:`GenerationConfig.executor` mines the batches concurrently
+        while the merge keeps the resulting knowledge base identical to
+        appending them one by one.
+        """
+        validated: List[List[Transaction]] = []
+        for index, transactions in enumerate(batches):
+            batch = list(transactions)
+            if not batch:
+                raise ValidationError("cannot append an empty batch")
+            self._check_order(
+                batch,
+                is_first_window=(
+                    self.knowledge_base.window_count == 0 and index == 0
+                ),
+            )
+            validated.append(batch)
+        return self._builder.add_windows(self.knowledge_base, validated)
 
     def explorer(self) -> TaraExplorer:
         """A query processor over the current state."""
         return TaraExplorer(self.knowledge_base)
 
-    def _check_order(self, batch: Sequence[Transaction]) -> None:
-        if self.knowledge_base.window_count == 0:
+    def _check_order(
+        self, batch: Sequence[Transaction], *, is_first_window: bool
+    ) -> None:
+        if is_first_window:
             return
         # Batches carry their own timestamps; we only require that the
         # batch is internally sorted (the windowed model does not demand

@@ -1,0 +1,101 @@
+"""ExecutorConfig validation and run_ordered strategy behaviour."""
+
+from __future__ import annotations
+
+import math
+import operator
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.executors import (
+    EXECUTOR_STRATEGIES,
+    ExecutorConfig,
+    available_cpus,
+    run_ordered,
+)
+
+
+class TestExecutorConfig:
+    def test_default_is_serial(self):
+        config = ExecutorConfig()
+        assert config.strategy == "serial"
+        assert not config.is_parallel
+
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES)
+    def test_known_strategies_accepted(self, strategy):
+        config = ExecutorConfig(strategy=strategy)
+        assert config.is_parallel == (strategy != "serial")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValidationError, match="unknown executor strategy"):
+            ExecutorConfig(strategy="gpu")
+
+    @pytest.mark.parametrize("workers", (0, -1))
+    def test_nonpositive_workers_rejected(self, workers):
+        with pytest.raises(ValidationError, match="max_workers"):
+            ExecutorConfig(strategy="thread", max_workers=workers)
+
+    def test_nonpositive_chunk_rejected(self):
+        with pytest.raises(ValidationError, match="chunk_size"):
+            ExecutorConfig(strategy="process", chunk_size=0)
+
+    def test_resolved_workers_capped_by_items_and_config(self):
+        config = ExecutorConfig(strategy="process", max_workers=3)
+        assert config.resolved_workers(8) == 3
+        assert config.resolved_workers(2) == 2
+        assert config.resolved_workers(0) == 1
+
+    def test_resolved_workers_defaults_to_available_cpus(self):
+        config = ExecutorConfig(strategy="process")
+        assert config.resolved_workers(10_000) == min(10_000, available_cpus())
+
+    def test_resolved_chunk_size_heuristic(self):
+        config = ExecutorConfig(strategy="process")
+        # ceil(items / (workers * 4)), never below 1.
+        assert config.resolved_chunk_size(32, 4) == 2
+        assert config.resolved_chunk_size(3, 4) == 1
+        assert ExecutorConfig(
+            strategy="process", chunk_size=7
+        ).resolved_chunk_size(1000, 4) == 7
+
+
+class TestAvailableCpus:
+    def test_at_least_one(self):
+        assert available_cpus() >= 1
+
+
+class TestRunOrdered:
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES)
+    def test_results_in_submission_order(self, strategy):
+        # operator.neg is a module-level picklable callable, so the same
+        # call works under the process pool.
+        config = ExecutorConfig(strategy=strategy, max_workers=2)
+        items = list(range(17))
+        assert run_ordered(operator.neg, items, config) == [-i for i in items]
+
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES)
+    def test_empty_batch(self, strategy):
+        config = ExecutorConfig(strategy=strategy, max_workers=2)
+        assert run_ordered(operator.neg, [], config) == []
+
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES)
+    def test_single_item_batch(self, strategy):
+        config = ExecutorConfig(strategy=strategy, max_workers=2)
+        assert run_ordered(math.factorial, [5], config) == [120]
+
+    def test_none_config_means_serial(self):
+        assert run_ordered(operator.neg, [1, 2, 3]) == [-1, -2, -3]
+
+    def test_single_worker_runs_in_process(self):
+        # max_workers=1 must take the in-process path: local closures are
+        # unpicklable, so a real process pool would fail here.
+        local_offset = 10
+        config = ExecutorConfig(strategy="process", max_workers=1)
+        result = run_ordered(lambda x: x + local_offset, [1, 2], config)
+        assert result == [11, 12]
+
+    def test_explicit_chunk_size_respected(self):
+        config = ExecutorConfig(strategy="process", max_workers=2, chunk_size=3)
+        items = list(range(10))
+        assert run_ordered(operator.neg, items, config) == [-i for i in items]

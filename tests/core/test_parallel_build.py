@@ -1,0 +1,156 @@
+"""Serial-equivalence of the parallel offline build.
+
+The tentpole guarantee (docs/performance.md): a build under any executor
+strategy produces a knowledge base *bit-identical* to the serial build —
+same rule ids, same encoded archive bytes, same EPS region
+decomposition.  These tests compare full structural snapshots across
+``serial`` / ``thread`` / ``process`` on a seeded datagen workload and
+on the edge cases (single window, empty middle window).
+
+``max_workers=2`` is passed explicitly so the parallel merge path is
+exercised even on single-CPU runners (the builder picks the merge path
+by strategy, not by how many workers the pool actually got).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import pytest
+
+from repro.common.executors import EXECUTOR_STRATEGIES, ExecutorConfig
+from repro.core import (
+    GenerationConfig,
+    IncrementalTara,
+    ParameterSetting,
+    TaraExplorer,
+    TaraKnowledgeBase,
+    build_knowledge_base,
+)
+from repro.core.builder import PHASE_MERGE, PHASE_WORKERS
+from repro.data import TransactionDatabase, WindowedDatabase
+from repro.datagen import retail_dataset
+
+PARALLEL = [s for s in EXECUTOR_STRATEGIES if s != "serial"]
+
+
+def _config(strategy: str, **overrides: Any) -> GenerationConfig:
+    defaults: Dict[str, Any] = dict(min_support=0.02, min_confidence=0.2)
+    defaults.update(overrides)
+    return GenerationConfig(
+        executor=ExecutorConfig(strategy=strategy, max_workers=2), **defaults
+    )
+
+
+def snapshot(kb: TaraKnowledgeBase) -> Dict[str, Any]:
+    """Everything the offline phase produces, in comparable form."""
+    archive = kb.archive
+    return {
+        "rules": [
+            (rid, kb.catalog.get(rid).antecedent, kb.catalog.get(rid).consequent)
+            for rid in range(len(kb.catalog))
+        ],
+        # Byte-level: the varint-encoded per-rule archive series.
+        "series": {rid: archive.encoded_series(rid) for rid in archive.rule_ids()},
+        "window_sizes": [
+            archive.window_size(w) for w in range(archive.window_count)
+        ],
+        "missing_bounds": [
+            archive.missing_count_bound(w) for w in range(archive.window_count)
+        ],
+        # The EPS region decomposition: each window's distinct support and
+        # confidence axes define the stable-region grid.
+        "axes": [
+            (s.window, tuple(s.supports), tuple(s.confidences)) for s in kb.slices
+        ],
+        "rules_in_window": kb.rules_in_window,
+    }
+
+
+@pytest.fixture(scope="module")
+def retail_windows() -> WindowedDatabase:
+    """Seeded datagen workload: 600 retail transactions in 6 windows."""
+    database = retail_dataset(transaction_count=600, seed=7)
+    return WindowedDatabase.partition_by_count(database, 6)
+
+
+@pytest.fixture(scope="module")
+def serial_kb(retail_windows) -> TaraKnowledgeBase:
+    return build_knowledge_base(retail_windows, _config("serial"))
+
+
+class TestExecutorDeterminism:
+    @pytest.mark.parametrize("strategy", PARALLEL)
+    def test_identical_to_serial(self, retail_windows, serial_kb, strategy):
+        parallel_kb = build_knowledge_base(retail_windows, _config(strategy))
+        assert snapshot(parallel_kb) == snapshot(serial_kb)
+
+    @pytest.mark.parametrize("strategy", PARALLEL)
+    def test_identical_region_recommendation(
+        self, retail_windows, serial_kb, strategy
+    ):
+        parallel_kb = build_knowledge_base(retail_windows, _config(strategy))
+        setting = ParameterSetting(0.03, 0.3)
+        expected = TaraExplorer(serial_kb).recommend(setting)
+        actual = TaraExplorer(parallel_kb).recommend(setting)
+        assert actual.region == expected.region
+        assert actual.neighbors == expected.neighbors
+
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES)
+    def test_single_window(self, strategy):
+        database = retail_dataset(transaction_count=120, seed=3)
+        windows = WindowedDatabase.partition_by_count(database, 1)
+        kb = build_knowledge_base(windows, _config(strategy))
+        serial = build_knowledge_base(windows, _config("serial"))
+        assert kb.window_count == 1
+        assert snapshot(kb) == snapshot(serial)
+
+    @pytest.mark.parametrize("strategy", EXECUTOR_STRATEGIES)
+    def test_empty_middle_window(self, strategy):
+        # A timestamp gap leaves window 1 of the time partition empty;
+        # an empty window is legal and must survive every strategy.
+        itemlists = [[0, 1], [0, 1], [1, 2], [0, 2], [0, 1], [1, 2]]
+        times = [0, 1, 2, 20, 21, 22]  # width 10 -> windows 0, 1 (empty), 2
+        database = TransactionDatabase.from_itemlists(itemlists, times)
+        windows = WindowedDatabase.partition_by_time(database, window_width=10)
+        assert windows.window_count == 3
+        assert windows.window_size(1) == 0
+        config = _config(strategy, min_support=0.3, min_confidence=0.3)
+        kb = build_knowledge_base(windows, config)
+        serial = build_knowledge_base(
+            windows, _config("serial", min_support=0.3, min_confidence=0.3)
+        )
+        assert kb.window_count == 3
+        assert kb.rules_in_window[1] == []
+        assert snapshot(kb) == snapshot(serial)
+
+    @pytest.mark.parametrize("strategy", PARALLEL)
+    def test_parallel_phase_accounting(self, retail_windows, strategy):
+        kb = build_knowledge_base(retail_windows, _config(strategy))
+        breakdown = kb.timer.breakdown()
+        assert PHASE_MERGE in breakdown
+        assert PHASE_WORKERS in breakdown
+        # Pool wall-clock overlaps the worker-measured phases, so it must
+        # stay out of the Figure 9 total.
+        assert kb.timer.is_informational(PHASE_WORKERS)
+        assert not kb.timer.is_informational(PHASE_MERGE)
+        assert kb.timer.total >= breakdown[PHASE_MERGE]
+
+
+class TestIncrementalParallelAppend:
+    @pytest.mark.parametrize("strategy", PARALLEL)
+    def test_append_batches_matches_serial_appends(self, retail_windows, strategy):
+        batches = [retail_windows.window(i) for i in range(retail_windows.window_count)]
+
+        serial = IncrementalTara(_config("serial"))
+        for batch in batches:
+            serial.append_batch(batch)
+
+        parallel = IncrementalTara(_config(strategy))
+        # Two calls so the second exercises appends onto existing windows.
+        parallel.append_batches(batches[:2])
+        slices = parallel.append_batches(batches[2:])
+
+        assert len(slices) == len(batches) - 2
+        assert parallel.window_count == serial.window_count
+        assert snapshot(parallel.knowledge_base) == snapshot(serial.knowledge_base)

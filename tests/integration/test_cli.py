@@ -1,5 +1,7 @@
 """The command-line interface, end to end through main()."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -132,6 +134,41 @@ class TestMarasCommand:
         output = capsys.readouterr().out
         assert "signals" in output
         assert "score=" in output
+
+
+class TestBenchCommand:
+    def test_quick_writes_schema_json(self, tmp_path, monkeypatch, capsys):
+        import repro.bench as bench
+
+        # Shrink the quick workload so the matrix builds in well under a
+        # second; the real sizes are calibrated for wall-clock signal,
+        # not for the test suite.
+        monkeypatch.setitem(bench._WORKLOADS, "retail", (150, 3, 0.05, 0.30))
+        out = tmp_path / "BENCH_offline.json"
+        code = main(
+            [
+                "bench", "--quick",
+                "--out", str(out),
+                "--repeat", "1",
+                "--strategies", "serial", "thread",
+            ]
+        )
+        assert code == 0
+        assert "speedup vs serial" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == bench.SCHEMA
+        assert payload["quick"] is True
+        assert payload["host"]["cpu_count"] >= 1
+        strategies = {cell["strategy"] for cell in payload["results"]}
+        assert strategies == {"serial", "thread"}
+        fingerprints = {cell["fingerprint"] for cell in payload["results"]}
+        assert len(fingerprints) == 1  # serial equivalence, enforced
+        assert payload["speedups"][0]["strategy"] == "thread"
+
+    def test_invalid_repeat_is_domain_error(self, tmp_path, capsys):
+        code = main(["bench", "--quick", "--repeat", "0", "--out", "-"])
+        assert code == 1
+        assert "--repeat" in capsys.readouterr().err
 
 
 class TestErrorPaths:

@@ -1,0 +1,80 @@
+"""Unit tests for the benchmark-suite helpers in benchmarks/conftest.py.
+
+The benchmarks directory is not a package, so the module is loaded by
+path; these tests pin the ``mean_seconds`` error-handling contract (only
+a missing/absent ``"mean"`` dissolves into NaN — anything else is real
+pytest-benchmark API drift and must propagate).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import math
+import pathlib
+
+import pytest
+
+_CONFTEST = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "conftest.py"
+)
+
+
+@pytest.fixture(scope="module")
+def bench_helpers():
+    spec = importlib.util.spec_from_file_location("bench_conftest", _CONFTEST)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class _AttrStats:
+    """pytest-benchmark >= 4 shape: benchmark.stats.stats.mean."""
+
+    def __init__(self, mean):
+        class _Inner:
+            pass
+
+        self.stats = _Inner()
+        self.stats.mean = mean
+
+
+class _Fixture:
+    def __init__(self, stats):
+        self.stats = stats
+
+
+class TestMeanSeconds:
+    def test_missing_stats_is_nan(self, bench_helpers):
+        class NoStats:
+            pass
+
+        assert math.isnan(bench_helpers.mean_seconds(NoStats()))
+
+    def test_attribute_shape(self, bench_helpers):
+        assert bench_helpers.mean_seconds(_Fixture(_AttrStats(0.25))) == 0.25
+
+    def test_mapping_shape(self, bench_helpers):
+        assert bench_helpers.mean_seconds(_Fixture({"mean": 1.5})) == 1.5
+
+    def test_mapping_without_mean_is_nan(self, bench_helpers):
+        assert math.isnan(bench_helpers.mean_seconds(_Fixture({"median": 1.0})))
+
+    def test_unsubscriptable_stats_is_nan(self, bench_helpers):
+        # An object that is neither shape raises TypeError on ["mean"];
+        # that (and KeyError) are the only errors absorbed into NaN.
+        assert math.isnan(bench_helpers.mean_seconds(_Fixture(object())))
+
+    def test_other_errors_propagate(self, bench_helpers):
+        class Exploding:
+            def __getitem__(self, key):
+                raise RuntimeError("API drift")
+
+        with pytest.raises(RuntimeError, match="API drift"):
+            bench_helpers.mean_seconds(_Fixture(Exploding()))
+
+    def test_format_time_units(self, bench_helpers):
+        assert bench_helpers.format_time(math.nan).strip() == "n/a"
+        assert bench_helpers.format_time(2.5).strip() == "2.50s"
+        assert bench_helpers.format_time(0.0025).strip() == "2.50ms"
+        assert bench_helpers.format_time(2.5e-6).strip() == "2.5us"
