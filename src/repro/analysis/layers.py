@@ -2,7 +2,7 @@
 
 The architecture is a strict layering (DESIGN.md)::
 
-    _version -> common -> {data, analysis} -> mining -> core
+    _version -> common -> {data, analysis} -> mining -> core -> service
              -> {baselines, maras} -> datagen -> bench -> cli
 
 A module may import from its own layer or from any *strictly lower*
@@ -11,11 +11,14 @@ consumers ``baselines``/``maras``) are siblings: neither may import the
 other, which keeps the baselines honest (they must not peek at TARA
 internals' siblings) and keeps the linter importable everywhere.
 
-``datagen`` sits above ``maras`` because the FAERS generator plants
-known interactions from the MARAS reference knowledge base; ``bench``
-(the ``repro bench`` perf harness) builds workloads from ``datagen``
-and is wired into the CLI from above; the CLI and the package root sit
-on top and may import anything.
+``service`` (the online serving layer: region-keyed query cache and
+metrics) sits directly above ``core`` — it wraps the explorer and must
+know nothing about data generation or benchmarking.  ``datagen`` sits
+above ``maras`` because the FAERS generator plants known interactions
+from the MARAS reference knowledge base; ``bench`` (the ``repro bench``
+/ ``bench-online`` perf harnesses) builds workloads from ``datagen``
+and drives the service layer from above; the CLI and the package root
+sit on top and may import anything.
 """
 
 from __future__ import annotations
@@ -30,19 +33,20 @@ LAYER_RANKS: Dict[str, int] = {
     "analysis": 2,
     "mining": 3,
     "core": 4,
-    "baselines": 5,
-    "maras": 5,
-    "datagen": 6,
-    "bench": 7,
-    "cli": 8,
+    "service": 5,
+    "baselines": 6,
+    "maras": 6,
+    "datagen": 7,
+    "bench": 8,
+    "cli": 9,
     # Entry-point modules sit above everything, including the CLI.
-    "__init__": 9,
-    "__main__": 9,
+    "__init__": 10,
+    "__main__": 10,
 }
 
 #: Human-readable rendering of the contract, used in findings and docs.
 LAYER_CHAIN = (
-    "common -> {data, analysis} -> mining -> core -> "
+    "common -> {data, analysis} -> mining -> core -> service -> "
     "{baselines, maras} -> datagen -> bench -> cli"
 )
 

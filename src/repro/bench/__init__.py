@@ -1,0 +1,68 @@
+"""The performance harnesses behind ``repro bench`` and ``repro bench-online``.
+
+Two sibling harnesses share one workload vocabulary
+(:mod:`repro.bench.workloads`):
+
+* :mod:`repro.bench.offline` builds the fixed dataset × miner ×
+  executor-strategy matrix and emits ``BENCH_offline.json``
+  (``repro-bench-offline/1``);
+* :mod:`repro.bench.online` drives the serving layer's region-keyed
+  cache through the E6/E7 query sweeps and emits ``BENCH_online.json``
+  (``repro-bench-online/1``), verifying cached answers against uncached
+  recomputation before writing anything.
+
+For backward compatibility this package re-exports the offline
+harness's public surface under its historical ``repro.bench`` names
+(``SCHEMA``, ``_WORKLOADS``, ``run_bench``, ...).
+"""
+
+from repro.bench.offline import (
+    DEFAULT_OUT,
+    SCHEMA,
+    add_bench_arguments,
+    knowledge_base_fingerprint,
+    run_bench,
+    run_matrix,
+)
+from repro.bench.online import (
+    DEFAULT_OUT as ONLINE_DEFAULT_OUT,
+    SCHEMA as ONLINE_SCHEMA,
+    add_bench_online_arguments,
+    run_bench_online,
+    run_online_matrix,
+)
+from repro.bench.workloads import (
+    FULL_DATASETS,
+    FULL_MINERS,
+    ONLINE_CONFIDENCE_SWEEP,
+    ONLINE_FIXED_CONFIDENCE,
+    ONLINE_SUPPORT_SWEEP,
+    QUICK_DATASETS,
+    QUICK_MINERS,
+    _WORKLOADS,
+    online_settings,
+    select_datasets,
+)
+
+__all__ = [
+    "DEFAULT_OUT",
+    "FULL_DATASETS",
+    "FULL_MINERS",
+    "ONLINE_CONFIDENCE_SWEEP",
+    "ONLINE_DEFAULT_OUT",
+    "ONLINE_FIXED_CONFIDENCE",
+    "ONLINE_SCHEMA",
+    "ONLINE_SUPPORT_SWEEP",
+    "QUICK_DATASETS",
+    "QUICK_MINERS",
+    "SCHEMA",
+    "add_bench_arguments",
+    "add_bench_online_arguments",
+    "knowledge_base_fingerprint",
+    "online_settings",
+    "run_bench",
+    "run_bench_online",
+    "run_matrix",
+    "run_online_matrix",
+    "select_datasets",
+]

@@ -1,5 +1,9 @@
 """``repro bench`` — the offline-phase performance harness.
 
+Datasets, thresholds, and the shared ``--quick/--out/--repeat/--datasets``
+flags live in :mod:`repro.bench.workloads`, shared with the online
+serving harness (:mod:`repro.bench.online`).
+
 Runs a small fixed workload matrix (dataset × miner × executor
 strategy) through the complete offline build, records wall-clock and
 the Figure 9 per-task phase breakdown for every cell, verifies that
@@ -61,43 +65,18 @@ from repro.common.errors import ValidationError
 from repro.common.executors import EXECUTOR_STRATEGIES, ExecutorConfig
 from repro.common.timing import stopwatch
 from repro.core import GenerationConfig, TaraKnowledgeBase, build_knowledge_base
-from repro.data import TransactionDatabase, WindowedDatabase
-from repro.datagen import quest_t5k_scaled, retail_dataset
+from repro.bench.workloads import (
+    FULL_MINERS,
+    QUICK_MINERS,
+    _WORKLOADS,
+    _database,
+    _windows,
+    add_shared_bench_arguments,
+    select_datasets,
+)
 
 SCHEMA = "repro-bench-offline/1"
 DEFAULT_OUT = "BENCH_offline.json"
-
-#: The fixed workload matrix.  Sizes and thresholds are chosen so the
-#: quick matrix finishes in about a minute on a laptop while per-window
-#: mining cost dwarfs both the per-window pickling toll and the
-#: serial-only archive/EPS tail (the two conditions for process-pool
-#: speedup — docs/performance.md).  The quick matrix uses Apriori
-#: because its candidate counting concentrates ~95% of build time in
-#: the workers; FP-Growth's lighter mining shifts the balance toward
-#: the serial merge and shows the Amdahl ceiling instead.
-QUICK_DATASETS: Tuple[str, ...] = ("retail",)
-QUICK_MINERS: Tuple[str, ...] = ("apriori",)
-FULL_DATASETS: Tuple[str, ...] = ("retail", "T5k")
-FULL_MINERS: Tuple[str, ...] = ("apriori", "fpgrowth")
-
-#: Per-dataset (transaction count, windows, supp_g, conf_g).
-_WORKLOADS: Dict[str, Tuple[int, int, float, float]] = {
-    "retail": (5_000, 8, 0.010, 0.30),
-    "T5k": (2_500, 8, 0.020, 0.30),
-}
-
-
-def _database(name: str) -> TransactionDatabase:
-    size = _WORKLOADS[name][0]
-    if name == "retail":
-        return retail_dataset(transaction_count=size, seed=11)
-    if name == "T5k":
-        return quest_t5k_scaled(scale=size / 5_000_000, seed=5)
-    raise ValidationError(f"unknown bench dataset {name!r}")
-
-
-def _windows(name: str) -> WindowedDatabase:
-    return WindowedDatabase.partition_by_count(_database(name), _WORKLOADS[name][1])
 
 
 def knowledge_base_fingerprint(knowledge_base: TaraKnowledgeBase) -> str:
@@ -234,22 +213,7 @@ def run_matrix(
 
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Install the ``repro bench`` arguments on *parser*."""
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="reduced CI matrix: retail x fpgrowth x all strategies",
-    )
-    parser.add_argument(
-        "--out",
-        default=DEFAULT_OUT,
-        help=f"output JSON path (default: {DEFAULT_OUT}; '-' for stdout only)",
-    )
-    parser.add_argument(
-        "--repeat",
-        type=int,
-        default=2,
-        help="builds per cell; wall time is the best of them (default: 2)",
-    )
+    add_shared_bench_arguments(parser, default_out=DEFAULT_OUT)
     parser.add_argument(
         "--workers",
         type=int,
@@ -269,7 +233,7 @@ def run_bench(args: argparse.Namespace) -> int:
     """Entry point for the ``repro bench`` subcommand."""
     if args.repeat < 1:
         raise ValidationError(f"--repeat must be >= 1, got {args.repeat}")
-    datasets = QUICK_DATASETS if args.quick else FULL_DATASETS
+    datasets = select_datasets(args)
     miners = QUICK_MINERS if args.quick else FULL_MINERS
     print(
         f"repro bench ({'quick' if args.quick else 'full'} matrix): "

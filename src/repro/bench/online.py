@@ -1,0 +1,231 @@
+"""``repro bench-online`` — the serving-layer performance harness.
+
+Measures what the region-keyed cache (:mod:`repro.service`) buys at
+query time.  For every dataset the harness builds the knowledge base
+once, then runs the paper's E6/E7 query matrix (support sweep at fixed
+confidence, confidence sweep at fixed support — Figures 7/8) through
+:class:`repro.service.TaraService` in three phases per cell:
+
+cold
+    the first execution through a fresh cache (the miss path: region
+    canonicalization + explorer execution + freeze/store);
+warm
+    ``--repeat`` further executions of the same request (the hit path:
+    canonicalization + thaw) — results keep the best and the mean;
+verified
+    before anything is written, the cold answer, every warm answer, and
+    a cache-bypassing :meth:`TaraService.uncached` execution are
+    compared for equality; any divergence aborts the bench with a
+    nonzero exit instead of recording a lie.
+
+Schema of ``BENCH_online.json`` (``repro-bench-online/1``)
+==========================================================
+
+``schema``
+    The literal string ``"repro-bench-online/1"``.  Consumers must
+    reject files whose schema string they do not recognise.
+``version`` / ``quick`` / ``host`` / ``repeat``
+    As in ``BENCH_offline.json`` (no wall date — rule R005; the git
+    history of the file carries the timeline).
+``results``
+    One object per (dataset, query class, setting) cell::
+
+        {"dataset", "query_class",      # "Q1" | "Q2" | "Q3" | "Q5"
+         "sweep",                       # "support" | "confidence"
+         "minsupp", "minconf",          # the swept query setting
+         "cold_ms",                     # first (miss) execution
+         "warm_best_ms", "warm_mean_ms",# of the ``repeat`` hit runs
+         "speedup",                     # cold_ms / warm_best_ms
+         "verified": true}              # equality was checked
+
+``metrics``
+    Per-dataset :meth:`repro.service.ServiceMetrics.as_dict` snapshot
+    aggregated over the whole matrix (hit/miss counts and latency
+    histograms per query class).
+``build_seconds``
+    Per-dataset offline build wall time, for context.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from typing import Any, Dict, List, Tuple
+
+from repro._version import __version__
+from repro.bench.workloads import (
+    _WORKLOADS,
+    _windows,
+    add_shared_bench_arguments,
+    online_settings,
+    select_datasets,
+)
+from repro.common.errors import ValidationError
+from repro.common.timing import stopwatch
+from repro.core import (
+    CompareQuery,
+    ContentQuery,
+    ExplorerQuery,
+    GenerationConfig,
+    ParameterSetting,
+    RecommendQuery,
+    TaraKnowledgeBase,
+    TrajectoryQuery,
+    build_knowledge_base,
+)
+from repro.service import ServiceMetrics, TaraService
+
+SCHEMA = "repro-bench-online/1"
+DEFAULT_OUT = "BENCH_online.json"
+
+
+def _build(name: str) -> Tuple[TaraKnowledgeBase, float]:
+    """Offline-build one bench dataset (with the TARA-S item index)."""
+    _, _, min_support, min_confidence = _WORKLOADS[name]
+    config = GenerationConfig(
+        min_support=min_support,
+        min_confidence=min_confidence,
+        build_item_index=True,
+    )
+    with stopwatch() as clock:
+        knowledge_base = build_knowledge_base(_windows(name), config)
+    return knowledge_base, clock.seconds
+
+
+def _cell_queries(
+    knowledge_base: TaraKnowledgeBase, setting: ParameterSetting
+) -> List[Tuple[str, ExplorerQuery]]:
+    """The query of each benchmarked class at one parameter setting.
+
+    Q2 compares the setting against a slightly tighter one (support
+    scaled up 50%); Q5 asks for rules mentioning the items of the
+    catalog's first rule (guaranteed to exist in the rule universe).
+    Both are arbitrary but deterministic — the bench measures serving
+    cost, not answer content.
+    """
+    tighter = ParameterSetting(
+        min_support=setting.min_support * 1.5,
+        min_confidence=setting.min_confidence,
+    )
+    first_rule = knowledge_base.catalog.get(0)
+    items = tuple(sorted(set(first_rule.antecedent + first_rule.consequent)))
+    return [
+        ("Q1", TrajectoryQuery(setting=setting, anchor_window=0)),
+        ("Q2", CompareQuery(first=setting, second=tighter)),
+        ("Q3", RecommendQuery(setting=setting)),
+        ("Q5", ContentQuery(setting=setting, items=items)),
+    ]
+
+
+def run_online_matrix(
+    datasets: Tuple[str, ...], repeat: int
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any], Dict[str, float]]:
+    """Run the cold/warm/verify matrix; returns (results, metrics, builds).
+
+    Raises :class:`ValidationError` if any cached answer deviates from
+    the uncached recomputation — the bench refuses to record numbers
+    for a cache that changed an answer.
+    """
+    results: List[Dict[str, Any]] = []
+    metrics_by_dataset: Dict[str, Any] = {}
+    build_seconds: Dict[str, float] = {}
+    for dataset in datasets:
+        knowledge_base, seconds = _build(dataset)
+        build_seconds[dataset] = seconds
+        print(
+            f"  {dataset}: built {knowledge_base.window_count} windows, "
+            f"{len(knowledge_base.catalog)} rules in {seconds:.2f} s"
+        )
+        metrics = ServiceMetrics()
+        for sweep, minsupp, minconf in online_settings(dataset):
+            setting = ParameterSetting(minsupp, minconf)
+            for query_class, query in _cell_queries(knowledge_base, setting):
+                # A fresh service per cell guarantees the first run is
+                # cold even when sweep settings share stable regions;
+                # the shared metrics object still aggregates everything.
+                service = TaraService(knowledge_base, metrics=metrics)
+                with stopwatch() as cold_clock:
+                    cold_answer = service.execute(query)
+                warm_times: List[float] = []
+                for _ in range(repeat):
+                    with stopwatch() as warm_clock:
+                        warm_answer = service.execute(query)
+                    warm_times.append(warm_clock.seconds)
+                    if warm_answer != cold_answer:
+                        raise ValidationError(
+                            f"warm {query_class} answer diverged from cold "
+                            f"on {dataset} at (supp={minsupp}, conf={minconf})"
+                        )
+                uncached_answer = service.uncached(query)
+                if uncached_answer != cold_answer:
+                    raise ValidationError(
+                        f"cached {query_class} answer diverged from uncached "
+                        f"on {dataset} at (supp={minsupp}, conf={minconf})"
+                    )
+                cold_ms = cold_clock.seconds * 1e3
+                warm_best_ms = min(warm_times) * 1e3
+                warm_mean_ms = sum(warm_times) / len(warm_times) * 1e3
+                results.append(
+                    {
+                        "dataset": dataset,
+                        "query_class": query_class,
+                        "sweep": sweep,
+                        "minsupp": minsupp,
+                        "minconf": minconf,
+                        "cold_ms": cold_ms,
+                        "warm_best_ms": warm_best_ms,
+                        "warm_mean_ms": warm_mean_ms,
+                        "speedup": cold_ms / warm_best_ms if warm_best_ms else 0.0,
+                        "verified": True,
+                    }
+                )
+                print(
+                    f"    {query_class} {sweep:<10} supp={minsupp:<6} "
+                    f"conf={minconf:<5} cold={cold_ms:8.3f} ms  "
+                    f"warm={warm_best_ms:8.3f} ms  "
+                    f"({cold_ms / warm_best_ms:6.1f}x)"
+                )
+        metrics_by_dataset[dataset] = metrics.as_dict()
+        print(metrics.report(f"  {dataset} serving metrics"))
+    return results, metrics_by_dataset, build_seconds
+
+
+def add_bench_online_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``repro bench-online`` arguments on *parser*."""
+    add_shared_bench_arguments(parser, default_out=DEFAULT_OUT)
+
+
+def run_bench_online(args: argparse.Namespace) -> int:
+    """Entry point for the ``repro bench-online`` subcommand."""
+    if args.repeat < 1:
+        raise ValidationError(f"--repeat must be >= 1, got {args.repeat}")
+    datasets = select_datasets(args)
+    print(
+        f"repro bench-online ({'quick' if args.quick else 'full'} matrix): "
+        f"{len(datasets)} dataset(s), Q1/Q2/Q3/Q5 x E6/E7 sweeps, "
+        f"repeat={args.repeat}"
+    )
+    results, metrics, build_seconds = run_online_matrix(datasets, args.repeat)
+    payload = {
+        "schema": SCHEMA,
+        "version": __version__,
+        "quick": args.quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
+        },
+        "repeat": args.repeat,
+        "results": results,
+        "metrics": metrics,
+        "build_seconds": build_seconds,
+    }
+    if args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.out} ({SCHEMA})")
+    return 0

@@ -1,0 +1,126 @@
+"""Shared benchmark workloads and CLI flags for the perf harnesses.
+
+Both ``repro bench`` (offline build, :mod:`repro.bench.offline`) and
+``repro bench-online`` (serving layer, :mod:`repro.bench.online`) draw
+their datasets, generation thresholds, and common command-line flags
+from here, so the two harnesses always agree on what "retail" or
+"--quick" means.
+
+The online sweeps mirror the paper's Figure 7/8 experiments (E6/E7):
+query-time support varies at a fixed confidence, then confidence varies
+at a fixed support, with every query value at or above the dataset's
+generation thresholds.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ValidationError
+from repro.data import TransactionDatabase, WindowedDatabase
+from repro.datagen import quest_t5k_scaled, retail_dataset
+
+#: Offline matrix rows (datasets) and columns (miners).
+QUICK_DATASETS: Tuple[str, ...] = ("retail",)
+QUICK_MINERS: Tuple[str, ...] = ("apriori",)
+FULL_DATASETS: Tuple[str, ...] = ("retail", "T5k")
+FULL_MINERS: Tuple[str, ...] = ("apriori", "fpgrowth")
+
+#: Per-dataset (transaction count, windows, supp_g, conf_g).
+_WORKLOADS: Dict[str, Tuple[int, int, float, float]] = {
+    "retail": (5_000, 8, 0.010, 0.30),
+    "T5k": (2_500, 8, 0.020, 0.30),
+}
+
+#: E6 analogue: query-time supports per dataset (all above supp_g).
+ONLINE_SUPPORT_SWEEP: Dict[str, Tuple[float, ...]] = {
+    "retail": (0.012, 0.02, 0.03),
+    "T5k": (0.02, 0.03, 0.04),
+}
+
+#: E7 analogue: query-time confidences (all at/above conf_g).
+ONLINE_CONFIDENCE_SWEEP: Tuple[float, ...] = (0.3, 0.45, 0.6)
+
+#: Confidence held fixed while support varies (per dataset).
+ONLINE_FIXED_CONFIDENCE: Dict[str, float] = {
+    "retail": 0.4,
+    "T5k": 0.3,
+}
+
+
+def _database(name: str) -> TransactionDatabase:
+    """The raw transaction database of one bench dataset."""
+    size = _WORKLOADS[name][0]
+    if name == "retail":
+        return retail_dataset(transaction_count=size, seed=11)
+    if name == "T5k":
+        return quest_t5k_scaled(scale=size / 5_000_000, seed=5)
+    raise ValidationError(f"unknown bench dataset {name!r}")
+
+
+def _windows(name: str) -> WindowedDatabase:
+    """The dataset split into its standard evolving windows."""
+    return WindowedDatabase.partition_by_count(
+        _database(name), _WORKLOADS[name][1]
+    )
+
+
+def online_settings(name: str) -> List[Tuple[str, float, float]]:
+    """The E6/E7 query matrix for one dataset.
+
+    Returns ``(sweep, minsupp, minconf)`` rows: the support sweep at the
+    dataset's fixed confidence, then the confidence sweep at the lowest
+    swept support.
+    """
+    rows: List[Tuple[str, float, float]] = [
+        ("support", supp, ONLINE_FIXED_CONFIDENCE[name])
+        for supp in ONLINE_SUPPORT_SWEEP[name]
+    ]
+    rows.extend(
+        ("confidence", ONLINE_SUPPORT_SWEEP[name][0], conf)
+        for conf in ONLINE_CONFIDENCE_SWEEP
+    )
+    return rows
+
+
+def add_shared_bench_arguments(
+    parser: argparse.ArgumentParser, *, default_out: str
+) -> None:
+    """Install the flags both perf harnesses share on *parser*.
+
+    ``--quick`` (reduced CI matrix), ``--out`` (JSON artefact path, with
+    the harness-specific *default_out*), ``--repeat`` (repetitions per
+    cell; best-of), and ``--datasets`` (explicit dataset subset
+    overriding the quick/full selection).
+    """
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced CI matrix (retail only)",
+    )
+    parser.add_argument(
+        "--out",
+        default=default_out,
+        help=f"output JSON path (default: {default_out}; '-' for stdout only)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="repetitions per cell; results keep the best (default: 2)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=tuple(_WORKLOADS),
+        default=None,
+        help="benchmark only these datasets (default: quick/full selection)",
+    )
+
+
+def select_datasets(args: argparse.Namespace) -> Tuple[str, ...]:
+    """Resolve the dataset list from the shared flags."""
+    if args.datasets:
+        return tuple(args.datasets)
+    return QUICK_DATASETS if args.quick else FULL_DATASETS

@@ -20,6 +20,15 @@ Covers the full workflow without writing Python:
 ``repro bench``
     Offline-phase perf harness: build the fixed workload matrix under
     every executor strategy and emit ``BENCH_offline.json``.
+``repro bench-online``
+    Serving-layer perf harness: drive the region-keyed query cache
+    through the E6/E7 sweeps and emit ``BENCH_online.json``.
+
+Query thresholds are spelled ``--minsupp`` / ``--minconf`` uniformly
+across ``mine``, ``recommend``, and ``compare`` (``compare`` adds
+``--second-minsupp`` / ``--second-minconf``); the original spellings
+(``--min-support``, ``--first SUPP CONF``, ...) keep working as hidden
+aliases.
 
 Every subcommand prints plain text to stdout; exit code 0 on success,
 2 on argument errors (argparse convention), 1 on domain errors with the
@@ -34,7 +43,12 @@ from typing import Optional, Sequence
 
 from repro._version import __version__
 from repro.analysis.cli import add_lint_arguments, run_lint
-from repro.bench import add_bench_arguments, run_bench
+from repro.bench import (
+    add_bench_arguments,
+    add_bench_online_arguments,
+    run_bench,
+    run_bench_online,
+)
 from repro.common.errors import ReproError
 from repro.core import (
     GenerationConfig,
@@ -59,6 +73,33 @@ from repro.datagen import (
     FaersParameters,
 )
 from repro.maras import MarasAnalyzer, MarasConfig
+
+
+def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the unified ``--minsupp`` / ``--minconf`` query flags.
+
+    The historical ``--min-support`` / ``--min-confidence`` spellings
+    stay accepted as hidden aliases (same destination, mutually
+    exclusive with the new spelling) so existing scripts keep working.
+    """
+    support = parser.add_mutually_exclusive_group(required=True)
+    support.add_argument(
+        "--minsupp", dest="min_support", type=float,
+        help="query minimum support",
+    )
+    support.add_argument(
+        "--min-support", dest="min_support", type=float,
+        help=argparse.SUPPRESS,
+    )
+    confidence = parser.add_mutually_exclusive_group(required=True)
+    confidence.add_argument(
+        "--minconf", dest="min_confidence", type=float,
+        help="query minimum confidence",
+    )
+    confidence.add_argument(
+        "--min-confidence", dest="min_confidence", type=float,
+        help=argparse.SUPPRESS,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,8 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     mine = commands.add_parser("mine", help="mine a saved knowledge base")
     mine.add_argument("--kb", required=True)
-    mine.add_argument("--min-support", type=float, required=True)
-    mine.add_argument("--min-confidence", type=float, required=True)
+    _add_threshold_arguments(mine)
     mine.add_argument("--window", type=int, default=None,
                       help="basic window index (default: latest)")
     mine.add_argument("--top", type=int, default=20,
@@ -110,18 +150,26 @@ def build_parser() -> argparse.ArgumentParser:
         "recommend", help="Q3: stable region around a setting"
     )
     recommend.add_argument("--kb", required=True)
-    recommend.add_argument("--min-support", type=float, required=True)
-    recommend.add_argument("--min-confidence", type=float, required=True)
+    _add_threshold_arguments(recommend)
     recommend.add_argument("--window", type=int, default=None)
 
     compare = commands.add_parser(
         "compare", help="Q2: difference of two settings"
     )
     compare.add_argument("--kb", required=True)
-    compare.add_argument("--first", nargs=2, type=float, required=True,
-                         metavar=("SUPP", "CONF"))
-    compare.add_argument("--second", nargs=2, type=float, required=True,
-                         metavar=("SUPP", "CONF"))
+    compare.add_argument("--minsupp", type=float, default=None,
+                         help="first setting's minimum support")
+    compare.add_argument("--minconf", type=float, default=None,
+                         help="first setting's minimum confidence")
+    compare.add_argument("--second-minsupp", type=float, default=None,
+                         help="second setting's minimum support")
+    compare.add_argument("--second-minconf", type=float, default=None,
+                         help="second setting's minimum confidence")
+    # Hidden legacy aliases: --first/--second SUPP CONF pairs.
+    compare.add_argument("--first", nargs=2, type=float, default=None,
+                         metavar=("SUPP", "CONF"), help=argparse.SUPPRESS)
+    compare.add_argument("--second", nargs=2, type=float, default=None,
+                         metavar=("SUPP", "CONF"), help=argparse.SUPPRESS)
     compare.add_argument("--mode", choices=("single", "exact"), default="single")
 
     maras = commands.add_parser(
@@ -142,6 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="offline-build perf harness -> BENCH_offline.json (see docs/performance.md)",
     )
     add_bench_arguments(bench)
+
+    bench_online = commands.add_parser(
+        "bench-online",
+        help="serving-layer perf harness -> BENCH_online.json (see docs/serving.md)",
+    )
+    add_bench_online_arguments(bench_online)
     return parser
 
 
@@ -249,11 +303,48 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_compare_setting(
+    pair: Optional[Sequence[float]],
+    minsupp: Optional[float],
+    minconf: Optional[float],
+    label: str,
+) -> ParameterSetting:
+    """Resolve one compare setting from the new or legacy spelling.
+
+    Raises :class:`SystemExit` with code 2 (argparse's usage-error
+    convention) when the spellings are mixed, incomplete, or missing.
+    """
+    prefix = "" if label == "first" else "second-"
+    new_given = minsupp is not None or minconf is not None
+    if pair is not None and new_given:
+        print(
+            f"error: give the {label} setting either via "
+            f"--{prefix}minsupp/--{prefix}minconf or via the legacy "
+            f"--{label} pair, not both",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if pair is not None:
+        return ParameterSetting(*pair)
+    if minsupp is None or minconf is None:
+        print(
+            f"error: the {label} setting needs both --{prefix}minsupp "
+            f"and --{prefix}minconf",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return ParameterSetting(minsupp, minconf)
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
+    first = _resolve_compare_setting(
+        args.first, args.minsupp, args.minconf, "first"
+    )
+    second = _resolve_compare_setting(
+        args.second, args.second_minsupp, args.second_minconf, "second"
+    )
     knowledge_base = load_knowledge_base(args.kb)
     explorer = TaraExplorer(knowledge_base)
-    first = ParameterSetting(*args.first)
-    second = ParameterSetting(*args.second)
     mode = MatchMode.EXACT if args.mode == "exact" else MatchMode.SINGLE
     result = explorer.compare(first, second, mode=mode)
     print(
@@ -293,6 +384,7 @@ _COMMANDS = {
     "maras": _cmd_maras,
     "lint": run_lint,
     "bench": run_bench,
+    "bench-online": run_bench_online,
 }
 
 

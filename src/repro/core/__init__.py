@@ -16,18 +16,24 @@ from repro.core.builder import (
     build_knowledge_base,
     mine_window_task,
 )
-from repro.core.explorer import TaraExplorer
+from repro.core.explorer import ExplorerAnswer, TaraExplorer
 from repro.core.incremental import IncrementalTara
 from repro.core.locations import Location, group_by_location, location_of
 from repro.core.persistence import load_knowledge_base, save_knowledge_base
 from repro.core.queries import (
+    CompareQuery,
     ComparisonResult,
+    ContentQuery,
+    ExplorerQuery,
     MatchMode,
     MinedRule,
     Recommendation,
+    RecommendQuery,
     RollupAnswer,
     RolledUpRule,
+    RollupQuery,
     RuleTrajectory,
+    TrajectoryQuery,
     WindowDiff,
 )
 from repro.core.regions import ParameterSetting, StableRegion, WindowSlice
@@ -35,7 +41,11 @@ from repro.core.rollup import max_support_error, rolled_up_mine
 from repro.core.trajectory import TrajectorySummary, summarize_trajectory
 
 __all__ = [
+    "CompareQuery",
     "ComparisonResult",
+    "ContentQuery",
+    "ExplorerAnswer",
+    "ExplorerQuery",
     "GenerationConfig",
     "IncrementalTara",
     "Location",
@@ -44,10 +54,13 @@ __all__ = [
     "MinedWindow",
     "ParameterSetting",
     "Recommendation",
+    "RecommendQuery",
     "RolledUpMeasure",
     "RolledUpRule",
     "RollupAnswer",
+    "RollupQuery",
     "RuleTrajectory",
+    "TrajectoryQuery",
     "StableRegion",
     "TarArchive",
     "TaraBuilder",

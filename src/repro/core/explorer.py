@@ -19,22 +19,34 @@ Q4    trajectory summaries / most-stable rules    :meth:`TaraExplorer.top_rules`
 Q5    content-based exploration (TARA-S)          :meth:`TaraExplorer.content`
 —     roll-up / drill-down                        :meth:`TaraExplorer.mine_rolled_up`
 ====  ==========================================  =======================
+
+Every operation is also describable as a frozen request dataclass
+(:mod:`repro.core.queries`) executed through
+:meth:`TaraExplorer.execute` — the unified entry point the online
+serving layer (:mod:`repro.service`) canonicalizes and caches.  The
+named methods above are thin shims over that dispatch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union, overload
 
 from repro.common.errors import QueryError
 from repro.core.archive import WindowMeasure
 from repro.core.builder import TaraKnowledgeBase
 from repro.core.queries import (
+    CompareQuery,
     ComparisonResult,
+    ContentQuery,
+    ExplorerQuery,
     MatchMode,
     MinedRule,
     Recommendation,
+    RecommendQuery,
     RollupAnswer,
+    RollupQuery,
     RuleTrajectory,
+    TrajectoryQuery,
     WindowDiff,
 )
 from repro.core.regions import ParameterSetting
@@ -43,6 +55,15 @@ from repro.core.trajectory import TrajectorySummary, summarize_trajectory
 from repro.data.items import ItemId
 from repro.data.periods import PeriodSpec
 from repro.mining.rules import RuleId
+
+#: Everything ``TaraExplorer.execute`` can return, by request type.
+ExplorerAnswer = Union[
+    List[RuleTrajectory],
+    ComparisonResult,
+    Recommendation,
+    Dict[int, List[RuleId]],
+    RollupAnswer,
+]
 
 
 class TaraExplorer:
@@ -54,10 +75,56 @@ class TaraExplorer:
         self.knowledge_base = knowledge_base
 
     # ------------------------------------------------------------------
+    # unified request dispatch
+    # ------------------------------------------------------------------
+    @overload
+    def execute(self, query: TrajectoryQuery) -> List[RuleTrajectory]: ...
+
+    @overload
+    def execute(self, query: CompareQuery) -> ComparisonResult: ...
+
+    @overload
+    def execute(self, query: RecommendQuery) -> Recommendation: ...
+
+    @overload
+    def execute(self, query: ContentQuery) -> Dict[int, List[RuleId]]: ...
+
+    @overload
+    def execute(self, query: RollupQuery) -> RollupAnswer: ...
+
+    def execute(self, query: ExplorerQuery) -> ExplorerAnswer:
+        """Execute one frozen request dataclass (the unified entry point).
+
+        Dispatches on the request type: :class:`TrajectoryQuery` (Q1),
+        :class:`CompareQuery` (Q2), :class:`RecommendQuery` (Q3),
+        :class:`ContentQuery` (Q5), :class:`RollupQuery` (roll-up).  The
+        legacy per-operation methods are thin shims over this dispatch,
+        and the serving layer (:mod:`repro.service`) caches through it.
+        """
+        if isinstance(query, TrajectoryQuery):
+            return self._trajectories(query)
+        if isinstance(query, CompareQuery):
+            return self._compare(query)
+        if isinstance(query, RecommendQuery):
+            return self._recommend(query)
+        if isinstance(query, ContentQuery):
+            return self._content(query)
+        if isinstance(query, RollupQuery):
+            return self._mine_rolled_up(query)
+        raise QueryError(
+            f"unknown explorer query type {type(query).__name__!r}"
+        )
+
+    # ------------------------------------------------------------------
     # traditional mining
     # ------------------------------------------------------------------
     def ruleset(self, setting: ParameterSetting, window: int) -> List[RuleId]:
-        """Rule ids valid at *setting* in one basic window (pure lookup)."""
+        """Rule ids valid at *setting* in one basic window (pure lookup).
+
+        Resolves through the window's stable-region lookup: the slice
+        memoizes one ruleset per region, so every setting inside a
+        region shares a single staircase scan.
+        """
         return self.knowledge_base.slice(window).collect(setting)
 
     def mine(
@@ -97,8 +164,11 @@ class TaraExplorer:
         Answers a coarse-granularity request from archived counts; see
         :mod:`repro.core.rollup` for the exactness guarantee.
         """
-        spec = spec.restrict_to(self.knowledge_base.window_count)
-        return rolled_up_mine(self.knowledge_base, setting, spec)
+        return self.execute(RollupQuery(setting=setting, spec=spec))
+
+    def _mine_rolled_up(self, query: RollupQuery) -> RollupAnswer:
+        spec = query.spec.restrict_to(self.knowledge_base.window_count)
+        return rolled_up_mine(self.knowledge_base, query.setting, spec)
 
     # ------------------------------------------------------------------
     # Q1: rule trajectory
@@ -115,7 +185,15 @@ class TaraExplorer:
         in the other requested windows are decoded from the archive
         (``None`` where the rule was not archived).
         """
-        spec = self._spec(spec)
+        return self.execute(
+            TrajectoryQuery(
+                setting=setting, anchor_window=anchor_window, spec=spec
+            )
+        )
+
+    def _trajectories(self, query: TrajectoryQuery) -> List[RuleTrajectory]:
+        setting, anchor_window = query.setting, query.anchor_window
+        spec = self._spec(query.spec)
         archive = self.knowledge_base.archive
         catalog = self.knowledge_base.catalog
         wanted = set(spec)
@@ -149,7 +227,13 @@ class TaraExplorer:
         in at least one window; ``EXACT`` mode only if they disagree in
         every window of *spec*.
         """
-        spec = self._spec(spec)
+        return self.execute(
+            CompareQuery(first=first, second=second, spec=spec, mode=mode)
+        )
+
+    def _compare(self, query: CompareQuery) -> ComparisonResult:
+        first, second, mode = query.first, query.second, query.mode
+        spec = self._spec(query.spec)
         per_window: List[WindowDiff] = []
         only_first_votes: Dict[RuleId, int] = {}
         only_second_votes: Dict[RuleId, int] = {}
@@ -200,6 +284,10 @@ class TaraExplorer:
         neighbors preview the ruleset-size effect of crossing each
         boundary.
         """
+        return self.execute(RecommendQuery(setting=setting, window=window))
+
+    def _recommend(self, query: RecommendQuery) -> Recommendation:
+        setting, window = query.setting, query.window
         if window is None:
             window = self.knowledge_base.window_count - 1
         window_slice = self.knowledge_base.slice(window)
@@ -267,11 +355,18 @@ class TaraExplorer:
         Requires a knowledge base built with ``build_item_index=True``
         (the TARA-S variant).
         """
-        if not items:
+        return self.execute(
+            ContentQuery(setting=setting, items=tuple(items), spec=spec)
+        )
+
+    def _content(self, query: ContentQuery) -> Dict[int, List[RuleId]]:
+        if not query.items:
             raise QueryError("content query needs at least one item")
-        spec = self._spec(spec)
+        spec = self._spec(query.spec)
         return {
-            window: self.knowledge_base.slice(window).collect_items(setting, items)
+            window: self.knowledge_base.slice(window).collect_items(
+                query.setting, query.items
+            )
             for window in spec
         }
 

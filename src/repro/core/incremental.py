@@ -15,7 +15,7 @@ every batch (the behaviour the paper ascribes to PARAS).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, List, Sequence
 
 from repro.common.errors import ValidationError
 from repro.core.archive import TarArchive
@@ -37,11 +37,26 @@ class IncrementalTara:
             catalog=RuleCatalog(),
             archive=TarArchive(),
         )
+        self._listeners: List[Callable[[int], None]] = []
 
     @property
     def window_count(self) -> int:
         """Windows incorporated so far."""
         return self.knowledge_base.window_count
+
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Register *listener* to be called after every append.
+
+        The callback receives the new window count.  The online serving
+        layer (:class:`repro.service.TaraService`) uses this to advance
+        its cache epoch — invalidating generation-scoped entries without
+        flushing still-valid per-window ones.
+        """
+        self._listeners.append(listener)
+
+    def _notify_appended(self) -> None:
+        for listener in self._listeners:
+            listener(self.knowledge_base.window_count)
 
     def append_batch(self, transactions: Sequence[Transaction]) -> WindowSlice:
         """Incorporate the next batch as a new basic window.
@@ -56,7 +71,9 @@ class IncrementalTara:
         self._check_order(
             batch, is_first_window=self.knowledge_base.window_count == 0
         )
-        return self._builder.add_window(self.knowledge_base, batch)
+        window_slice = self._builder.add_window(self.knowledge_base, batch)
+        self._notify_appended()
+        return window_slice
 
     def append_batches(
         self, batches: Iterable[Sequence[Transaction]]
@@ -82,7 +99,10 @@ class IncrementalTara:
                 ),
             )
             validated.append(batch)
-        return self._builder.add_windows(self.knowledge_base, validated)
+        slices = self._builder.add_windows(self.knowledge_base, validated)
+        if slices:
+            self._notify_appended()
+        return slices
 
     def explorer(self) -> TaraExplorer:
         """A query processor over the current state."""

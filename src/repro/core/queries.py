@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.archive import RolledUpMeasure, WindowMeasure
 from repro.core.regions import ParameterSetting, StableRegion
+from repro.data.items import ItemId
+from repro.data.periods import PeriodSpec
 from repro.mining.rules import Rule, RuleId
 
 
@@ -31,6 +33,89 @@ class MatchMode(enum.Enum):
 
     EXACT = "exact"
     SINGLE = "single"
+
+
+# ----------------------------------------------------------------------
+# Request types: the unified Q1-Q5 entry points.
+#
+# Every online operation is described by one frozen request dataclass
+# and executed through :meth:`repro.core.explorer.TaraExplorer.execute`.
+# The legacy per-operation methods remain as thin shims that build the
+# matching request.  Freezing makes requests hashable and safely
+# shareable across threads; the serving layer never uses their raw
+# float thresholds as cache identity — it canonicalizes each request to
+# integer stable-region keys (:mod:`repro.service.keys`).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrajectoryQuery:
+    """Q1 request: rules matching *setting* in *anchor_window*, tracked.
+
+    ``spec`` is the set of windows to report values over; ``None`` means
+    every window of the knowledge base at execution time (a
+    *generation-scoped* default — the answer changes when new windows
+    arrive).
+    """
+
+    setting: ParameterSetting
+    anchor_window: int
+    spec: Optional[PeriodSpec] = None
+
+
+@dataclass(frozen=True)
+class CompareQuery:
+    """Q2 request: difference of two settings' rulesets over *spec*."""
+
+    first: ParameterSetting
+    second: ParameterSetting
+    spec: Optional[PeriodSpec] = None
+    mode: MatchMode = MatchMode.SINGLE
+
+
+@dataclass(frozen=True)
+class RecommendQuery:
+    """Q3 request: the stable region enclosing *setting* in *window*.
+
+    ``window=None`` means the latest window at execution time (a
+    generation-scoped default).
+    """
+
+    setting: ParameterSetting
+    window: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ContentQuery:
+    """Q5 request: valid rules mentioning any of *items*, per window.
+
+    ``items`` is normalized to a sorted, de-duplicated tuple so that two
+    requests naming the same item set compare (and hash) equal.
+    """
+
+    setting: ParameterSetting
+    items: Tuple[ItemId, ...]
+    spec: Optional[PeriodSpec] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(sorted(set(self.items))))
+
+
+@dataclass(frozen=True)
+class RollupQuery:
+    """Roll-up request: mining over the merged period of *spec*.
+
+    Not region-cacheable: the rolled-up answer thresholds the *merged*
+    counts, so two settings inside the same per-window stable region can
+    still differ — the serving layer always executes it fresh.
+    """
+
+    setting: ParameterSetting
+    spec: PeriodSpec
+
+
+#: Any request the explorer's ``execute`` dispatch accepts.
+ExplorerQuery = Union[
+    TrajectoryQuery, CompareQuery, RecommendQuery, ContentQuery, RollupQuery
+]
 
 
 @dataclass(frozen=True)

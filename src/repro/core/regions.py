@@ -133,6 +133,11 @@ class WindowSlice:
         for row in self._rows:
             row.sort()
 
+        # Per-region ruleset memo: cut ranks -> sorted rule-id tuple.
+        # Every setting inside one stable region shares the entry (the
+        # paper's equivalence), so repeated queries cost one dict hit.
+        self._region_rulesets: Dict[Tuple[int, int], Tuple[RuleId, ...]] = {}
+
         # TARA-S: per-location inverted item index.
         self._item_index: Optional[
             List[List[Tuple[int, Dict[ItemId, Tuple[RuleId, ...]]]]]
@@ -195,6 +200,30 @@ class WindowSlice:
                 "covers the space above them"
             )
 
+    def region_ranks(self, setting: ParameterSetting) -> Tuple[int, int]:
+        """Grid ranks ``(si, ci)`` of the stable region containing *setting*.
+
+        The ranks index the distinct support/confidence axes; a rank one
+        past the end of an axis denotes the empty region above every
+        location.  Two settings share both ranks iff they lie in the same
+        time-aware stable region of this window — the integer identity
+        the online serving layer keys its cache on (never raw floats).
+        """
+        return self._cut_ranks(setting)
+
+    def region_id(self, setting: ParameterSetting) -> int:
+        """The enclosing stable region as one canonical integer.
+
+        Encodes :meth:`region_ranks` as ``si * (|confidences| + 1) + ci``
+        (the ``+ 1`` accommodates the one-past-end rank of the empty
+        region), giving every stable region of this window a distinct,
+        stable, float-free id.  Ids are only meaningful within one
+        window; cross-window cache keys must pair them with the window
+        index.
+        """
+        si, ci = self._cut_ranks(setting)
+        return si * (len(self.confidences) + 1) + ci
+
     def region_for(self, setting: ParameterSetting) -> StableRegion:
         """The stable region containing *setting* (Q3's primitive).
 
@@ -220,9 +249,7 @@ class WindowSlice:
                 ruleset_size=0,
             )
         cut = Location(self.supports[si], self.confidences[ci])
-        ruleset_size = sum(
-            len(rule_ids) for _, rule_ids in self._iter_dominated_rules(si, ci)
-        )
+        ruleset_size = len(self.ruleset_for_region(si, ci))
         return StableRegion(
             window=self.window,
             cut=cut,
@@ -248,18 +275,35 @@ class WindowSlice:
         for row_index, position in self._iter_dominated(si, ci):
             yield (row_index, position), self._rows[row_index][position][1]
 
+    def ruleset_for_region(self, si: int, ci: int) -> Tuple[RuleId, ...]:
+        """Sorted ruleset of the stable region with cut ranks ``(si, ci)``.
+
+        Memoized per region: the first request pays the staircase scan,
+        every later request — from *any* setting inside the region — is
+        a dict hit.  The memo only caches computed tuples, so a racing
+        duplicate computation is benign (both produce the same value).
+        """
+        key = (si, ci)
+        cached = self._region_rulesets.get(key)
+        if cached is None:
+            collected: List[RuleId] = []
+            for _, rule_ids in self._iter_dominated_rules(si, ci):
+                collected.extend(rule_ids)
+            collected.sort()
+            cached = tuple(collected)
+            self._region_rulesets[key] = cached
+        return cached
+
     def collect(self, setting: ParameterSetting) -> List[RuleId]:
         """All rules valid at *setting* in this window (staircase scan).
 
         This is the TARA answer to a traditional mining request: a pure
-        index lookup, no re-derivation.
+        index lookup, no re-derivation.  Resolves through the stable
+        region's memoized ruleset (:meth:`ruleset_for_region`), so every
+        setting in one region shares a single scan.
         """
         si, ci = self._cut_ranks(setting)
-        result: List[RuleId] = []
-        for _, rule_ids in self._iter_dominated_rules(si, ci):
-            result.extend(rule_ids)
-        result.sort()
-        return result
+        return list(self.ruleset_for_region(si, ci))
 
     def _row_maps(self) -> List[Dict[int, Tuple[RuleId, ...]]]:
         """Cached dict view of each row (confidence rank -> rule ids)."""

@@ -1,0 +1,37 @@
+"""The online serving layer: region-keyed caching over the explorer.
+
+The paper's interactivity argument rests on two facts: online
+operations are pure index lookups, and the parameter space is carved
+into time-aware stable regions within which every setting yields the
+same answer.  This layer turns the second fact into a serving-time
+win — :class:`TaraService` canonicalizes each Q1/Q2/Q3/Q5 request to an
+all-integer stable-region key, memoizes answers in a bounded LRU
+(:class:`RegionKeyedCache`), tracks hit/miss/latency per query class
+(:class:`ServiceMetrics`), and epoch-invalidates generation-scoped
+entries when :class:`repro.core.IncrementalTara` appends windows.
+
+See ``docs/serving.md`` for the design discussion.
+"""
+
+from repro.service.cache import CacheEntry, RegionKeyedCache
+from repro.service.keys import (
+    EPOCH_FREE,
+    CacheKey,
+    CanonicalQuery,
+    canonicalize,
+)
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.service import ServiceSource, TaraService
+
+__all__ = [
+    "CacheEntry",
+    "CacheKey",
+    "CanonicalQuery",
+    "EPOCH_FREE",
+    "LatencyHistogram",
+    "RegionKeyedCache",
+    "ServiceMetrics",
+    "ServiceSource",
+    "TaraService",
+    "canonicalize",
+]

@@ -1,0 +1,320 @@
+"""The thread-safe online serving façade over the TARA explorer.
+
+:class:`TaraService` answers the explorer's Q1/Q2/Q3/Q5 request classes
+through a bounded, region-keyed LRU cache:
+
+1. every request is canonicalized (:mod:`repro.service.keys`) to an
+   all-integer key built from stable-region ids, so two settings inside
+   one time-aware stable region share a single cache entry;
+2. answers are stored *frozen* (immutable containers) and *thawed* on
+   the way out — callers receive fresh mutable containers and answers
+   that echo their own request's float settings, never another
+   caller's region-equivalent ones;
+3. when the service wraps an :class:`repro.core.IncrementalTara`, it
+   subscribes to window appends and advances its *epoch*:
+   generation-scoped entries (those that resolved a ``spec=None`` /
+   ``window=None`` default) are retired, while explicit-window entries
+   — still correct, because archived windows are immutable — keep
+   serving.  There is no global flush.
+
+Concurrency: one re-entrant lock guards canonicalization, cache access,
+epoch transitions, and metrics.  Cache misses compute *outside* the
+lock, so a slow first query does not serialize the service; concurrent
+misses on the same key each compute and the last write wins (benign —
+region equivalence guarantees they computed equal answers).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union, cast, overload
+
+from repro.common.errors import ValidationError
+from repro.common.timing import stopwatch
+from repro.core.builder import TaraKnowledgeBase
+from repro.core.explorer import ExplorerAnswer, TaraExplorer
+from repro.core.incremental import IncrementalTara
+from repro.core.queries import (
+    CompareQuery,
+    ComparisonResult,
+    ContentQuery,
+    ExplorerQuery,
+    MatchMode,
+    MinedRule,
+    Recommendation,
+    RecommendQuery,
+    RollupAnswer,
+    RollupQuery,
+    RuleTrajectory,
+    TrajectoryQuery,
+)
+from repro.core.regions import ParameterSetting
+from repro.data.items import ItemId
+from repro.data.periods import PeriodSpec
+from repro.mining.rules import RuleId
+from repro.service.cache import RegionKeyedCache
+from repro.service.keys import EPOCH_FREE, CanonicalQuery, canonicalize
+from repro.service.metrics import ServiceMetrics
+
+#: Sources a service can wrap.
+ServiceSource = Union[TaraKnowledgeBase, TaraExplorer, IncrementalTara]
+
+
+class TaraService:
+    """Thread-safe, cached query serving over one TARA knowledge base.
+
+    Wraps a :class:`TaraKnowledgeBase`, an existing
+    :class:`TaraExplorer`, or an :class:`IncrementalTara` (in which case
+    the service subscribes to appends and epoch-invalidates
+    generation-scoped cache entries automatically).
+    """
+
+    def __init__(
+        self,
+        source: ServiceSource,
+        *,
+        max_entries: int = 1024,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._cache = RegionKeyedCache(max_entries=max_entries)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._explorer: Optional[TaraExplorer] = None
+        if isinstance(source, IncrementalTara):
+            self._knowledge_base = source.knowledge_base
+            source.subscribe(self._on_append)
+        elif isinstance(source, TaraExplorer):
+            self._knowledge_base = source.knowledge_base
+            self._explorer = source
+        elif isinstance(source, TaraKnowledgeBase):
+            self._knowledge_base = source
+        else:
+            raise ValidationError(
+                f"cannot serve from a {type(source).__name__!r}"
+            )
+        self._epoch = self._knowledge_base.window_count
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def knowledge_base(self) -> TaraKnowledgeBase:
+        """The knowledge base being served."""
+        return self._knowledge_base
+
+    @property
+    def epoch(self) -> int:
+        """Current serving epoch (the window count last observed)."""
+        with self._lock:
+            return self._epoch
+
+    def cache_info(self) -> Dict[str, int]:
+        """Snapshot of cache occupancy and lifetime eviction count."""
+        with self._lock:
+            return {
+                "entries": len(self._cache),
+                "max_entries": self._cache.max_entries,
+                "evictions": self._cache.evictions,
+                "epoch": self._epoch,
+            }
+
+    def _on_append(self, window_count: int) -> None:
+        """Append listener: advance the epoch, retire scoped entries."""
+        with self._lock:
+            self._epoch = window_count
+            invalidated = self._cache.purge_scoped_before(window_count)
+            self.metrics.record_invalidations(invalidated)
+
+    def _get_explorer(self) -> TaraExplorer:
+        explorer = self._explorer
+        if explorer is None:
+            explorer = TaraExplorer(self._knowledge_base)
+            self._explorer = explorer
+        return explorer
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    @overload
+    def execute(self, query: TrajectoryQuery) -> List[RuleTrajectory]: ...
+
+    @overload
+    def execute(self, query: CompareQuery) -> ComparisonResult: ...
+
+    @overload
+    def execute(self, query: RecommendQuery) -> Recommendation: ...
+
+    @overload
+    def execute(self, query: ContentQuery) -> Dict[int, List[RuleId]]: ...
+
+    @overload
+    def execute(self, query: RollupQuery) -> RollupAnswer: ...
+
+    def execute(self, query: ExplorerQuery) -> ExplorerAnswer:
+        """Serve one request, through the region-keyed cache.
+
+        Cache hits thaw the stored answer; misses execute the resolved
+        request on the underlying explorer (outside the lock), freeze
+        and store the answer, and return it.  Roll-up requests pass
+        through uncached (their answers are not region-invariant).
+        """
+        with stopwatch() as clock:
+            with self._lock:
+                canonical = canonicalize(query, self._knowledge_base, self._epoch)
+                hit = False
+                frozen: object = None
+                if canonical.key is not None:
+                    entry = self._cache.get(canonical.key)
+                    if entry is not None:
+                        hit = True
+                        frozen = entry.value
+            if not hit:
+                answer = self._get_explorer().execute(canonical.resolved)
+                frozen = self._freeze(canonical, answer)
+                if canonical.key is not None:
+                    with self._lock:
+                        # An append may have landed while we computed; a
+                        # scoped answer from the old epoch must not be
+                        # stored under the (already purged) old tag.
+                        if (
+                            canonical.epoch == EPOCH_FREE
+                            or canonical.epoch == self._epoch
+                        ):
+                            evicted = self._cache.put(
+                                canonical.key, frozen, canonical.epoch
+                            )
+                            self.metrics.record_evictions(evicted)
+            result = self._thaw(canonical, query, frozen)
+        with self._lock:
+            self.metrics.observe(canonical.query_class, hit, clock.seconds)
+        return result
+
+    def uncached(self, query: ExplorerQuery) -> ExplorerAnswer:
+        """Execute *query* directly on the explorer, bypassing the cache.
+
+        The bench-online harness uses this to verify that cached answers
+        equal freshly computed ones before it writes results.
+        """
+        with self._lock:
+            canonical = canonicalize(query, self._knowledge_base, self._epoch)
+        return self._get_explorer().execute(canonical.resolved)
+
+    # ------------------------------------------------------------------
+    # freeze / thaw
+    # ------------------------------------------------------------------
+    def _freeze(self, canonical: CanonicalQuery, answer: object) -> object:
+        """Convert *answer* to the immutable form stored in the cache."""
+        if canonical.query_class == "Q1":
+            trajectories = cast(List[RuleTrajectory], answer)
+            return tuple(trajectories)
+        if canonical.query_class == "Q5":
+            per_window = cast(Dict[int, List[RuleId]], answer)
+            return tuple(
+                (window, tuple(ids)) for window, ids in per_window.items()
+            )
+        # Q2/Q3 answers are frozen dataclasses already.
+        return answer
+
+    def _thaw(
+        self, canonical: CanonicalQuery, query: ExplorerQuery, frozen: object
+    ) -> ExplorerAnswer:
+        """Rebuild a caller-owned answer from the frozen cached form.
+
+        Outer containers come back fresh (appending to or popping from
+        a served answer cannot corrupt the cache); the frozen value
+        objects inside (trajectories, diffs, regions) are shared with
+        the cache and must be treated as read-only.  Q2/Q3 answers are
+        re-echoed with the *caller's* settings — a region-equivalent
+        entry may have been populated by a request with different raw
+        floats.
+        """
+        if canonical.query_class == "Q1":
+            stored = cast(Tuple[RuleTrajectory, ...], frozen)
+            return list(stored)
+        if canonical.query_class == "Q2":
+            comparison = cast(ComparisonResult, frozen)
+            compare_query = cast(CompareQuery, query)
+            return replace(
+                comparison,
+                first=compare_query.first,
+                second=compare_query.second,
+            )
+        if canonical.query_class == "Q3":
+            recommendation = cast(Recommendation, frozen)
+            recommend_query = cast(RecommendQuery, query)
+            return replace(
+                recommendation,
+                setting=recommend_query.setting,
+                neighbors=dict(recommendation.neighbors),
+            )
+        if canonical.query_class == "Q5":
+            pairs = cast(Tuple[Tuple[int, Tuple[RuleId, ...]], ...], frozen)
+            return {window: list(ids) for window, ids in pairs}
+        return cast(RollupAnswer, frozen)
+
+    # ------------------------------------------------------------------
+    # convenience wrappers (mirror the explorer's named operations)
+    # ------------------------------------------------------------------
+    def trajectories(
+        self,
+        setting: ParameterSetting,
+        anchor_window: int,
+        spec: Optional[PeriodSpec] = None,
+    ) -> List[RuleTrajectory]:
+        """Q1 via the cache; see :meth:`TaraExplorer.trajectories`."""
+        return self.execute(
+            TrajectoryQuery(
+                setting=setting, anchor_window=anchor_window, spec=spec
+            )
+        )
+
+    def compare(
+        self,
+        first: ParameterSetting,
+        second: ParameterSetting,
+        spec: Optional[PeriodSpec] = None,
+        mode: MatchMode = MatchMode.SINGLE,
+    ) -> ComparisonResult:
+        """Q2 via the cache; see :meth:`TaraExplorer.compare`."""
+        return self.execute(
+            CompareQuery(first=first, second=second, spec=spec, mode=mode)
+        )
+
+    def recommend(
+        self, setting: ParameterSetting, window: Optional[int] = None
+    ) -> Recommendation:
+        """Q3 via the cache; see :meth:`TaraExplorer.recommend`."""
+        return self.execute(RecommendQuery(setting=setting, window=window))
+
+    def content(
+        self,
+        setting: ParameterSetting,
+        items: Sequence[ItemId],
+        spec: Optional[PeriodSpec] = None,
+    ) -> Dict[int, List[RuleId]]:
+        """Q5 via the cache; see :meth:`TaraExplorer.content`."""
+        return self.execute(
+            ContentQuery(setting=setting, items=tuple(items), spec=spec)
+        )
+
+    def mine_rolled_up(
+        self, setting: ParameterSetting, spec: PeriodSpec
+    ) -> RollupAnswer:
+        """Roll-up mining — metered but never cached (not region-invariant)."""
+        return self.execute(RollupQuery(setting=setting, spec=spec))
+
+    def mine(
+        self, setting: ParameterSetting, spec: Optional[PeriodSpec] = None
+    ) -> Dict[int, List[MinedRule]]:
+        """Traditional mining — metered as class ``"mine"``, uncached.
+
+        Mining answers embed per-window float measures for every rule;
+        they are bulky relative to recomputation cost, so the serving
+        layer meters them without caching.
+        """
+        with stopwatch() as clock:
+            answer = self._get_explorer().mine(setting, spec)
+        with self._lock:
+            self.metrics.observe("mine", False, clock.seconds)
+        return answer

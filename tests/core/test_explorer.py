@@ -207,3 +207,37 @@ class TestSummarize:
         assert summary.coverage == pytest.approx(
             windows_present / small_kb.window_count
         )
+
+
+class TestExecuteDispatch:
+    """The unified request entry point equals the legacy named methods."""
+
+    def test_each_request_class_matches_its_shim(self, explorer):
+        from repro.core import (
+            CompareQuery,
+            ContentQuery,
+            RecommendQuery,
+            RollupQuery,
+            TrajectoryQuery,
+        )
+
+        other = ParameterSetting(0.08, 0.4)
+        assert explorer.execute(
+            TrajectoryQuery(setting=SETTING, anchor_window=0)
+        ) == explorer.trajectories(SETTING, anchor_window=0)
+        assert explorer.execute(
+            CompareQuery(first=SETTING, second=other, mode=MatchMode.EXACT)
+        ) == explorer.compare(SETTING, other, mode=MatchMode.EXACT)
+        assert explorer.execute(
+            RecommendQuery(setting=SETTING, window=1)
+        ) == explorer.recommend(SETTING, window=1)
+        assert explorer.execute(
+            ContentQuery(setting=SETTING, items=(3,))
+        ) == explorer.content(SETTING, [3])
+        assert explorer.execute(
+            RollupQuery(setting=SETTING, spec=PeriodSpec([0, 1]))
+        ) == explorer.mine_rolled_up(SETTING, PeriodSpec([0, 1]))
+
+    def test_unknown_request_type_rejected(self, explorer):
+        with pytest.raises(QueryError, match="unknown"):
+            explorer.execute(SETTING)  # a setting is not a request

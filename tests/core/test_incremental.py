@@ -92,3 +92,31 @@ class TestIncrementalBehaviour:
         assert timer.counts[PHASE_ITEMSETS] == 1
         incremental.append_batch(small_windows.window(1))
         assert timer.counts[PHASE_ITEMSETS] == 2
+
+
+class TestSubscribe:
+    def test_listener_sees_every_append(self, small_windows, config):
+        incremental = IncrementalTara(config)
+        observed = []
+        incremental.subscribe(observed.append)
+        incremental.append_batch(small_windows.window(0))
+        incremental.append_batch(small_windows.window(1))
+        assert observed == [1, 2]
+
+    def test_append_batches_notifies_once(self, small_windows, config):
+        """Bulk appends coalesce to one notification at the final count."""
+        incremental = IncrementalTara(config)
+        observed = []
+        incremental.subscribe(observed.append)
+        incremental.append_batches(
+            small_windows.window(i) for i in range(small_windows.window_count)
+        )
+        assert observed == [small_windows.window_count]
+
+    def test_late_subscriber_only_sees_future_appends(self, small_windows, config):
+        incremental = IncrementalTara(config)
+        incremental.append_batch(small_windows.window(0))
+        observed = []
+        incremental.subscribe(observed.append)
+        incremental.append_batch(small_windows.window(1))
+        assert observed == [2]

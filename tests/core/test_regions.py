@@ -237,3 +237,36 @@ class TestLocationsIterator:
                 assert location.confidence == Fraction(
                     s.rule_count, s.antecedent_count
                 )
+
+
+class TestRegionRulesetLookup:
+    """collect() resolves through the memoized per-region ruleset."""
+
+    def test_collect_matches_bfs_over_grid(self, small_kb):
+        """Staircase scan and paper-literal BFS agree at every grid point."""
+        for window in range(small_kb.window_count):
+            window_slice = small_kb.slice(window)
+            for min_support in (0.02, 0.03, 0.05, 0.08, 0.12):
+                for min_confidence in (0.1, 0.3, 0.5, 0.7):
+                    setting = ParameterSetting(min_support, min_confidence)
+                    assert window_slice.collect(setting) == window_slice.collect_bfs(
+                        setting
+                    ), (window, setting)
+
+    def test_region_ruleset_is_memoized(self, small_kb):
+        window_slice = small_kb.slice(0)
+        si, ci = window_slice.region_ranks(ParameterSetting(0.05, 0.3))
+        first = window_slice.ruleset_for_region(si, ci)
+        assert window_slice.ruleset_for_region(si, ci) is first
+
+    def test_settings_in_one_region_share_the_memo(self, small_kb):
+        window_slice = small_kb.slice(0)
+        setting = ParameterSetting(0.05, 0.3)
+        region = window_slice.region_for(setting)
+        assert region.cut is not None
+        nudged = ParameterSetting(
+            float((region.support_floor + region.cut.support) / 2),
+            float((region.confidence_floor + region.cut.confidence) / 2),
+        )
+        assert window_slice.region_ranks(nudged) == window_slice.region_ranks(setting)
+        assert window_slice.collect(nudged) == window_slice.collect(setting)

@@ -205,3 +205,125 @@ class TestErrorPaths:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestThresholdFlagUnification:
+    """--minsupp/--minconf everywhere; legacy spellings stay as aliases."""
+
+    def test_mine_accepts_new_spelling(self, kb_file, capsys):
+        code = main(
+            ["mine", "--kb", str(kb_file), "--minsupp", "0.02", "--minconf", "0.4"]
+        )
+        assert code == 0
+        assert "rules in window" in capsys.readouterr().out
+
+    def test_recommend_accepts_new_spelling(self, kb_file, capsys):
+        code = main(
+            ["recommend", "--kb", str(kb_file), "--minsupp", "0.02", "--minconf", "0.4"]
+        )
+        assert code == 0
+        assert "rules for any" in capsys.readouterr().out
+
+    def test_mixing_spellings_is_a_usage_error(self, kb_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "mine",
+                    "--kb", str(kb_file),
+                    "--minsupp", "0.02",
+                    "--min-support", "0.02",
+                    "--minconf", "0.4",
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_compare_accepts_new_spelling(self, kb_file, capsys):
+        code = main(
+            [
+                "compare",
+                "--kb", str(kb_file),
+                "--minsupp", "0.015", "--minconf", "0.3",
+                "--second-minsupp", "0.03", "--second-minconf", "0.3",
+                "--mode", "exact",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "only under the first setting" in output
+
+    def test_compare_legacy_and_new_agree(self, kb_file, capsys):
+        assert main(
+            [
+                "compare", "--kb", str(kb_file),
+                "--first", "0.015", "0.3", "--second", "0.03", "0.3",
+            ]
+        ) == 0
+        legacy = capsys.readouterr().out
+        assert main(
+            [
+                "compare", "--kb", str(kb_file),
+                "--minsupp", "0.015", "--minconf", "0.3",
+                "--second-minsupp", "0.03", "--second-minconf", "0.3",
+            ]
+        ) == 0
+        assert capsys.readouterr().out == legacy
+
+    def test_compare_mixed_spellings_rejected(self, kb_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "compare", "--kb", str(kb_file),
+                    "--first", "0.015", "0.3",
+                    "--minsupp", "0.015", "--minconf", "0.3",
+                    "--second", "0.03", "0.3",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_compare_incomplete_setting_rejected(self, kb_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "compare", "--kb", str(kb_file),
+                    "--minsupp", "0.015",
+                    "--second", "0.03", "0.3",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "--minconf" in capsys.readouterr().err
+
+
+class TestBenchOnlineCommand:
+    def test_quick_writes_schema_json(self, tmp_path, monkeypatch, capsys):
+        import repro.bench as bench
+        import repro.bench.workloads as workloads
+
+        # Same shrink trick as the offline bench test: a tiny matrix
+        # keeps the cold/warm/verify loop well under a second.
+        monkeypatch.setitem(bench._WORKLOADS, "retail", (150, 3, 0.05, 0.30))
+        monkeypatch.setitem(workloads.ONLINE_SUPPORT_SWEEP, "retail", (0.06, 0.08))
+        monkeypatch.setitem(workloads.ONLINE_FIXED_CONFIDENCE, "retail", 0.4)
+        monkeypatch.setattr(workloads, "ONLINE_CONFIDENCE_SWEEP", (0.4,))
+        out = tmp_path / "BENCH_online.json"
+        code = main(["bench-online", "--quick", "--out", str(out), "--repeat", "2"])
+        assert code == 0
+        assert "serving metrics" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == bench.ONLINE_SCHEMA
+        assert payload["quick"] is True
+        assert payload["repeat"] == 2
+        classes = {cell["query_class"] for cell in payload["results"]}
+        assert classes == {"Q1", "Q2", "Q3", "Q5"}
+        assert all(cell["verified"] for cell in payload["results"])
+        assert set(payload["metrics"]) == {"retail"}
+        retail_metrics = payload["metrics"]["retail"]["classes"]
+        for query_class in classes:
+            stats = retail_metrics[query_class]
+            assert stats["hits"] + stats["misses"] > 0
+        assert payload["build_seconds"]["retail"] > 0
+
+    def test_invalid_repeat_is_domain_error(self, capsys):
+        code = main(["bench-online", "--quick", "--repeat", "0", "--out", "-"])
+        assert code == 1
+        assert "--repeat" in capsys.readouterr().err

@@ -1,0 +1,51 @@
+"""Fixtures and helpers for the serving-layer suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParameterSetting, TaraExplorer, TaraKnowledgeBase
+
+
+def same_region_setting(
+    knowledge_base: TaraKnowledgeBase, setting: ParameterSetting
+) -> ParameterSetting:
+    """A different-float setting inside *setting*'s region in EVERY window.
+
+    Intersects the per-window stable-region boxes and returns their
+    midpoint — the strongest form of region equivalence (multi-window
+    cache keys require matching regions in every window, not just one).
+    """
+    explorer = TaraExplorer(knowledge_base)
+    regions = [
+        explorer.recommend(setting, window=window).region
+        for window in range(knowledge_base.window_count)
+    ]
+    assert all(region.cut is not None for region in regions)
+    low_supp = max(region.support_floor for region in regions)
+    high_supp = min(region.cut.support for region in regions)
+    low_conf = max(region.confidence_floor for region in regions)
+    high_conf = min(region.cut.confidence for region in regions)
+    equivalent = ParameterSetting(
+        float((low_supp + high_supp) / 2), float((low_conf + high_conf) / 2)
+    )
+    for window in range(knowledge_base.window_count):
+        window_slice = knowledge_base.slice(window)
+        assert window_slice.region_ranks(setting) == window_slice.region_ranks(
+            equivalent
+        )
+    return equivalent
+
+
+@pytest.fixture(scope="module")
+def base_setting() -> ParameterSetting:
+    """The reference query setting used across the serving tests."""
+    return ParameterSetting(0.05, 0.3)
+
+
+@pytest.fixture(scope="module")
+def equivalent_setting(small_kb, base_setting) -> ParameterSetting:
+    """A float-distinct setting region-equivalent to ``base_setting``."""
+    equivalent = same_region_setting(small_kb, base_setting)
+    assert equivalent != base_setting
+    return equivalent

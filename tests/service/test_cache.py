@@ -1,0 +1,65 @@
+"""LRU and epoch-retirement behaviour of the region-keyed cache."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.service import EPOCH_FREE, RegionKeyedCache
+
+
+class TestLru:
+    def test_put_get_roundtrip(self):
+        cache = RegionKeyedCache(max_entries=4)
+        assert cache.get((1,)) is None
+        cache.put((1,), "a", EPOCH_FREE)
+        entry = cache.get((1,))
+        assert entry is not None and entry.value == "a"
+        assert len(cache) == 1 and (1,) in cache
+
+    def test_bound_evicts_least_recently_used(self):
+        cache = RegionKeyedCache(max_entries=2)
+        cache.put((1,), "a", EPOCH_FREE)
+        cache.put((2,), "b", EPOCH_FREE)
+        cache.get((1,))  # refresh (1,) so (2,) is now the LRU victim
+        evicted = cache.put((3,), "c", EPOCH_FREE)
+        assert evicted == 1
+        assert cache.get((2,)) is None
+        assert cache.get((1,)) is not None and cache.get((3,)) is not None
+        assert cache.evictions == 1
+
+    def test_refreshing_put_does_not_grow(self):
+        cache = RegionKeyedCache(max_entries=2)
+        cache.put((1,), "a", EPOCH_FREE)
+        cache.put((1,), "a2", EPOCH_FREE)
+        assert len(cache) == 1
+        entry = cache.get((1,))
+        assert entry is not None and entry.value == "a2"
+
+    def test_clear_reports_dropped(self):
+        cache = RegionKeyedCache(max_entries=4)
+        cache.put((1,), "a", EPOCH_FREE)
+        cache.put((2,), "b", 3)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValidationError, match="max_entries"):
+            RegionKeyedCache(max_entries=0)
+
+
+class TestEpochRetirement:
+    def test_purge_removes_only_stale_scoped_entries(self):
+        cache = RegionKeyedCache(max_entries=8)
+        cache.put((1,), "free", EPOCH_FREE)
+        cache.put((2,), "old", 3)
+        cache.put((3,), "current", 4)
+        purged = cache.purge_scoped_before(4)
+        assert purged == 1
+        assert cache.get((2,)) is None
+        assert cache.get((1,)) is not None  # epoch-free survives
+        assert cache.get((3,)) is not None  # already-current survives
+
+    def test_purge_is_idempotent(self):
+        cache = RegionKeyedCache(max_entries=8)
+        cache.put((1,), "old", 2)
+        assert cache.purge_scoped_before(5) == 1
+        assert cache.purge_scoped_before(5) == 0

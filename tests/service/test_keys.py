@@ -1,0 +1,168 @@
+"""Canonicalization: integer region keys, epoch tags, and float freedom."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError
+from repro.core import (
+    CompareQuery,
+    ContentQuery,
+    MatchMode,
+    ParameterSetting,
+    RecommendQuery,
+    RollupQuery,
+    TrajectoryQuery,
+)
+from repro.data import PeriodSpec
+from repro.service import EPOCH_FREE, canonicalize
+
+from tests.service.conftest import same_region_setting
+
+
+class TestRegionKeys:
+    def test_same_region_settings_share_key(self, small_kb, base_setting):
+        equivalent = same_region_setting(small_kb, base_setting)
+        epoch = small_kb.window_count
+        first = canonicalize(
+            TrajectoryQuery(setting=base_setting, anchor_window=0), small_kb, epoch
+        )
+        second = canonicalize(
+            TrajectoryQuery(setting=equivalent, anchor_window=0), small_kb, epoch
+        )
+        assert first.key == second.key
+        assert first.query_class == "Q1"
+
+    def test_cross_region_settings_do_not_collide(self, small_kb, base_setting):
+        epoch = small_kb.window_count
+        other = ParameterSetting(0.1, 0.5)
+        assert small_kb.slice(0).region_id(base_setting) != small_kb.slice(
+            0
+        ).region_id(other)
+        first = canonicalize(
+            TrajectoryQuery(setting=base_setting, anchor_window=0), small_kb, epoch
+        )
+        second = canonicalize(
+            TrajectoryQuery(setting=other, anchor_window=0), small_kb, epoch
+        )
+        assert first.key != second.key
+
+    def test_keys_are_all_integers(self, small_kb, base_setting):
+        epoch = small_kb.window_count
+        queries = [
+            TrajectoryQuery(setting=base_setting, anchor_window=0),
+            CompareQuery(first=base_setting, second=ParameterSetting(0.1, 0.5)),
+            RecommendQuery(setting=base_setting),
+            ContentQuery(setting=base_setting, items=(0, 1)),
+        ]
+        for query in queries:
+            canonical = canonicalize(query, small_kb, epoch)
+            assert canonical.key is not None
+            assert all(isinstance(part, int) for part in canonical.key)
+
+    def test_compare_mode_distinguishes_keys(self, small_kb, base_setting):
+        epoch = small_kb.window_count
+        other = ParameterSetting(0.1, 0.5)
+        single = canonicalize(
+            CompareQuery(first=base_setting, second=other), small_kb, epoch
+        )
+        exact = canonicalize(
+            CompareQuery(first=base_setting, second=other, mode=MatchMode.EXACT),
+            small_kb,
+            epoch,
+        )
+        assert single.key != exact.key
+
+    def test_content_item_normalization_shares_key(self, small_kb, base_setting):
+        epoch = small_kb.window_count
+        first = canonicalize(
+            ContentQuery(setting=base_setting, items=(1, 0, 1)), small_kb, epoch
+        )
+        second = canonicalize(
+            ContentQuery(setting=base_setting, items=(0, 1)), small_kb, epoch
+        )
+        assert first.key == second.key
+
+
+class TestEpochTags:
+    def test_explicit_spec_is_epoch_free(self, small_kb, base_setting):
+        canonical = canonicalize(
+            TrajectoryQuery(
+                setting=base_setting,
+                anchor_window=0,
+                spec=PeriodSpec.window_range(0, 1),
+            ),
+            small_kb,
+            small_kb.window_count,
+        )
+        assert canonical.epoch == EPOCH_FREE
+
+    def test_default_spec_is_epoch_tagged(self, small_kb, base_setting):
+        epoch = small_kb.window_count
+        canonical = canonicalize(
+            TrajectoryQuery(setting=base_setting, anchor_window=0), small_kb, epoch
+        )
+        assert canonical.epoch == epoch
+        resolved = canonical.resolved
+        assert isinstance(resolved, TrajectoryQuery)
+        assert resolved.spec is not None
+        assert len(resolved.spec) == small_kb.window_count
+
+    def test_default_recommend_window_is_epoch_tagged(self, small_kb, base_setting):
+        epoch = small_kb.window_count
+        defaulted = canonicalize(
+            RecommendQuery(setting=base_setting), small_kb, epoch
+        )
+        explicit = canonicalize(
+            RecommendQuery(setting=base_setting, window=small_kb.window_count - 1),
+            small_kb,
+            epoch,
+        )
+        assert defaulted.epoch == epoch
+        assert explicit.epoch == EPOCH_FREE
+        # Both resolve to the same window; only the tag differs.
+        assert defaulted.key is not None and explicit.key is not None
+        assert defaulted.key[2:] == explicit.key[2:]
+
+    def test_rollup_is_not_cacheable(self, small_kb, base_setting):
+        canonical = canonicalize(
+            RollupQuery(setting=base_setting, spec=PeriodSpec.window_range(0, 1)),
+            small_kb,
+            small_kb.window_count,
+        )
+        assert canonical.key is None
+        assert canonical.query_class == "rollup"
+
+    def test_unknown_query_type_rejected(self, small_kb):
+        with pytest.raises(QueryError, match="unknown"):
+            canonicalize(object(), small_kb, 0)  # type: ignore[arg-type]
+
+
+class TestFloatJitterStability:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        supp=st.floats(min_value=0.021, max_value=0.19),
+        conf=st.floats(min_value=0.11, max_value=0.79),
+        steps=st.integers(min_value=1, max_value=16),
+    )
+    def test_key_depends_only_on_region_ranks(self, small_kb, supp, conf, steps):
+        """Keys ignore raw floats: ulp-level jitter changes the Q1 key
+        exactly when it crosses a stable-region cut at the anchor."""
+        setting = ParameterSetting(supp, conf)
+        jittered_supp, jittered_conf = supp, conf
+        for _ in range(steps):
+            jittered_supp = math.nextafter(jittered_supp, 1.0)
+            jittered_conf = math.nextafter(jittered_conf, 1.0)
+        jittered = ParameterSetting(jittered_supp, jittered_conf)
+        epoch = small_kb.window_count
+        base_key = canonicalize(
+            TrajectoryQuery(setting=setting, anchor_window=0), small_kb, epoch
+        ).key
+        jitter_key = canonicalize(
+            TrajectoryQuery(setting=jittered, anchor_window=0), small_kb, epoch
+        ).key
+        anchor = small_kb.slice(0)
+        same_region = anchor.region_ranks(setting) == anchor.region_ranks(jittered)
+        assert (base_key == jitter_key) == same_region

@@ -1,0 +1,184 @@
+"""End-to-end behaviour of the cached serving façade."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core import (
+    GenerationConfig,
+    IncrementalTara,
+    ParameterSetting,
+    RecommendQuery,
+    TaraExplorer,
+    TrajectoryQuery,
+)
+from repro.service import TaraService
+
+
+@pytest.fixture()
+def service(small_kb):
+    return TaraService(small_kb)
+
+
+class TestRegionSharing:
+    def test_same_region_settings_share_one_entry(
+        self, service, base_setting, equivalent_setting
+    ):
+        first = service.trajectories(base_setting, anchor_window=0)
+        second = service.trajectories(equivalent_setting, anchor_window=0)
+        assert first == second
+        assert service.cache_info()["entries"] == 1
+        assert service.metrics.hits["Q1"] == 1
+        assert service.metrics.misses["Q1"] == 1
+
+    def test_cross_region_settings_get_distinct_entries(
+        self, service, base_setting
+    ):
+        service.trajectories(base_setting, anchor_window=0)
+        service.trajectories(ParameterSetting(0.1, 0.5), anchor_window=0)
+        assert service.cache_info()["entries"] == 2
+        assert service.metrics.hits["Q1"] == 0
+        assert service.metrics.misses["Q1"] == 2
+
+    def test_warm_answers_echo_the_callers_floats(
+        self, service, base_setting, equivalent_setting
+    ):
+        service.recommend(base_setting)
+        warm = service.recommend(equivalent_setting)
+        assert service.metrics.hits["Q3"] == 1
+        assert warm.setting == equivalent_setting
+        cold_compare = service.compare(base_setting, ParameterSetting(0.1, 0.5))
+        warm_compare = service.compare(
+            equivalent_setting, ParameterSetting(0.1, 0.5)
+        )
+        assert service.metrics.hits["Q2"] == 1
+        assert warm_compare.first == equivalent_setting
+        assert warm_compare.only_first == cold_compare.only_first
+        assert warm_compare.only_second == cold_compare.only_second
+
+    def test_served_containers_are_caller_owned(self, service, base_setting):
+        first = service.trajectories(base_setting, anchor_window=0)
+        expected = len(first)
+        first.clear()
+        again = service.trajectories(base_setting, anchor_window=0)
+        assert len(again) == expected
+        content = service.content(base_setting, items=(0,))
+        for ids in content.values():
+            ids.clear()
+        assert service.content(base_setting, items=(0,)) != content or not content
+
+
+class TestAgainstExplorer:
+    def test_cached_answers_match_direct_execution(self, small_kb, base_setting):
+        service = TaraService(small_kb)
+        explorer = TaraExplorer(small_kb)
+        queries = [
+            TrajectoryQuery(setting=base_setting, anchor_window=0),
+            RecommendQuery(setting=base_setting),
+        ]
+        for query in queries:
+            cold = service.execute(query)
+            warm = service.execute(query)
+            assert cold == warm == explorer.execute(query) == service.uncached(query)
+
+    def test_wrapping_an_existing_explorer(self, small_kb, base_setting):
+        explorer = TaraExplorer(small_kb)
+        service = TaraService(explorer)
+        assert service.recommend(base_setting) == explorer.recommend(base_setting)
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValidationError, match="serve"):
+            TaraService("not a knowledge base")  # type: ignore[arg-type]
+
+
+class TestEpochInvalidation:
+    def test_append_retires_scoped_entries_and_keeps_explicit_ones(
+        self, small_windows, base_setting
+    ):
+        """The acceptance scenario: appending a window invalidates exactly
+        the generation-scoped entries; explicit-window entries keep
+        serving because archived windows are immutable."""
+        incremental = IncrementalTara(GenerationConfig(0.02, 0.1))
+        incremental.append_batch(small_windows.window(0))
+        incremental.append_batch(small_windows.window(1))
+        service = TaraService(incremental)
+        assert service.epoch == 2
+
+        scoped = service.trajectories(base_setting, anchor_window=0)  # spec=None
+        explicit = service.recommend(base_setting, window=0)
+        assert service.cache_info()["entries"] == 2
+        assert {len(t.measures) for t in scoped} == {2}
+
+        incremental.append_batch(small_windows.window(2))
+        assert service.epoch == 3
+        assert service.metrics.invalidations == 1
+        assert service.cache_info()["entries"] == 1  # scoped entry retired
+
+        rescoped = service.trajectories(base_setting, anchor_window=0)
+        assert service.metrics.misses["Q1"] == 2  # recomputed, not served stale
+        assert {len(t.measures) for t in rescoped} == {3}
+
+        assert service.recommend(base_setting, window=0) == explicit
+        assert service.metrics.hits["Q3"] == 1  # explicit entry survived
+
+    def test_append_with_empty_cache_is_harmless(self, small_windows):
+        incremental = IncrementalTara(GenerationConfig(0.02, 0.1))
+        incremental.append_batch(small_windows.window(0))
+        service = TaraService(incremental)
+        incremental.append_batch(small_windows.window(1))
+        assert service.metrics.invalidations == 0
+        assert service.epoch == 2
+
+
+class TestMetricsAndBounds:
+    def test_evictions_reach_the_metrics(self, small_kb, base_setting):
+        service = TaraService(small_kb, max_entries=1)
+        service.trajectories(base_setting, anchor_window=0)
+        service.trajectories(ParameterSetting(0.1, 0.5), anchor_window=0)
+        info = service.cache_info()
+        assert info["entries"] == 1
+        assert info["evictions"] == 1
+        assert service.metrics.evictions == 1
+
+    def test_counters_reconcile_with_requests(
+        self, service, base_setting, equivalent_setting
+    ):
+        for setting in (base_setting, equivalent_setting, base_setting):
+            service.trajectories(setting, anchor_window=0)
+            service.recommend(setting)
+        for query_class in ("Q1", "Q3"):
+            assert (
+                service.metrics.hits[query_class]
+                + service.metrics.misses[query_class]
+                == service.metrics.requests(query_class)
+                == 3
+            )
+            assert (
+                service.metrics.hit_latency[query_class].count
+                + service.metrics.miss_latency[query_class].count
+                == 3
+            )
+
+    def test_concurrent_clients_agree(self, small_kb, base_setting, equivalent_setting):
+        service = TaraService(small_kb)
+        expected = TaraExplorer(small_kb).trajectories(base_setting, anchor_window=0)
+        failures = []
+
+        def client(setting):
+            for _ in range(5):
+                got = service.trajectories(setting, anchor_window=0)
+                if got != expected:
+                    failures.append(setting)
+
+        threads = [
+            threading.Thread(target=client, args=(setting,))
+            for setting in (base_setting, equivalent_setting) * 4
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert service.metrics.requests("Q1") == 40
+        assert service.metrics.hits["Q1"] + service.metrics.misses["Q1"] == 40
