@@ -41,10 +41,13 @@ Schema of ``BENCH_offline.json`` (``repro-bench-offline/1``)
          "rules", "archive_entries", "archive_bytes",
          "fingerprint"}        # sha256 over catalog + archive bytes + EPS axes
 
-    Equal fingerprints across a (dataset, miner) row are *enforced*
-    before the file is written: a parallel build that diverges from
-    serial aborts the bench with a nonzero exit instead of recording a
-    lie.
+    Equal fingerprints are *enforced* before the file is written, along
+    two axes: every parallel build must match its serial twin, and every
+    miner's serial build must match the first miner's on the same
+    dataset (rule ids, archive bytes, and EPS axes are miner-independent
+    by construction — ``derive_rules`` processes itemsets in canonical
+    order).  A divergence aborts the bench with a nonzero exit instead
+    of recording a lie.
 ``speedups``
     One object per parallel cell:
     ``{"dataset", "miner", "strategy", "workers", "speedup_vs_serial"}``
@@ -65,6 +68,7 @@ from repro.common.errors import ValidationError
 from repro.common.executors import EXECUTOR_STRATEGIES, ExecutorConfig
 from repro.common.timing import stopwatch
 from repro.core import GenerationConfig, TaraKnowledgeBase, build_knowledge_base
+from repro.mining import MINERS
 from repro.bench.workloads import (
     FULL_MINERS,
     QUICK_MINERS,
@@ -166,12 +170,14 @@ def run_matrix(
     """Run the workload matrix; returns (results, speedups).
 
     Raises :class:`ValidationError` when any parallel cell's fingerprint
-    deviates from its serial twin — the bench refuses to record numbers
-    for a build that broke serial equivalence.
+    deviates from its serial twin, or when two miners' serial builds of
+    the same dataset disagree — the bench refuses to record numbers for
+    a build that broke serial or cross-miner equivalence.
     """
     results: List[Dict[str, Any]] = []
     speedups: List[Dict[str, Any]] = []
     for dataset in datasets:
+        reference_serial: Optional[Dict[str, Any]] = None
         for miner in miners:
             serial_cell: Optional[Dict[str, Any]] = None
             for strategy in strategies:
@@ -208,6 +214,16 @@ def run_matrix(
                     f"  {'':<8} {'':<9} {strategy:<8} speedup vs serial: "
                     f"{speedup:.2f}x"
                 )
+            if serial_cell is None:
+                continue
+            if reference_serial is None:
+                reference_serial = serial_cell
+            elif serial_cell["fingerprint"] != reference_serial["fingerprint"]:
+                raise ValidationError(
+                    f"{miner} build of {dataset} diverged from "
+                    f"{reference_serial['miner']} (fingerprint mismatch) — "
+                    f"refusing to record benchmark results"
+                )
     return results, speedups
 
 
@@ -227,6 +243,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         default=list(EXECUTOR_STRATEGIES),
         help="executor strategies to benchmark (default: all three)",
     )
+    parser.add_argument(
+        "--miners",
+        nargs="+",
+        choices=sorted(MINERS),
+        default=None,
+        help="benchmark only these miners (default: quick/full selection)",
+    )
 
 
 def run_bench(args: argparse.Namespace) -> int:
@@ -234,7 +257,10 @@ def run_bench(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         raise ValidationError(f"--repeat must be >= 1, got {args.repeat}")
     datasets = select_datasets(args)
-    miners = QUICK_MINERS if args.quick else FULL_MINERS
+    if args.miners:
+        miners: Sequence[str] = tuple(args.miners)
+    else:
+        miners = QUICK_MINERS if args.quick else FULL_MINERS
     print(
         f"repro bench ({'quick' if args.quick else 'full'} matrix): "
         f"{len(datasets)} dataset(s) x {len(miners)} miner(s) x "

@@ -21,11 +21,14 @@ from repro.common.errors import ValidationError
 from repro.data import TransactionDatabase, WindowedDatabase
 from repro.datagen import quest_t5k_scaled, retail_dataset
 
-#: Offline matrix rows (datasets) and columns (miners).
+#: Offline matrix rows (datasets) and columns (miners).  The quick (CI)
+#: matrix pairs the reference miner with the vertical bitmap kernel so
+#: every PR re-proves the cross-miner fingerprint equality *and* records
+#: the kernel's speedup; ``repro bench --miners`` overrides either list.
 QUICK_DATASETS: Tuple[str, ...] = ("retail",)
-QUICK_MINERS: Tuple[str, ...] = ("apriori",)
+QUICK_MINERS: Tuple[str, ...] = ("apriori", "vertical")
 FULL_DATASETS: Tuple[str, ...] = ("retail", "T5k")
-FULL_MINERS: Tuple[str, ...] = ("apriori", "fpgrowth")
+FULL_MINERS: Tuple[str, ...] = ("apriori", "fpgrowth", "vertical")
 
 #: Per-dataset (transaction count, windows, supp_g, conf_g).
 _WORKLOADS: Dict[str, Tuple[int, int, float, float]] = {

@@ -133,8 +133,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of equal count-based windows")
     build.add_argument("--min-support", type=float, required=True)
     build.add_argument("--min-confidence", type=float, required=True)
-    build.add_argument("--miner", default="fpgrowth",
-                       choices=("apriori", "eclat", "fpgrowth", "hmine"))
+    build.add_argument("--miner", default="vertical",
+                       choices=("apriori", "eclat", "fpgrowth", "hmine",
+                                "vertical"))
     build.add_argument("--item-index", action="store_true",
                        help="build the TARA-S per-region item index")
 

@@ -13,12 +13,14 @@ from repro.mining.measures import (
     improvement,
 )
 from repro.mining.rules import Rule, RuleCatalog, RuleId, ScoredRule, derive_rules
+from repro.mining.vertical import mine_vertical
 
 MINERS = {
     "apriori": mine_apriori,
     "eclat": mine_eclat,
     "fpgrowth": mine_fpgrowth,
     "hmine": mine_hmine,
+    "vertical": mine_vertical,
 }
 """Name -> miner function registry (used by the builder's ``miner=`` knob)."""
 
@@ -41,4 +43,5 @@ __all__ = [
     "mine_eclat",
     "mine_fpgrowth",
     "mine_hmine",
+    "mine_vertical",
 ]

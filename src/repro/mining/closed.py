@@ -3,9 +3,17 @@
 Closed itemsets are the theoretical backbone of MARAS: Lemma 1 of the
 paper proves that the non-spurious (explicitly or implicitly supported)
 Drug-ADR associations are exactly the *closed* associations of the
-report database.  CHARM mines them directly over vertical tid-sets,
-applying the four itemset-tidset properties to collapse equal-support
-branches, plus a subsumption check before emitting a closed set.
+report database.  CHARM mines them directly over vertical occurrence
+lists, applying the four itemset-tidset properties to collapse
+equal-support branches, plus a subsumption check before emitting a
+closed set.
+
+The vertical layout is the bitmap kernel's
+(:func:`repro.mining.vertical.vertical_masks`): every tidset is one
+Python big int, so the four CHARM properties are mask equality and
+subset tests (``a & b == a``), support is ``int.bit_count()``, and the
+subsumption check buckets candidates by their exact mask — an equal
+tidset *is* an equal dict key, no hash-then-verify pass.
 
 A closed itemset is one with no proper superset of equal support —
 equivalently, the intersection of all transactions that contain it.
@@ -13,7 +21,7 @@ equivalently, the intersection of all transactions that contain it.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.data.items import Itemset, canonical_itemset, itemset_union
 from repro.mining.itemsets import (
@@ -22,42 +30,41 @@ from repro.mining.itemsets import (
     as_itemsets,
     min_count_for,
 )
+from repro.mining.vertical import vertical_masks
 
-_Tidset = FrozenSet[int]
-_Node = Tuple[Itemset, _Tidset]
+# (itemset, occurrence bitmask, popcount of the mask)
+_Node = Tuple[Itemset, int, int]
 
 
 class _ClosedCollector:
-    """Closed-set accumulator with hash-based subsumption checking.
+    """Closed-set accumulator with mask-keyed subsumption checking.
 
     CHARM may generate a candidate whose closure was already emitted via
     a different branch; the candidate is *subsumed* if an existing closed
-    set is a superset with the same support.  Bucketing by tidset hash
-    makes the check cheap.
+    set is a superset with the same support.  Bucketing by the tidset
+    mask itself makes the check one dict lookup plus subset tests among
+    the (rare) exact-tidset collisions.
     """
 
     def __init__(self) -> None:
         self.closed: Dict[Itemset, int] = {}
-        self._buckets: Dict[int, List[Tuple[Itemset, _Tidset]]] = {}
+        self._buckets: Dict[int, List[Itemset]] = {}
 
-    def add_if_closed(self, itemset: Itemset, tidset: _Tidset) -> None:
-        key = hash(tidset)
-        bucket = self._buckets.setdefault(key, [])
+    def add_if_closed(self, itemset: Itemset, mask: int, count: int) -> None:
+        bucket = self._buckets.setdefault(mask, [])
         itemset_items = set(itemset)
-        for position, (existing, existing_tidset) in enumerate(bucket):
-            if existing_tidset != tidset:
-                continue
+        for position, existing in enumerate(bucket):
             existing_items = set(existing)
             if itemset_items.issubset(existing_items):
                 return  # subsumed by a superset with identical support
             if existing_items.issubset(itemset_items):
                 # The new set subsumes an earlier, smaller candidate.
-                bucket[position] = (itemset, tidset)
+                bucket[position] = itemset
                 del self.closed[existing]
-                self.closed[itemset] = len(tidset)
+                self.closed[itemset] = count
                 return
-        bucket.append((itemset, tidset))
-        self.closed[itemset] = len(tidset)
+        bucket.append(itemset)
+        self.closed[itemset] = count
 
 
 def _charm_extend(
@@ -65,55 +72,56 @@ def _charm_extend(
 ) -> None:
     """Recursive CHARM exploration of one equivalence class.
 
-    *nodes* are (itemset, tidset) pairs sorted by increasing tidset size
-    (the standard heuristic that maximizes equal-tidset merges).
+    *nodes* are (itemset, mask, count) triples sorted by increasing
+    support (the standard heuristic that maximizes equal-tidset merges).
     """
     index = 0
     while index < len(nodes):
-        itemset_i, tidset_i = nodes[index]
+        itemset_i, mask_i, count_i = nodes[index]
         children: List[_Node] = []
         j = index + 1
         while j < len(nodes):
-            itemset_j, tidset_j = nodes[j]
-            combined_tidset = tidset_i & tidset_j
-            if len(combined_tidset) < min_count:
+            itemset_j, mask_j, _ = nodes[j]
+            combined_mask = mask_i & mask_j
+            combined_count = combined_mask.bit_count()
+            if combined_count < min_count:
                 j += 1
                 continue
             combined = itemset_union(itemset_i, itemset_j)
-            if tidset_i == tidset_j:
+            if mask_i == mask_j:
                 # Property 1: X_j always occurs with X_i — fold it into
                 # X_i and drop X_j from this class entirely.
                 itemset_i = combined
-                nodes[index] = (itemset_i, tidset_i)
+                nodes[index] = (itemset_i, mask_i, count_i)
                 del nodes[j]
                 children = [
-                    (itemset_union(child_set, itemset_j), child_tids)
-                    for child_set, child_tids in children
+                    (itemset_union(child_set, itemset_j), child_mask, child_count)
+                    for child_set, child_mask, child_count in children
                 ]
-            elif tidset_i < tidset_j:
+            elif combined_mask == mask_i:
                 # Property 2: X_i implies X_j — extend X_i in place but
                 # keep X_j, which can still grow on its own.
                 itemset_i = combined
-                nodes[index] = (itemset_i, tidset_i)
+                nodes[index] = (itemset_i, mask_i, count_i)
                 children = [
-                    (itemset_union(child_set, itemset_j), child_tids)
-                    for child_set, child_tids in children
+                    (itemset_union(child_set, itemset_j), child_mask, child_count)
+                    for child_set, child_mask, child_count in children
                 ]
                 j += 1
-            elif tidset_j < tidset_i:
+            elif combined_mask == mask_j:
                 # Property 3: X_j implies X_i — X_j's closure lives in
                 # X_i's subtree, so move the merge down and drop X_j.
-                children.append((combined, combined_tidset))
+                children.append((combined, combined_mask, combined_count))
                 del nodes[j]
             else:
                 # Property 4: incomparable tidsets — a genuinely new
                 # equivalence class under X_i.
-                children.append((combined, combined_tidset))
+                children.append((combined, combined_mask, combined_count))
                 j += 1
         if children:
-            children.sort(key=lambda node: (len(node[1]), node[0]))
+            children.sort(key=lambda node: (node[2], node[0]))
             _charm_extend(children, collector, min_count)
-        collector.add_if_closed(itemset_i, tidset_i)
+        collector.add_if_closed(itemset_i, mask_i, count_i)
         index += 1
 
 
@@ -145,17 +153,12 @@ def mine_closed(
     if n == 0:
         return result
 
-    vertical: Dict[int, set[int]] = {}
-    for tid, itemset in enumerate(itemsets):
-        for item in itemset:
-            vertical.setdefault(item, set()).add(tid)
-
-    nodes: List[_Node] = [
-        ((item,), frozenset(tids))
-        for item, tids in vertical.items()
-        if len(tids) >= threshold
-    ]
-    nodes.sort(key=lambda node: (len(node[1]), node[0]))
+    nodes: List[_Node] = []
+    for item, mask in vertical_masks(itemsets).items():
+        count = mask.bit_count()
+        if count >= threshold:
+            nodes.append(((item,), mask, count))
+    nodes.sort(key=lambda node: (node[2], node[0]))
     collector = _ClosedCollector()
     _charm_extend(nodes, collector, threshold)
     result.counts = collector.closed

@@ -7,13 +7,16 @@ tidsets.  Depth-first search over prefix equivalence classes keeps one
 intersection per extension — no candidate counting pass at all.
 
 Included because the EPS/CHARM machinery is tidset-based anyway (CHARM
-is Eclat's closed-set sibling), and as a fourth independent
-implementation for the cross-miner property tests.
+is Eclat's closed-set sibling), and as an independent implementation
+for the cross-miner property tests.  The class walk uses the same
+explicit stack as the bitmap kernel (:mod:`repro.mining.vertical`), so
+mining depth is never bounded by the interpreter recursion limit, and
+tidsets are plain sets shared by reference — no per-node copies.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.data.items import ItemId, Itemset
 from repro.mining.itemsets import (
@@ -23,29 +26,41 @@ from repro.mining.itemsets import (
     min_count_for,
 )
 
-_Node = Tuple[Itemset, FrozenSet[int]]
+_Node = Tuple[Itemset, Set[int]]
 
 
 def _eclat_extend(
-    nodes: List[_Node],
+    roots: List[_Node],
     min_count: int,
     out: Dict[Itemset, int],
     max_size: Optional[int],
 ) -> None:
-    """Depth-first growth of one prefix equivalence class."""
-    for index, (itemset, tidset) in enumerate(nodes):
-        out[itemset] = len(tidset)
-        if max_size is not None and len(itemset) >= max_size:
-            continue
-        children: List[_Node] = []
-        for other_itemset, other_tidset in nodes[index + 1 :]:
-            combined_tidset = tidset & other_tidset
-            if len(combined_tidset) >= min_count:
-                # Same prefix class: union differs only in the last item.
-                combined = itemset + (other_itemset[-1],)
-                children.append((combined, combined_tidset))
-        if children:
-            _eclat_extend(children, min_count, out, max_size)
+    """Depth-first growth of prefix equivalence classes, stack-based.
+
+    Each frame is one partially processed class (sibling nodes plus the
+    resume index); descending pushes the parent frame and continues into
+    the child class — the recursive walk's exact pre-order, flat.
+    """
+    frames: List[Tuple[List[_Node], int]] = [(roots, 0)]
+    while frames:
+        nodes, index = frames.pop()
+        while index < len(nodes):
+            itemset, tidset = nodes[index]
+            index += 1
+            out[itemset] = len(tidset)
+            if max_size is not None and len(itemset) >= max_size:
+                continue
+            children: List[_Node] = []
+            for other_itemset, other_tidset in nodes[index:]:
+                combined_tidset = tidset & other_tidset
+                if len(combined_tidset) >= min_count:
+                    # Same prefix class: union differs only in the last item.
+                    children.append(
+                        (itemset + (other_itemset[-1],), combined_tidset)
+                    )
+            if children:
+                frames.append((nodes, index))
+                nodes, index = children, 0
 
 
 def mine_eclat(
@@ -65,14 +80,14 @@ def mine_eclat(
     if n == 0:
         return result
 
-    vertical: Dict[ItemId, set[int]] = {}
+    vertical: Dict[ItemId, Set[int]] = {}
     for tid, itemset in enumerate(itemsets):
         for item in itemset:
             vertical.setdefault(item, set()).add(tid)
     # Sorted item order keeps prefix classes canonical (itemsets stay
     # sorted tuples by construction).
     nodes: List[_Node] = [
-        ((item,), frozenset(tids))
+        ((item,), tids)
         for item, tids in sorted(vertical.items())
         if len(tids) >= min_count
     ]

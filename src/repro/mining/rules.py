@@ -148,6 +148,15 @@ def derive_rules(
     supports come from the itemset counts, so the result is exact with
     respect to the miner that produced *itemsets*.
 
+    Itemsets are processed in canonical (sorted-tuple) order, so the ids
+    a shared catalog assigns do not depend on which miner produced
+    *itemsets* — the property the cross-miner fingerprint gate of
+    ``repro bench`` enforces.  Count lookups ride on the mining kernels'
+    canonical prefix-class layout: every key in ``itemsets.counts`` is a
+    sorted tuple and every antecedent/consequent built here is one too,
+    so subsets are looked up directly without re-canonicalizing (no
+    re-sort, no fresh tuple, one hash per lookup).
+
     Args:
         itemsets: mined frequent itemsets with counts.
         min_confidence: fractional threshold in ``[0, 1]``.
@@ -161,8 +170,9 @@ def derive_rules(
         catalog = RuleCatalog()
     results: List[ScoredRule] = []
     n = itemsets.transaction_count
+    counts = itemsets.counts
 
-    for itemset, itemset_count in itemsets.items():
+    for itemset, itemset_count in sorted(counts.items()):
         if len(itemset) < 2:
             continue
         support = itemset_count / n if n else 0.0
@@ -171,10 +181,13 @@ def derive_rules(
         while consequents:
             surviving: List[Itemset] = []
             for consequent in consequents:
-                antecedent = tuple(i for i in itemset if i not in set(consequent))
+                consequent_items = set(consequent)
+                antecedent = tuple(
+                    i for i in itemset if i not in consequent_items
+                )
                 if not antecedent:
                     continue
-                antecedent_count = itemsets.count(antecedent)
+                antecedent_count = counts.get(antecedent, 0)
                 if antecedent_count == 0:
                     # Cannot happen for a correct miner (downward closure)
                     # but guard against inconsistent inputs.
@@ -194,7 +207,7 @@ def derive_rules(
                         rule_count=itemset_count,
                         antecedent_count=antecedent_count,
                         window_size=n,
-                        consequent_count=itemsets.count(consequent),
+                        consequent_count=counts.get(consequent, 0),
                     )
                 )
             if not surviving:

@@ -1,0 +1,72 @@
+"""``run_matrix``'s fingerprint gates, unit-tested with stubbed cells."""
+
+import pytest
+
+from repro.bench import offline
+from repro.common.errors import ValidationError
+
+
+def _fake_cells(fingerprint_of):
+    """A ``_run_cell`` stand-in whose fingerprint is computed per cell."""
+
+    def fake_run_cell(dataset, miner, strategy, workers, repeat):
+        return {
+            "dataset": dataset,
+            "transactions": 10,
+            "windows": 2,
+            "miner": miner,
+            "strategy": strategy,
+            "workers": 1,
+            "wall_seconds": 1.0,
+            "phases": {},
+            "rules": 1,
+            "archive_entries": 1,
+            "archive_bytes": 1,
+            "fingerprint": fingerprint_of(miner, strategy),
+        }
+
+    return fake_run_cell
+
+
+def test_equal_fingerprints_pass(monkeypatch):
+    monkeypatch.setattr(
+        offline, "_run_cell", _fake_cells(lambda miner, strategy: "same")
+    )
+    results, speedups = offline.run_matrix(
+        ["retail"], ["apriori", "vertical"], ["serial", "thread"], None, 1
+    )
+    assert len(results) == 4
+    assert len(speedups) == 2
+
+
+def test_cross_miner_divergence_aborts(monkeypatch):
+    monkeypatch.setattr(
+        offline, "_run_cell", _fake_cells(lambda miner, strategy: miner)
+    )
+    with pytest.raises(ValidationError, match="vertical build of retail diverged"):
+        offline.run_matrix(
+            ["retail"], ["apriori", "vertical"], ["serial"], None, 1
+        )
+
+
+def test_parallel_divergence_aborts_before_cross_miner_check(monkeypatch):
+    monkeypatch.setattr(
+        offline, "_run_cell", _fake_cells(lambda miner, strategy: strategy)
+    )
+    with pytest.raises(ValidationError, match="thread build of retail/apriori"):
+        offline.run_matrix(
+            ["retail"], ["apriori", "vertical"], ["serial", "thread"], None, 1
+        )
+
+
+def test_cross_miner_check_skipped_without_serial_cells(monkeypatch):
+    """Without a serial twin there is no reference; the matrix still runs
+    (this mirrors the existing behavior of the speedup computation)."""
+    monkeypatch.setattr(
+        offline, "_run_cell", _fake_cells(lambda miner, strategy: miner)
+    )
+    results, speedups = offline.run_matrix(
+        ["retail"], ["apriori", "vertical"], ["thread"], None, 1
+    )
+    assert len(results) == 2
+    assert speedups == []

@@ -20,7 +20,7 @@ from repro.mining.rules import derive_rules
 class TestGenerationConfig:
     def test_valid(self):
         config = GenerationConfig(0.01, 0.1)
-        assert config.miner == "fpgrowth"
+        assert config.miner == "vertical"
         assert config.setting.min_support == 0.01
 
     def test_unknown_miner_rejected(self):
@@ -31,7 +31,9 @@ class TestGenerationConfig:
         with pytest.raises(Exception):
             GenerationConfig(-0.1, 0.1)
 
-    @pytest.mark.parametrize("miner", ["apriori", "eclat", "fpgrowth", "hmine"])
+    @pytest.mark.parametrize(
+        "miner", ["apriori", "eclat", "fpgrowth", "hmine", "vertical"]
+    )
     def test_all_miners_accepted(self, miner):
         assert GenerationConfig(0.01, 0.1, miner=miner).miner == miner
 
@@ -96,7 +98,7 @@ class TestMinerEquivalence:
     def test_all_miners_build_identical_knowledge(self, small_windows):
         """The builder's miner knob must not change the knowledge content."""
         references = None
-        for miner in ("apriori", "eclat", "fpgrowth", "hmine"):
+        for miner in ("apriori", "eclat", "fpgrowth", "hmine", "vertical"):
             config = GenerationConfig(0.03, 0.2, miner=miner)
             kb = build_knowledge_base(small_windows, config)
             content = [
@@ -110,6 +112,22 @@ class TestMinerEquivalence:
                 references = content
             else:
                 assert content == references, miner
+
+    def test_all_miners_build_bit_identical_knowledge(self, small_windows):
+        """Stronger: rule ids, archive bytes, and EPS axes are identical
+        whichever miner ran — the cross-miner fingerprint gate of
+        ``repro bench``, pinned here on the small fixture."""
+        from repro.bench.offline import knowledge_base_fingerprint
+
+        fingerprints = {
+            miner: knowledge_base_fingerprint(
+                build_knowledge_base(
+                    small_windows, GenerationConfig(0.03, 0.2, miner=miner)
+                )
+            )
+            for miner in ("apriori", "eclat", "fpgrowth", "hmine", "vertical")
+        }
+        assert len(set(fingerprints.values())) == 1, fingerprints
 
 
 class TestIncrementalEntryPoint:

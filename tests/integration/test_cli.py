@@ -161,9 +161,37 @@ class TestBenchCommand:
         assert payload["host"]["cpu_count"] >= 1
         strategies = {cell["strategy"] for cell in payload["results"]}
         assert strategies == {"serial", "thread"}
+        miners = {cell["miner"] for cell in payload["results"]}
+        assert miners == {"apriori", "vertical"}
         fingerprints = {cell["fingerprint"] for cell in payload["results"]}
-        assert len(fingerprints) == 1  # serial equivalence, enforced
+        # One fingerprint across *all* cells: serial/parallel equivalence
+        # and cross-miner equivalence, both enforced before writing.
+        assert len(fingerprints) == 1
         assert payload["speedups"][0]["strategy"] == "thread"
+
+    def test_miners_filter_restricts_matrix(self, tmp_path, monkeypatch):
+        import repro.bench as bench
+
+        monkeypatch.setitem(bench._WORKLOADS, "retail", (150, 3, 0.05, 0.30))
+        out = tmp_path / "BENCH_offline.json"
+        code = main(
+            [
+                "bench", "--quick",
+                "--out", str(out),
+                "--repeat", "1",
+                "--strategies", "serial",
+                "--miners", "vertical",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert {cell["miner"] for cell in payload["results"]} == {"vertical"}
+
+    def test_unknown_miner_filter_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--quick", "--miners", "magic", "--out", "-"])
+        assert excinfo.value.code == 2
+        assert "--miners" in capsys.readouterr().err
 
     def test_invalid_repeat_is_domain_error(self, tmp_path, capsys):
         code = main(["bench", "--quick", "--repeat", "0", "--out", "-"])

@@ -1,0 +1,81 @@
+"""Every miner resolves its float threshold to an int exactly once.
+
+``min_count_for`` is the single blessed float->int crossing point of the
+mining layer (the R001 float-equality rule has nothing to flag beyond
+it); a miner that re-derived the absolute threshold mid-walk would both
+waste work and risk drifting from the window-level value.  These tests
+pin the discipline: one call per mined window, made at entry, never from
+inside the class walk.
+"""
+
+import pytest
+
+import repro.mining.apriori as apriori_module
+import repro.mining.closed as closed_module
+import repro.mining.eclat as eclat_module
+import repro.mining.fpgrowth as fpgrowth_module
+import repro.mining.hmine as hmine_module
+import repro.mining.vertical as vertical_module
+
+TRANSACTIONS = [
+    (1, 3, 4),
+    (2, 3, 5),
+    (1, 2, 3, 5),
+    (2, 5),
+    (1, 2, 3, 5),
+]
+
+MINER_MODULES = [
+    (apriori_module, "mine_apriori"),
+    (closed_module, "mine_closed"),
+    (eclat_module, "mine_eclat"),
+    (fpgrowth_module, "mine_fpgrowth"),
+    (hmine_module, "mine_hmine"),
+    (vertical_module, "mine_vertical"),
+]
+
+
+def _counting_wrapper(module, monkeypatch):
+    calls = []
+    real = module.min_count_for
+
+    def counting(min_support, transaction_count):
+        calls.append((min_support, transaction_count))
+        return real(min_support, transaction_count)
+
+    monkeypatch.setattr(module, "min_count_for", counting)
+    return calls
+
+
+@pytest.mark.parametrize(
+    "module,name", MINER_MODULES, ids=[name for _, name in MINER_MODULES]
+)
+def test_threshold_resolved_exactly_once_per_window(
+    module, name, monkeypatch
+):
+    calls = _counting_wrapper(module, monkeypatch)
+    getattr(module, name)(TRANSACTIONS, 0.4)
+    assert calls == [(0.4, len(TRANSACTIONS))]
+
+
+@pytest.mark.parametrize(
+    "module,name", MINER_MODULES, ids=[name for _, name in MINER_MODULES]
+)
+def test_threshold_resolved_once_even_on_empty_windows(
+    module, name, monkeypatch
+):
+    """The early empty-window return must not skip (or repeat) the
+    conversion: ``FrequentItemsets.min_count`` is part of the result."""
+    calls = _counting_wrapper(module, monkeypatch)
+    result = getattr(module, name)([], 0.4)
+    assert calls == [(0.4, 0)]
+    assert result.min_count == 1
+
+
+def test_closed_absolute_override_never_touches_floats(monkeypatch):
+    """``mine_closed(min_count=...)`` is the MARAS path: the absolute
+    threshold is authoritative and no float conversion may run."""
+    calls = _counting_wrapper(closed_module, monkeypatch)
+    result = closed_module.mine_closed(TRANSACTIONS, 0.9, min_count=2)
+    assert calls == []
+    assert result.min_count == 2

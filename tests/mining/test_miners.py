@@ -8,8 +8,9 @@ from repro.mining.fpgrowth import mine_fpgrowth
 from repro.mining.eclat import mine_eclat
 from repro.mining.hmine import mine_hmine
 from repro.mining.itemsets import FrequentItemsets, min_count_for
+from repro.mining.vertical import mine_vertical
 
-MINERS = [mine_apriori, mine_eclat, mine_fpgrowth, mine_hmine]
+MINERS = [mine_apriori, mine_eclat, mine_fpgrowth, mine_hmine, mine_vertical]
 
 # The textbook example: 5 transactions over items 1..5.
 TEXTBOOK = [

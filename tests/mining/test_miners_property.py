@@ -11,6 +11,7 @@ from repro.mining.eclat import mine_eclat
 from repro.mining.fpgrowth import mine_fpgrowth
 from repro.mining.hmine import mine_hmine
 from repro.mining.itemsets import min_count_for
+from repro.mining.vertical import mine_vertical
 
 transactions_strategy = st.lists(
     st.frozensets(st.integers(min_value=0, max_value=7), min_size=1, max_size=5),
@@ -51,9 +52,57 @@ def test_all_miners_agree(transactions, min_support):
     fpgrowth = mine_fpgrowth(transactions, min_support)
     hmine = mine_hmine(transactions, min_support)
     eclat = mine_eclat(transactions, min_support)
+    vertical = mine_vertical(transactions, min_support)
     assert apriori.counts == fpgrowth.counts
     assert apriori.counts == hmine.counts
     assert apriori.counts == eclat.counts
+    assert apriori.counts == vertical.counts
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    transactions_strategy,
+    support_strategy,
+    st.integers(min_value=1, max_value=4),
+)
+def test_all_miners_agree_under_max_size(transactions, min_support, max_size):
+    """The ``max_size`` cap prunes identically in every implementation."""
+    reference = mine_apriori(transactions, min_support, max_size=max_size)
+    for miner in (mine_eclat, mine_fpgrowth, mine_hmine, mine_vertical):
+        capped = miner(transactions, min_support, max_size=max_size)
+        assert capped.counts == reference.counts, miner.__name__
+        assert capped.max_size() <= max_size
+
+
+@settings(max_examples=60, deadline=None)
+@given(transactions_strategy, support_strategy)
+def test_vertical_matches_brute_force(transactions, min_support):
+    mined = mine_vertical(transactions, min_support)
+    assert mined.counts == brute_force_frequent(transactions, min_support)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.frozensets(
+            st.integers(min_value=0, max_value=5), min_size=1, max_size=4
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    st.integers(min_value=1, max_value=4),
+    support_strategy,
+)
+def test_duplicate_transactions_count_multiply(base, copies, min_support):
+    """Repeating every transaction *copies* times multiplies each count."""
+    duplicated = [t for t in base for _ in range(copies)]
+    reference = {
+        itemset: count * copies
+        for itemset, count in mine_apriori(base, 0.0).counts.items()
+        if count * copies >= min_count_for(min_support, len(duplicated))
+    }
+    for miner in (mine_apriori, mine_eclat, mine_vertical):
+        assert miner(duplicated, min_support).counts == reference
 
 
 @settings(max_examples=80, deadline=None)

@@ -1,0 +1,90 @@
+"""The vertical bitmap kernel: masks, diffset switching, stack depth."""
+
+import sys
+
+import pytest
+
+from repro.mining.apriori import mine_apriori
+from repro.mining.eclat import mine_eclat
+from repro.mining.itemsets import as_itemsets
+from repro.mining.vertical import (
+    _diffsets_win,
+    mine_vertical,
+    vertical_masks,
+)
+
+DENSE = [tuple(range(6))] * 7 + [(0, 1, 2), (3, 4, 5)]
+SPARSE = [(0,), (1,), (2, 3), (4,), (0, 5), (1, 3)]
+
+
+def _stack_depth():
+    frame, depth = sys._getframe(), 0
+    while frame is not None:
+        depth += 1
+        frame = frame.f_back
+    return depth
+
+
+class TestVerticalMasks:
+    def test_bit_t_set_iff_transaction_t_contains_item(self):
+        itemsets = as_itemsets([(1, 3), (3,), (1, 2)])
+        masks = vertical_masks(itemsets)
+        assert masks == {1: 0b101, 3: 0b011, 2: 0b100}
+
+    def test_popcount_is_item_frequency(self):
+        itemsets = as_itemsets(DENSE)
+        masks = vertical_masks(itemsets)
+        for item, mask in masks.items():
+            direct = sum(1 for t in itemsets if item in t)
+            assert mask.bit_count() == direct
+
+    def test_empty_database(self):
+        assert vertical_masks([]) == {}
+
+
+class TestDiffsetSwitch:
+    def test_dense_roots_prefer_diffsets(self):
+        roots = [((i,), 0, 9) for i in range(3)]  # 9 of 10 tids each
+        assert _diffsets_win(roots, 10)
+
+    def test_sparse_roots_keep_tidsets(self):
+        roots = [((i,), 0, 2) for i in range(3)]  # 2 of 10 tids each
+        assert not _diffsets_win(roots, 10)
+
+    @pytest.mark.parametrize("database", [DENSE, SPARSE, DENSE + SPARSE])
+    @pytest.mark.parametrize("min_support", [0.0, 0.3, 0.7, 1.0])
+    def test_both_representations_agree_with_apriori(
+        self, database, min_support
+    ):
+        """DENSE drives the walk through diffset classes, SPARSE keeps it
+        on tidsets, and the mix switches mid-walk; counts must be exact
+        either way."""
+        assert (
+            mine_vertical(database, min_support).counts
+            == mine_apriori(database, min_support).counts
+        )
+
+
+class TestExplicitStack:
+    """Long chained itemsets must not depend on the recursion limit."""
+
+    CHAIN = [tuple(range(16))] * 2  # every one of 2**16 - 1 subsets frequent
+
+    @pytest.mark.parametrize("miner", [mine_vertical, mine_eclat])
+    def test_deep_chain_under_tight_recursion_limit(self, miner):
+        # A per-level recursive class walk would need ~16 nested frames;
+        # leave it far less headroom than that and demand completion.
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(_stack_depth() + 12)
+            mined = miner(self.CHAIN, 1.0)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert len(mined.counts) == 2**16 - 1
+        assert mined.counts[tuple(range(16))] == 2
+
+    @pytest.mark.parametrize("miner", [mine_vertical, mine_eclat])
+    def test_max_size_caps_depth_and_output(self, miner):
+        mined = miner(self.CHAIN, 1.0, max_size=2)
+        assert mined.max_size() == 2
+        assert len(mined.counts) == 16 + 16 * 15 // 2
