@@ -227,9 +227,62 @@ def run_matrix(
     return results, speedups
 
 
+def phase_summary_markdown(results: Sequence[Dict[str, Any]]) -> str:
+    """Render the per-phase breakdown of *results* as a Markdown table.
+
+    One row per matrix cell, one column per Figure 9 phase (union of
+    the phase names seen across cells, in first-seen order so the
+    builder's canonical ordering is preserved).  Written to
+    ``--summary-out`` — in CI that is ``$GITHUB_STEP_SUMMARY``, so the
+    phase trajectory is readable from the job page without downloading
+    the ``BENCH_offline.json`` artifact.
+    """
+    phase_names: List[str] = []
+    for cell in results:
+        for name in cell["phases"]:
+            if name not in phase_names:
+                phase_names.append(name)
+    lines = [
+        "## repro bench — per-phase breakdown (best-of-repeat, seconds)",
+        "",
+        "| dataset | miner | strategy | wall | "
+        + " | ".join(phase_names)
+        + " |",
+        "|---|---|---|---:|" + "---:|" * len(phase_names),
+    ]
+    for cell in results:
+        phases = cell["phases"]
+        row = [
+            cell["dataset"],
+            cell["miner"],
+            cell["strategy"],
+            f"{cell['wall_seconds']:.4f}",
+        ]
+        row.extend(
+            f"{phases[name]:.4f}" if name in phases else "—"
+            for name in phase_names
+        )
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    lines.append(
+        "All fingerprints verified equal across executor strategies and "
+        "miners before these numbers were recorded."
+    )
+    return "\n".join(lines) + "\n"
+
+
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Install the ``repro bench`` arguments on *parser*."""
     add_shared_bench_arguments(parser, default_out=DEFAULT_OUT)
+    parser.add_argument(
+        "--summary-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append a Markdown per-phase breakdown to PATH "
+            "(CI passes $GITHUB_STEP_SUMMARY)"
+        ),
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -290,4 +343,8 @@ def run_bench(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=False)
             handle.write("\n")
         print(f"wrote {args.out} ({SCHEMA})")
+    if args.summary_out:
+        with open(args.summary_out, "a", encoding="utf-8") as handle:
+            handle.write(phase_summary_markdown(results))
+        print(f"appended phase summary to {args.summary_out}")
     return 0

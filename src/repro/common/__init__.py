@@ -16,6 +16,7 @@ from repro.common.executors import (
     available_cpus,
     run_ordered,
 )
+from repro.common.gcscope import paused_gc
 
 __all__ = [
     "CodecError",
@@ -29,5 +30,6 @@ __all__ = [
     "UnknownWindowError",
     "ValidationError",
     "available_cpus",
+    "paused_gc",
     "run_ordered",
 ]

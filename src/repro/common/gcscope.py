@@ -1,0 +1,44 @@
+"""Cyclic-GC pause scope for bulk-allocation phases.
+
+The offline build materializes hundreds of thousands of objects that
+are all *retained* (split plans, interned rules, scored tuples, index
+rows).  CPython's generational collector triggers a young-generation
+scan every ~700 net allocations, and during a bulk build every one of
+those scans is pure overhead: nothing allocated by the build is garbage
+until the build finishes.  On the retail quick workload these scans
+account for roughly a quarter of the rule-derivation wall time.
+
+:func:`paused_gc` disables the cyclic collector for the duration of a
+bulk phase and restores the previous state afterwards.  Reference
+counting (the primary deallocation mechanism) is unaffected — only the
+cycle detector is paused, so the peak-memory impact is bounded by the
+cyclic garbage produced inside the scope, which for the build loops is
+none.
+
+The pause is process-global, like the collector itself; nested scopes
+are safe (the inner scope sees the collector already disabled and
+leaves it so).
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+from typing import Iterator
+
+
+@contextmanager
+def paused_gc() -> Iterator[None]:
+    """Disable cyclic garbage collection inside the ``with`` block.
+
+    Restores the collector's previous enabled/disabled state on exit
+    (also on error), so nesting and already-disabled environments
+    behave as expected.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()

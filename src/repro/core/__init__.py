@@ -18,7 +18,14 @@ from repro.core.builder import (
 )
 from repro.core.explorer import ExplorerAnswer, TaraExplorer
 from repro.core.incremental import IncrementalTara
-from repro.core.locations import Location, group_by_location, location_of
+from repro.core.locations import (
+    CountLocation,
+    Location,
+    count_axes,
+    group_by_counts,
+    group_by_location,
+    location_of,
+)
 from repro.core.persistence import load_knowledge_base, save_knowledge_base
 from repro.core.queries import (
     CompareQuery,
@@ -71,8 +78,11 @@ __all__ = [
     "WindowMeasure",
     "WindowSlice",
     "WindowTask",
+    "CountLocation",
     "build_knowledge_base",
+    "count_axes",
     "mine_window_task",
+    "group_by_counts",
     "group_by_location",
     "load_knowledge_base",
     "location_of",

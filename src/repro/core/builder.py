@@ -29,14 +29,15 @@ performance model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import NotBuiltError, UnknownWindowError, ValidationError
 from repro.common.executors import ExecutorConfig, run_ordered
+from repro.common.gcscope import paused_gc
 from repro.common.timing import PhaseTimer, stopwatch
 from repro.core.archive import TarArchive
-from repro.core.locations import group_by_location
+from repro.core.locations import group_by_counts
 from repro.core.regions import ParameterSetting, WindowSlice
 from repro.data.items import ItemId
 from repro.data.periods import PeriodSpec
@@ -232,25 +233,32 @@ class TaraBuilder:
         mining runs in a worker pool and the results are merged back in
         window order; the produced knowledge base is identical either
         way (see the module docstring).
+
+        The whole incorporation runs under :func:`paused_gc`: everything
+        the build allocates is retained in the knowledge base, so
+        young-generation scans during the bulk phase are pure overhead.
         """
-        if not self.config.executor.is_parallel or len(batches) == 0:
-            return [self.add_window(knowledge_base, batch) for batch in batches]
-        tasks = [
-            WindowTask(
-                transactions=tuple(batch),
-                miner=self.config.miner,
-                min_support=self.config.min_support,
-                min_confidence=self.config.min_confidence,
-                max_itemset_size=self.config.max_itemset_size,
+        with paused_gc():
+            if not self.config.executor.is_parallel or len(batches) == 0:
+                return [self.add_window(knowledge_base, batch) for batch in batches]
+            tasks = [
+                WindowTask(
+                    transactions=tuple(batch),
+                    miner=self.config.miner,
+                    min_support=self.config.min_support,
+                    min_confidence=self.config.min_confidence,
+                    max_itemset_size=self.config.max_itemset_size,
+                )
+                for batch in batches
+            ]
+            with stopwatch() as pool_clock:
+                mined = run_ordered(mine_window_task, tasks, self.config.executor)
+            knowledge_base.timer.add(
+                PHASE_WORKERS, pool_clock.seconds, informational=True
             )
-            for batch in batches
-        ]
-        with stopwatch() as pool_clock:
-            mined = run_ordered(mine_window_task, tasks, self.config.executor)
-        knowledge_base.timer.add(
-            PHASE_WORKERS, pool_clock.seconds, informational=True
-        )
-        return [self.merge_mined_window(knowledge_base, result) for result in mined]
+            return [
+                self.merge_mined_window(knowledge_base, result) for result in mined
+            ]
 
     def add_window(
         self,
@@ -261,26 +269,28 @@ class TaraBuilder:
 
         Mines, derives, archives and indexes the batch; returns the new
         EPS slice.  Used both by :meth:`build` and by the incremental
-        builder when a fresh batch arrives.
+        builder when a fresh batch arrives.  Runs under
+        :func:`paused_gc` (see :meth:`add_windows`).
         """
         config = self.config
         timer = knowledge_base.timer
 
-        with timer.phase(PHASE_ITEMSETS):
-            itemsets = self._miner(
-                transactions,
-                config.min_support,
-                max_size=config.max_itemset_size,
-            )
+        with paused_gc():
+            with timer.phase(PHASE_ITEMSETS):
+                itemsets = self._miner(
+                    transactions,
+                    config.min_support,
+                    max_size=config.max_itemset_size,
+                )
 
-        with timer.phase(PHASE_RULES):
-            scored = derive_rules(
-                itemsets,
-                config.min_confidence,
-                catalog=knowledge_base.catalog,
-            )
+            with timer.phase(PHASE_RULES):
+                scored = derive_rules(
+                    itemsets,
+                    config.min_confidence,
+                    catalog=knowledge_base.catalog,
+                )
 
-        return self._index_window(knowledge_base, len(transactions), scored)
+            return self._index_window(knowledge_base, len(transactions), scored)
 
     def merge_mined_window(
         self,
@@ -299,7 +309,7 @@ class TaraBuilder:
         timer.add(PHASE_RULES, mined.rule_seconds)
         with timer.phase(PHASE_MERGE):
             scored = [
-                replace(local, rule_id=knowledge_base.catalog.intern(local.rule))
+                local._replace(rule_id=knowledge_base.catalog.intern(local.rule))
                 for local in mined.scored
             ]
             scored.sort(key=lambda s: s.rule_id)
@@ -332,10 +342,11 @@ class TaraBuilder:
             knowledge_base.archive.record(window, scored)
 
         with timer.phase(PHASE_EPS):
-            groups = group_by_location(scored)
+            groups = group_by_counts(scored)
             item_source = self._item_index_source(knowledge_base, scored)
-            window_slice = WindowSlice(
+            window_slice = WindowSlice.from_count_groups(
                 window,
+                window_size,
                 groups,
                 generation_setting=config.setting,
                 item_index_source=item_source,

@@ -10,16 +10,40 @@ Equality of parameter values must be *exact* for the space partitioning
 to be sound, so locations are keyed by rational values
 (``fractions.Fraction`` of the underlying integer counts), never by
 floats.
+
+The offline build uses the *count-native* grouping
+(:func:`group_by_counts` + :func:`count_axes`): within one window the
+window size ``n`` is fixed, so a rule's location is fully determined by
+the integer pair ``(rule_count, antecedent_count)`` — support is
+``rule_count / n`` and confidence is ``rule_count / antecedent_count``.
+Grouping by the gcd-normalized integer key gives the same exact rational
+identity as :func:`group_by_location` without constructing two
+``Fraction`` objects and a validated :class:`Location` per scored rule;
+``Fraction`` values (and their validation) are built only for the few
+distinct cut-grid coordinates.  The ``Fraction``-keyed functions remain
+the reference implementation (property-tested equivalent) and serve
+non-hot callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
+from math import gcd
 from typing import Dict, Iterable, List, Tuple
 
 from repro.common.errors import ValidationError
 from repro.mining.rules import RuleId, ScoredRule
+
+#: Count-native location key: ``(rule_count, p, q)`` where ``p/q`` is
+#: the gcd-normalized confidence ``rule_count / antecedent_count``.
+#: With the window size fixed, support identity is rule-count identity
+#: and confidence identity is normalized-pair identity, so the key is
+#: exactly Definition 9's rational location identity.  (Keying on the
+#: normalized pair rather than the raw antecedent count matters for
+#: zero-count rules: ``0/3`` and ``0/7`` are the same confidence.)
+CountLocation = Tuple[int, int, int]
 
 
 @dataclass(frozen=True, order=True)
@@ -91,3 +115,106 @@ def distinct_axes(
     supports = sorted({location.support for location in locations})
     confidences = sorted({location.confidence for location in locations})
     return supports, confidences
+
+
+@lru_cache(maxsize=1 << 16)
+def _normalized_confidence(rule_count: int, antecedent_count: int) -> Tuple[int, int]:
+    """Gcd-normalize ``rule_count / antecedent_count`` to coprime ``(p, q)``.
+
+    Cached on the *raw* pair so the per-rule cost of the count-native
+    grouping is a single cache hit; the gcd runs once per distinct pair
+    per process (the cache is bounded, shared across windows and
+    builds — normalization is a pure function of the pair).
+    """
+    divisor = gcd(rule_count, antecedent_count)
+    return rule_count // divisor, antecedent_count // divisor
+
+
+def group_by_counts(
+    scored_rules: Iterable[ScoredRule],
+) -> Dict[CountLocation, List[RuleId]]:
+    """Count-native Lemma 2 grouping: location key -> sorted rule ids.
+
+    Exactly :func:`group_by_location` under the key bijection described
+    at :data:`CountLocation` (property-tested), but allocation-free per
+    rule: one cache hit for the normalized confidence pair and one dict
+    access, no ``Fraction`` or :class:`Location` construction.
+    """
+    groups: Dict[CountLocation, List[RuleId]] = {}
+    groups_get = groups.get
+    normalized = _normalized_confidence
+    # ScoredRule is a NamedTuple; positional unpacking replaces four
+    # attribute lookups per rule in this per-scored-rule loop.
+    for rule_id, _, _, _, rule_count, antecedent_count, window_size, _ in scored_rules:
+        if window_size == 0:
+            raise ValidationError("cannot locate a rule mined from an empty window")
+        key = (rule_count, *normalized(rule_count, antecedent_count))
+        bucket = groups_get(key)
+        if bucket is None:
+            groups[key] = [rule_id]
+        else:
+            bucket.append(rule_id)
+    for rule_ids in groups.values():
+        rule_ids.sort()
+    return groups
+
+
+@lru_cache(maxsize=1 << 16)
+def _cached_fraction(numerator: int, denominator: int) -> Fraction:
+    """Memoized ``Fraction`` construction for axis values.
+
+    Consecutive windows share most of their distinct counts and
+    confidence pairs, so the cache turns repeated gcd-normalizing
+    constructions into dict hits across a build (and across builds).
+    """
+    return Fraction(numerator, denominator)
+
+
+def _pair_float(pair: Tuple[int, int]) -> float:
+    """Float sort key of a normalized confidence pair."""
+    return pair[0] / pair[1]
+
+
+def count_axes(
+    window_size: int, groups: Iterable[CountLocation]
+) -> Tuple[List[Fraction], List[Fraction], Dict[int, int], Dict[Tuple[int, int], int]]:
+    """Distinct cut-grid axes of count-native location keys, with ranks.
+
+    This is the distinct-value boundary where the exact ``Fraction``
+    representation (and its ``[0, 1]`` validation) is materialized:
+    thousands of scored rules collapse to hundreds of axis values, so
+    the per-build ``Fraction`` cost becomes negligible.  Validation runs
+    on the raw integers (``0 <= rule_count <= n``, ``0 <= p <= q``) and
+    the confidence ordering is float-keyed with an exact integer
+    cross-multiplication verification pass — the sort falls back to
+    exact ``Fraction`` comparisons only if two distinct rationals
+    collide in float space.
+
+    Returns ``(supports, confidences, support_rank, confidence_rank)``:
+    the sorted exact axes plus the rank of each distinct rule count /
+    normalized confidence pair on them — everything
+    :meth:`repro.core.regions.WindowSlice.from_count_groups` needs to
+    place rows without touching ``Fraction`` again.
+    """
+    rule_counts = sorted({key[0] for key in groups})
+    confidence_pairs = {(key[1], key[2]) for key in groups}
+    for rule_count in rule_counts:
+        if not 0 <= rule_count <= window_size:
+            raise ValidationError(
+                f"support must be in [0, 1], got {rule_count}/{window_size}"
+            )
+    for p, q in confidence_pairs:
+        if q < 1 or not 0 <= p <= q:
+            raise ValidationError(f"confidence must be in [0, 1], got {p}/{q}")
+    sorted_pairs = sorted(confidence_pairs, key=_pair_float)
+    for (p1, q1), (p2, q2) in zip(sorted_pairs, sorted_pairs[1:]):
+        if p1 * q2 > p2 * q1:
+            # Two distinct rationals tied in float space and came out in
+            # the wrong exact order; redo the sort exactly.
+            sorted_pairs.sort(key=lambda pair: Fraction(pair[0], pair[1]))
+            break
+    supports = [_cached_fraction(rule_count, window_size) for rule_count in rule_counts]
+    confidences = [_cached_fraction(p, q) for p, q in sorted_pairs]
+    support_rank = {rule_count: i for i, rule_count in enumerate(rule_counts)}
+    confidence_rank = {pair: i for i, pair in enumerate(sorted_pairs)}
+    return supports, confidences, support_rank, confidence_rank

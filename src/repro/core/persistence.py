@@ -23,9 +23,10 @@ from pathlib import Path
 from typing import Union
 
 from repro.common.errors import DataFormatError
+from repro.common.gcscope import paused_gc
 from repro.core.archive import TarArchive, _decode_series, _encode_series
 from repro.core.builder import GenerationConfig, TaraKnowledgeBase
-from repro.core.locations import group_by_location
+from repro.core.locations import group_by_counts
 from repro.core.regions import WindowSlice
 from repro.common.timing import PhaseTimer
 from repro.mining.rules import Rule, RuleCatalog, ScoredRule
@@ -150,24 +151,28 @@ def load_knowledge_base(path: Union[str, Path]) -> TaraKnowledgeBase:
     knowledge_base = TaraKnowledgeBase(
         config=config, catalog=catalog, archive=archive, timer=PhaseTimer()
     )
-    for window, (size, bound) in enumerate(zip(window_sizes, bounds)):
-        archive.begin_window(size, bound)
-        scored = sorted(per_window_scored[window], key=lambda s: s.rule_id)
-        archive.record(window, scored)
-        item_source = (
-            {s.rule_id: s.rule.items for s in scored}
-            if config.build_item_index
-            else None
-        )
-        knowledge_base.slices.append(
-            WindowSlice(
-                window,
-                group_by_location(scored),
-                generation_setting=config.setting,
-                item_index_source=item_source,
+    # Bulk rebuild: every allocation below is retained, so pause the
+    # cyclic collector exactly as the builder does.
+    with paused_gc():
+        for window, (size, bound) in enumerate(zip(window_sizes, bounds)):
+            archive.begin_window(size, bound)
+            scored = sorted(per_window_scored[window], key=lambda s: s.rule_id)
+            archive.record(window, scored)
+            item_source = (
+                {s.rule_id: s.rule.items for s in scored}
+                if config.build_item_index
+                else None
             )
-        )
-        knowledge_base.rules_in_window.append(rules_in_window[window])
-        knowledge_base.window_sizes.append(size)
+            knowledge_base.slices.append(
+                WindowSlice.from_count_groups(
+                    window,
+                    size,
+                    group_by_counts(scored),
+                    generation_setting=config.setting,
+                    item_index_source=item_source,
+                )
+            )
+            knowledge_base.rules_in_window.append(rules_in_window[window])
+            knowledge_base.window_sizes.append(size)
     archive.seal()
     return knowledge_base

@@ -30,9 +30,48 @@ from fractions import Fraction
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import QueryError, ValidationError
-from repro.core.locations import Location, distinct_axes
+from repro.core.locations import CountLocation, Location, count_axes, distinct_axes
 from repro.data.items import ItemId
 from repro.mining.rules import RuleId
+
+#: Query values whose float-axis bisection is trusted without an exact
+#: check: if the query is at least this far (in float space) from both
+#: neighboring axis values, the float answer provably equals the exact
+#: one.  The margin dominates the two error sources by orders of
+#: magnitude — ``limit_denominator(10**12)`` moves a query by at most
+#: ~1e-12 and rounding an axis value to float by at most ~1.2e-16 (axes
+#: live in [0, 1]) — so only genuine boundary hits pay the ``Fraction``
+#: construction.
+_EXACT_CHECK_MARGIN = 1e-9
+
+#: Denominator cap turning a float query value into an exact rational;
+#: shared by every query-side conversion so the same float always maps
+#: to the same rational.
+_QUERY_DENOMINATOR_CAP = 10**12
+
+
+def _query_fraction(value: float) -> Fraction:
+    """The exact rational a float query value stands for."""
+    return Fraction(value).limit_denominator(_QUERY_DENOMINATOR_CAP)
+
+
+def _axis_rank(axis: Sequence[Fraction], axis_float: Sequence[float], value: float) -> int:
+    """``bisect_left(axis, _query_fraction(value))`` without the Fraction.
+
+    Bisects the precomputed float image of the axis and only falls back
+    to the exact rational comparison when *value* lands within
+    :data:`_EXACT_CHECK_MARGIN` of a neighboring axis value.  Soundness:
+    if both neighbors are farther than the margin, the exact axis values
+    (within ~1.2e-16 of their float images) and the query's rational
+    (within ~1e-12 of *value*) are strictly ordered the same way as
+    their float counterparts, so the two bisections agree.
+    """
+    rank = bisect_left(axis_float, value)
+    if rank < len(axis_float) and axis_float[rank] - value < _EXACT_CHECK_MARGIN:
+        return bisect_left(axis, _query_fraction(value))
+    if rank > 0 and value - axis_float[rank - 1] < _EXACT_CHECK_MARGIN:
+        return bisect_left(axis, _query_fraction(value))
+    return rank
 
 
 @dataclass(frozen=True)
@@ -77,8 +116,8 @@ class StableRegion:
 
     def contains(self, setting: ParameterSetting) -> bool:
         """True if *setting* falls inside this region's half-open box."""
-        supp = Fraction(setting.min_support).limit_denominator(10**12)
-        conf = Fraction(setting.min_confidence).limit_denominator(10**12)
+        supp = _query_fraction(setting.min_support)
+        conf = _query_fraction(setting.min_confidence)
         supp_ok = supp > self.support_floor and (
             self.cut is None or supp <= self.cut.support
         )
@@ -103,6 +142,21 @@ class WindowSlice:
             are rejected.
     """
 
+    window: int
+    generation_setting: ParameterSetting
+    location_count: int
+    supports: List[Fraction]
+    confidences: List[Fraction]
+    _supports_float: List[float]
+    _confidences_float: List[float]
+    _generation_support: Fraction
+    _generation_confidence: Fraction
+    _rows: List[List[Tuple[int, Tuple[RuleId, ...]]]]
+    _rule_count: int
+    _region_rulesets: Dict[Tuple[int, int], Tuple[RuleId, ...]]
+    _row_maps_cache: Optional[List[Dict[int, Tuple[RuleId, ...]]]]
+    _item_index: Optional[List[List[Tuple[int, Dict[ItemId, Tuple[RuleId, ...]]]]]]
+
     def __init__(
         self,
         window: int,
@@ -111,24 +165,86 @@ class WindowSlice:
         generation_setting: ParameterSetting,
         item_index_source: Optional[Dict[RuleId, Sequence[ItemId]]] = None,
     ) -> None:
+        supports, confidences = distinct_axes(groups)
+        support_rank = {value: i for i, value in enumerate(supports)}
+        confidence_rank = {value: i for i, value in enumerate(confidences)}
+        entries = [
+            (
+                support_rank[location.support],
+                confidence_rank[location.confidence],
+                tuple(rule_ids),
+            )
+            for location, rule_ids in groups.items()
+        ]
+        self._setup(
+            window, generation_setting, supports, confidences, entries,
+            item_index_source,
+        )
+
+    @classmethod
+    def from_count_groups(
+        cls,
+        window: int,
+        window_size: int,
+        groups: Dict[CountLocation, List[RuleId]],
+        *,
+        generation_setting: ParameterSetting,
+        item_index_source: Optional[Dict[RuleId, Sequence[ItemId]]] = None,
+    ) -> "WindowSlice":
+        """Build a slice from the count-native Lemma 2 grouping.
+
+        The hot offline path: axes (and their validation) come from
+        :func:`repro.core.locations.count_axes` at the distinct-value
+        boundary, and rows are placed by integer rank without ever
+        constructing a ``Fraction`` or ``Location`` per scored rule.
+        Produces a slice bit-identical to ``WindowSlice(window,
+        group_by_location(scored), ...)`` — the cross-miner fingerprint
+        gate of ``repro bench`` covers exactly this equality.
+        """
+        supports, confidences, support_rank, confidence_rank = count_axes(
+            window_size, groups
+        )
+        entries = [
+            (support_rank[rule_count], confidence_rank[(p, q)], tuple(rule_ids))
+            for (rule_count, p, q), rule_ids in groups.items()
+        ]
+        window_slice = cls.__new__(cls)
+        window_slice._setup(
+            window, generation_setting, supports, confidences, entries,
+            item_index_source,
+        )
+        return window_slice
+
+    def _setup(
+        self,
+        window: int,
+        generation_setting: ParameterSetting,
+        supports: List[Fraction],
+        confidences: List[Fraction],
+        entries: List[Tuple[int, int, Tuple[RuleId, ...]]],
+        item_index_source: Optional[Dict[RuleId, Sequence[ItemId]]],
+    ) -> None:
+        """Shared constructor core: place ``(si, ci, rule_ids)`` entries."""
         self.window = window
         self.generation_setting = generation_setting
-        self.location_count = len(groups)
-        self.supports: List[Fraction]
-        self.confidences: List[Fraction]
-        self.supports, self.confidences = distinct_axes(groups)
-        self._support_rank = {value: i for i, value in enumerate(self.supports)}
-        self._confidence_rank = {value: i for i, value in enumerate(self.confidences)}
+        self.location_count = len(entries)
+        self.supports = supports
+        self.confidences = confidences
+        # Float images of the exact axes: the bisection in _cut_ranks
+        # runs on these, with the exact values only consulted at
+        # boundary hits (see _axis_rank).
+        self._supports_float = [float(value) for value in supports]
+        self._confidences_float = [float(value) for value in confidences]
+        self._generation_support = _query_fraction(generation_setting.min_support)
+        self._generation_confidence = _query_fraction(
+            generation_setting.min_confidence
+        )
 
         # rows[si] = sorted list of (confidence rank, rule-id tuple)
-        self._rows: List[List[Tuple[int, Tuple[RuleId, ...]]]] = [
-            [] for _ in self.supports
-        ]
+        self._rows = [[] for _ in supports]
         self._rule_count = 0
-        for location, rule_ids in groups.items():
-            si = self._support_rank[location.support]
-            ci = self._confidence_rank[location.confidence]
-            self._rows[si].append((ci, tuple(rule_ids)))
+        for si, ci, rule_ids in entries:
+            self._rows[si].append((ci, rule_ids))
             self._rule_count += len(rule_ids)
         for row in self._rows:
             row.sort()
@@ -136,19 +252,18 @@ class WindowSlice:
         # Per-region ruleset memo: cut ranks -> sorted rule-id tuple.
         # Every setting inside one stable region shares the entry (the
         # paper's equivalence), so repeated queries cost one dict hit.
-        self._region_rulesets: Dict[Tuple[int, int], Tuple[RuleId, ...]] = {}
+        self._region_rulesets = {}
+        self._row_maps_cache = None
 
         # TARA-S: per-location inverted item index.
-        self._item_index: Optional[
-            List[List[Tuple[int, Dict[ItemId, Tuple[RuleId, ...]]]]]
-        ] = None
+        self._item_index = None
         if item_index_source is not None:
             self._item_index = []
             for row in self._rows:
                 indexed_row: List[Tuple[int, Dict[ItemId, Tuple[RuleId, ...]]]] = []
-                for ci, rule_ids in row:
+                for ci, row_rule_ids in row:
                     inverted: Dict[ItemId, List[RuleId]] = {}
-                    for rule_id in rule_ids:
+                    for rule_id in row_rule_ids:
                         for item in item_index_source[rule_id]:
                             inverted.setdefault(item, []).append(rule_id)
                     indexed_row.append(
@@ -182,11 +297,20 @@ class WindowSlice:
     # region identification
     # ------------------------------------------------------------------
     def _cut_ranks(self, setting: ParameterSetting) -> Tuple[int, int]:
-        """Grid ranks of the setting's cut location (may be one past end)."""
+        """Grid ranks of the setting's cut location (may be one past end).
+
+        Float bisection over the precomputed axis images; the exact
+        rational comparison (two ``Fraction`` constructions in the old
+        implementation, on *every* query) now only runs when the setting
+        lands within :data:`_EXACT_CHECK_MARGIN` of an axis value.
+        """
         self._check_setting(setting)
-        supp = Fraction(setting.min_support).limit_denominator(10**12)
-        conf = Fraction(setting.min_confidence).limit_denominator(10**12)
-        return bisect_left(self.supports, supp), bisect_left(self.confidences, conf)
+        return (
+            _axis_rank(self.supports, self._supports_float, setting.min_support),
+            _axis_rank(
+                self.confidences, self._confidences_float, setting.min_confidence
+            ),
+        )
 
     def _check_setting(self, setting: ParameterSetting) -> None:
         gen = self.generation_setting
@@ -232,14 +356,26 @@ class WindowSlice:
         distinct values (or the generation thresholds).
         """
         si, ci = self._cut_ranks(setting)
-        gen_supp = Fraction(self.generation_setting.min_support).limit_denominator(
-            10**12
+        return self.region_at_ranks(si, ci)
+
+    def region_at_ranks(self, si: int, ci: int) -> StableRegion:
+        """The stable region with cut ranks ``(si, ci)``, rank-natively.
+
+        Ranks one past the end of an axis denote the empty region above
+        every location; anything outside ``[0, len(axis)]`` is rejected.
+        This is :meth:`region_for` with the float-to-rank resolution
+        already done — neighbor enumeration uses it directly instead of
+        round-tripping axis values through float probe settings.
+        """
+        if not 0 <= si <= len(self.supports) or not 0 <= ci <= len(self.confidences):
+            raise QueryError(
+                f"cut ranks ({si}, {ci}) outside the {len(self.supports)} x "
+                f"{len(self.confidences)} cut grid of window {self.window}"
+            )
+        support_floor = self.supports[si - 1] if si > 0 else self._generation_support
+        confidence_floor = (
+            self.confidences[ci - 1] if ci > 0 else self._generation_confidence
         )
-        gen_conf = Fraction(
-            self.generation_setting.min_confidence
-        ).limit_denominator(10**12)
-        support_floor = self.supports[si - 1] if si > 0 else gen_supp
-        confidence_floor = self.confidences[ci - 1] if ci > 0 else gen_conf
         if si >= len(self.supports) or ci >= len(self.confidences):
             return StableRegion(
                 window=self.window,
@@ -307,7 +443,7 @@ class WindowSlice:
 
     def _row_maps(self) -> List[Dict[int, Tuple[RuleId, ...]]]:
         """Cached dict view of each row (confidence rank -> rule ids)."""
-        cached = getattr(self, "_row_maps_cache", None)
+        cached = self._row_maps_cache
         if cached is None:
             cached = [dict(row) for row in self._rows]
             self._row_maps_cache = cached
@@ -384,38 +520,17 @@ class WindowSlice:
         """
         si, ci = self._cut_ranks(setting)
         neighbors: Dict[str, StableRegion] = {}
-
-        def region_at(new_si: int, new_ci: int) -> Optional[StableRegion]:
-            if new_si < 0 or new_ci < 0:
-                return None
-            supp = (
-                float(self.supports[new_si])
-                if new_si < len(self.supports)
-                else float(self.supports[-1]) + 1e-9 if self.supports else None
-            )
-            conf = (
-                float(self.confidences[new_ci])
-                if new_ci < len(self.confidences)
-                else float(self.confidences[-1]) + 1e-9 if self.confidences else None
-            )
-            if supp is None or conf is None:
-                return None
-            probe = ParameterSetting(min(supp, 1.0), min(conf, 1.0))
-            try:
-                return self.region_for(probe)
-            except QueryError:
-                return None
-
-        looser_supp = region_at(si - 1, ci)
-        if looser_supp is not None and si > 0:
-            neighbors["looser_support"] = looser_supp
-        tighter_supp = region_at(si + 1, ci)
-        if tighter_supp is not None and si + 1 <= len(self.supports):
-            neighbors["tighter_support"] = tighter_supp
-        looser_conf = region_at(si, ci - 1)
-        if looser_conf is not None and ci > 0:
-            neighbors["looser_confidence"] = looser_conf
-        tighter_conf = region_at(si, ci + 1)
-        if tighter_conf is not None and ci + 1 <= len(self.confidences):
-            neighbors["tighter_confidence"] = tighter_conf
+        # Rank-native: step directly on the cut grid.  The previous
+        # implementation round-tripped exact axis values through float
+        # probe settings (with a +1e-9 nudge past the last value), which
+        # could resolve to the wrong region when adjacent axis values
+        # collide under float rounding.
+        if si > 0:
+            neighbors["looser_support"] = self.region_at_ranks(si - 1, ci)
+        if si + 1 <= len(self.supports):
+            neighbors["tighter_support"] = self.region_at_ranks(si + 1, ci)
+        if ci > 0:
+            neighbors["looser_confidence"] = self.region_at_ranks(si, ci - 1)
+        if ci + 1 <= len(self.confidences):
+            neighbors["tighter_confidence"] = self.region_at_ranks(si, ci + 1)
         return neighbors

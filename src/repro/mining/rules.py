@@ -13,12 +13,35 @@ frequent itemset, consequents grow level-wise and a consequent is pruned
 as soon as its confidence drops below threshold, which is sound because
 moving items from the antecedent to the consequent can only lower
 confidence.
+
+The derivation loop is count-native: for every itemset the catalog
+memoizes a *split plan* — the full level/lex enumeration of consequent
+candidates with their precomputed antecedents and immediate-subset
+dependencies — so an itemset re-appearing in a later window replays the
+plan against that window's counts instead of re-running ap-genrules
+(no per-window ``set``/``tuple`` rebuilding, no apriori-gen joins).
+Rules are interned by tuple key; the :class:`Rule` object is
+constructed and validated once, on first intern, and the catalog's
+canonical instance is reused for every later window.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from itertools import combinations
+from operator import itemgetter
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 from repro.common.errors import UnknownRuleError, ValidationError
 from repro.common.validation import check_fraction
@@ -38,7 +61,7 @@ class Rule:
     def __post_init__(self) -> None:
         if not self.antecedent or not self.consequent:
             raise ValidationError("rule sides must be non-empty")
-        if set(self.antecedent) & set(self.consequent):
+        if not set(self.antecedent).isdisjoint(self.consequent):
             raise ValidationError(
                 f"rule sides overlap: {self.antecedent} ⇒ {self.consequent}"
             )
@@ -59,13 +82,18 @@ class Rule:
         return f"{side(self.antecedent)} => {side(self.consequent)}"
 
 
-@dataclass(frozen=True)
-class ScoredRule:
+class ScoredRule(NamedTuple):
     """A rule with the parameter values measured in one window.
 
     Carries the raw counts (rule itemset, antecedent, consequent,
     window size) so every registered measure — not just support and
     confidence — is reconstructible downstream.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the offline build
+    creates one instance per scored rule per window (tens of thousands
+    per build), and tuple construction is several times cheaper than a
+    frozen dataclass ``__init__`` while keeping the same immutability
+    and field access.
     """
 
     rule_id: RuleId
@@ -86,17 +114,123 @@ class ScoredRule:
         return self.rule_count * self.window_size / denominator
 
 
+#: One ap-genrules candidate of an itemset's memoized derivation plan:
+#: the 4-slot list ``[antecedent, consequent, dependencies, interned]``.
+#: ``dependencies`` holds the previous-level positions of the
+#: consequent's immediate subsets (all of which must have survived for
+#: the candidate to be considered); ``interned`` starts as ``None`` and
+#: caches the ``(rule_id, Rule)`` pair once the split first passes the
+#: confidence threshold, so a replay in a later window touches no
+#: interning dict at all.  A plain list rather than a slotted class:
+#: plans materialize one entry per consequent subset per distinct
+#: itemset, and a list literal plus a one-step unpack in the replay
+#: loop beats a Python-level ``__init__`` and four attribute loads.
+PlannedSplit = List[Any]
+SplitPlan = List[List[PlannedSplit]]
+_SplitTemplate = Tuple[
+    Tuple[Tuple[Callable[[Itemset], Itemset], Callable[[Itemset], Itemset], Tuple[int, ...]], ...],
+    ...,
+]
+
+#: Itemsets larger than this fall back to the plan-free derivation path:
+#: a plan enumerates all 2^k consequent subsets, which the confidence
+#: pruning of the direct search usually never visits for deep itemsets.
+PLAN_SIZE_CAP = 12
+
+
+def _tuple_getter(indices: Tuple[int, ...]) -> Callable[[Itemset], Itemset]:
+    """A callable extracting *indices* from an itemset as a tuple.
+
+    ``operator.itemgetter`` is the C-speed path but returns a bare item
+    for a single index, so size-1 sides get a dedicated closure.
+    """
+    if len(indices) == 1:
+        index = indices[0]
+        return lambda items: (items[index],)
+    getter = itemgetter(*indices)
+    return cast("Callable[[Itemset], Itemset]", getter)
+
+
+# Split templates are a function of itemset *size* alone: positions of
+# each consequent's items, positions of the complementary antecedent,
+# and the previous-level dependency slots.  One template per size serves
+# every itemset of that size, so the per-itemset plan materialization is
+# a row of itemgetter calls.
+_SPLIT_TEMPLATES: Dict[int, _SplitTemplate] = {}
+
+
+def _split_template(size: int) -> _SplitTemplate:
+    template = _SPLIT_TEMPLATES.get(size)
+    if template is not None:
+        return template
+    levels: List[Tuple[Tuple[Callable[[Itemset], Itemset], Callable[[Itemset], Itemset], Tuple[int, ...]], ...]] = []
+    previous_positions: Dict[Tuple[int, ...], int] = {}
+    for level in range(1, size):
+        entries: List[
+            Tuple[Callable[[Itemset], Itemset], Callable[[Itemset], Itemset], Tuple[int, ...]]
+        ] = []
+        positions: Dict[Tuple[int, ...], int] = {}
+        for position, chosen in enumerate(combinations(range(size), level)):
+            chosen_set = set(chosen)
+            antecedent_indices = tuple(
+                i for i in range(size) if i not in chosen_set
+            )
+            dependencies = (
+                tuple(
+                    previous_positions[chosen[:drop] + chosen[drop + 1 :]]
+                    for drop in range(level)
+                )
+                if level > 1
+                else ()
+            )
+            positions[chosen] = position
+            entries.append(
+                (_tuple_getter(antecedent_indices), _tuple_getter(chosen), dependencies)
+            )
+        levels.append(tuple(entries))
+        previous_positions = positions
+    template = tuple(levels)
+    _SPLIT_TEMPLATES[size] = template
+    return template
+
+
+def _build_split_plan(itemset: Itemset) -> SplitPlan:
+    """Materialize the ap-genrules enumeration structure of one itemset.
+
+    Level ``l`` lists every ``l``-item consequent in lexicographic
+    order — exactly the order the level-wise search visits candidates
+    in — with its antecedent and the previous-level positions of its
+    immediate subsets.  Replaying the plan with per-window counts
+    reproduces ap-genrules bit-for-bit: a candidate is *considered* iff
+    all its immediate subsets survived (the apriori-gen join + subset
+    check), and *survives* iff it is considered and meets the
+    confidence threshold.
+    """
+    return [
+        [
+            [antecedent_of(itemset), consequent_of(itemset), dependencies, None]
+            for antecedent_of, consequent_of, dependencies in level
+        ]
+        for level in _split_template(len(itemset))
+    ]
+
+
 class RuleCatalog:
     """Interning table assigning a dense id to each distinct rule.
 
     Shared by all windows of one knowledge base: a rule keeps its id for
     its entire lifetime across the evolving dataset, which is what lets
-    the archive store one compact series per rule.
+    the archive store one compact series per rule.  It also owns the
+    derivation memo (:meth:`split_plan`): plans are a property of the
+    itemset alone, so sharing the catalog across windows lets every
+    re-appearance of an itemset replay its plan instead of re-running
+    ap-genrules.
     """
 
     def __init__(self) -> None:
         self._rule_to_id: Dict[Tuple[Itemset, Itemset], RuleId] = {}
         self._rules: List[Rule] = []
+        self._split_plans: Dict[Itemset, SplitPlan] = {}
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -114,6 +248,38 @@ class RuleCatalog:
         self._rule_to_id[key] = rule_id
         self._rules.append(rule)
         return rule_id
+
+    def intern_parts(self, antecedent: Itemset, consequent: Itemset) -> Tuple[RuleId, Rule]:
+        """Intern by tuple key; construct the :class:`Rule` only on a miss.
+
+        The hot-path twin of :meth:`intern`: a rule re-derived in a
+        later window costs one dict hit and returns the catalog's
+        canonical (already validated) instance instead of building and
+        re-validating a fresh ``Rule``.
+        """
+        key = (antecedent, consequent)
+        existing = self._rule_to_id.get(key)
+        if existing is not None:
+            return existing, self._rules[existing]
+        rule = Rule(antecedent, consequent)
+        rule_id = len(self._rules)
+        self._rule_to_id[key] = rule_id
+        self._rules.append(rule)
+        return rule_id, rule
+
+    def split_plan(self, itemset: Itemset) -> Optional[SplitPlan]:
+        """The memoized derivation plan of *itemset* (see module docstring).
+
+        Returns ``None`` for itemsets above :data:`PLAN_SIZE_CAP`, whose
+        full subset enumeration would dwarf the pruned direct search.
+        """
+        plan = self._split_plans.get(itemset)
+        if plan is None:
+            if len(itemset) > PLAN_SIZE_CAP:
+                return None
+            plan = _build_split_plan(itemset)
+            self._split_plans[itemset] = plan
+        return plan
 
     def id_of(self, rule: Rule) -> RuleId:
         """Id of an already-interned rule; raises if never seen."""
@@ -157,6 +323,13 @@ def derive_rules(
     so subsets are looked up directly without re-canonicalizing (no
     re-sort, no fresh tuple, one hash per lookup).
 
+    The pass is fused and count-native: per itemset the catalog's
+    memoized split plan is replayed against this window's counts
+    (:meth:`RuleCatalog.split_plan`), and every surviving split interns
+    by tuple key (:meth:`RuleCatalog.intern_parts`) — a ``Rule`` is
+    constructed and validated only the first time the knowledge base
+    ever sees it.
+
     Args:
         itemsets: mined frequent itemsets with counts.
         min_confidence: fractional threshold in ``[0, 1]``.
@@ -171,50 +344,124 @@ def derive_rules(
     results: List[ScoredRule] = []
     n = itemsets.transaction_count
     counts = itemsets.counts
+    counts_get = counts.get
+    intern_parts = catalog.intern_parts
+    append = results.append
+    scored_rule = ScoredRule
 
     for itemset, itemset_count in sorted(counts.items()):
         if len(itemset) < 2:
             continue
         support = itemset_count / n if n else 0.0
-        # Level-wise consequent growth with confidence-based pruning.
-        consequents: List[Itemset] = [(item,) for item in itemset]
-        while consequents:
-            surviving: List[Itemset] = []
-            for consequent in consequents:
-                consequent_items = set(consequent)
-                antecedent = tuple(
-                    i for i in itemset if i not in consequent_items
-                )
-                if not antecedent:
-                    continue
-                antecedent_count = counts.get(antecedent, 0)
-                if antecedent_count == 0:
-                    # Cannot happen for a correct miner (downward closure)
-                    # but guard against inconsistent inputs.
-                    continue
-                confidence = itemset_count / antecedent_count
-                if confidence < min_confidence:
-                    continue
-                surviving.append(consequent)
-                rule = Rule(antecedent=antecedent, consequent=consequent)
-                rule_id = catalog.intern(rule)
-                results.append(
-                    ScoredRule(
-                        rule_id=rule_id,
-                        rule=rule,
-                        support=support,
-                        confidence=confidence,
-                        rule_count=itemset_count,
-                        antecedent_count=antecedent_count,
-                        window_size=n,
-                        consequent_count=counts.get(consequent, 0),
+        plan = catalog.split_plan(itemset)
+        if plan is None:
+            _derive_itemset_levelwise(
+                itemset, itemset_count, support, counts, n,
+                min_confidence, catalog, results,
+            )
+            continue
+        # Replay the memoized plan: same visit order, same pruning, no
+        # per-window set/tuple construction, and — after the first
+        # window that derived a split — no interning dict either.
+        alive_previous: List[bool] = []
+        for level in plan:
+            alive = [False] * len(level)
+            any_alive = False
+            for position, split in enumerate(level):
+                antecedent, consequent, dependencies, interned = split
+                for dependency in dependencies:
+                    if not alive_previous[dependency]:
+                        break
+                else:
+                    antecedent_count = counts_get(antecedent, 0)
+                    if antecedent_count == 0:
+                        # Cannot happen for a correct miner (downward
+                        # closure) but guard against inconsistent inputs.
+                        continue
+                    confidence = itemset_count / antecedent_count
+                    if confidence < min_confidence:
+                        continue
+                    alive[position] = True
+                    any_alive = True
+                    if interned is None:
+                        interned = intern_parts(antecedent, consequent)
+                        split[3] = interned
+                    rule_id, rule = interned
+                    # Positional construction: field order is pinned by
+                    # the NamedTuple definition above.
+                    append(
+                        scored_rule(
+                            rule_id,
+                            rule,
+                            support,
+                            confidence,
+                            itemset_count,
+                            antecedent_count,
+                            n,
+                            counts_get(consequent, 0),
+                        )
                     )
-                )
-            if not surviving:
+            if not any_alive:
                 break
-            consequents = _grow_consequents(surviving, len(itemset))
-    results.sort(key=lambda scored: scored.rule_id)
+            alive_previous = alive
+    # rule_id is the first ScoredRule field; itemgetter keeps the final
+    # catalog-id ordering sort entirely in C.
+    results.sort(key=itemgetter(0))
     return results
+
+
+def _derive_itemset_levelwise(
+    itemset: Itemset,
+    itemset_count: int,
+    support: float,
+    counts: Dict[Itemset, int],
+    n: int,
+    min_confidence: float,
+    catalog: RuleCatalog,
+    results: List[ScoredRule],
+) -> None:
+    """Plan-free ap-genrules for one itemset (above :data:`PLAN_SIZE_CAP`).
+
+    Level-wise consequent growth with confidence-based pruning; visits
+    candidates in the same order as a plan replay (level by level,
+    lexicographic within a level), so which path an itemset takes never
+    changes the derived rules or their catalog ids.
+    """
+    consequents: List[Itemset] = [(item,) for item in itemset]
+    while consequents:
+        surviving: List[Itemset] = []
+        for consequent in consequents:
+            consequent_items = set(consequent)
+            antecedent = tuple(
+                i for i in itemset if i not in consequent_items
+            )
+            if not antecedent:
+                continue
+            antecedent_count = counts.get(antecedent, 0)
+            if antecedent_count == 0:
+                # Cannot happen for a correct miner (downward closure)
+                # but guard against inconsistent inputs.
+                continue
+            confidence = itemset_count / antecedent_count
+            if confidence < min_confidence:
+                continue
+            surviving.append(consequent)
+            rule_id, rule = catalog.intern_parts(antecedent, consequent)
+            results.append(
+                ScoredRule(
+                    rule_id=rule_id,
+                    rule=rule,
+                    support=support,
+                    confidence=confidence,
+                    rule_count=itemset_count,
+                    antecedent_count=antecedent_count,
+                    window_size=n,
+                    consequent_count=counts.get(consequent, 0),
+                )
+            )
+        if not surviving:
+            break
+        consequents = _grow_consequents(surviving, len(itemset))
 
 
 def _grow_consequents(frequent: List[Itemset], itemset_size: int) -> List[Itemset]:

@@ -70,3 +70,74 @@ def test_cross_miner_check_skipped_without_serial_cells(monkeypatch):
     )
     assert len(results) == 2
     assert speedups == []
+
+class TestPhaseSummaryMarkdown:
+    CELLS = [
+        {
+            "dataset": "retail",
+            "miner": "vertical",
+            "strategy": "serial",
+            "wall_seconds": 1.23456,
+            "phases": {
+                "frequent itemset generation": 0.5,
+                "rule derivation": 0.25,
+                "EPS index update": 0.125,
+            },
+        },
+        {
+            "dataset": "retail",
+            "miner": "vertical",
+            "strategy": "thread",
+            "wall_seconds": 0.9,
+            "phases": {
+                "frequent itemset generation": 0.4,
+                "worker pool wall-clock": 0.3,
+            },
+        },
+    ]
+
+    def test_one_row_per_cell_one_column_per_phase(self):
+        text = offline.phase_summary_markdown(self.CELLS)
+        lines = text.splitlines()
+        header = next(line for line in lines if line.startswith("| dataset"))
+        # Union of phase names, first-seen order.
+        assert header == (
+            "| dataset | miner | strategy | wall | "
+            "frequent itemset generation | rule derivation | "
+            "EPS index update | worker pool wall-clock |"
+        )
+        rows = [line for line in lines if line.startswith("| retail")]
+        assert rows[0] == (
+            "| retail | vertical | serial | 1.2346 | "
+            "0.5000 | 0.2500 | 0.1250 | — |"
+        )
+        assert rows[1] == (
+            "| retail | vertical | thread | 0.9000 | "
+            "0.4000 | — | — | 0.3000 |"
+        )
+
+    def test_empty_results_still_render(self):
+        text = offline.phase_summary_markdown([])
+        assert text.startswith("## repro bench")
+
+    def test_summary_out_appends_markdown(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            offline, "_run_cell", _fake_cells(lambda miner, strategy: "same")
+        )
+        summary = tmp_path / "summary.md"
+        summary.write_text("existing\n", encoding="utf-8")
+        out = tmp_path / "bench.json"
+        args = __import__("argparse").Namespace(
+            quick=True,
+            datasets=["retail"],
+            out=str(out),
+            repeat=1,
+            workers=None,
+            strategies=["serial"],
+            miners=["vertical"],
+            summary_out=str(summary),
+        )
+        assert offline.run_bench(args) == 0
+        text = summary.read_text(encoding="utf-8")
+        assert text.startswith("existing\n## repro bench")
+        assert "| retail | vertical | serial |" in text

@@ -1,0 +1,230 @@
+"""Count-native EPS construction ≡ the Fraction-keyed reference path.
+
+The offline build groups locations by raw integer count pairs and
+resolves query settings through float-bisected axes
+(:func:`repro.core.locations.group_by_counts`,
+:func:`repro.core.locations.count_axes`,
+:meth:`repro.core.regions.WindowSlice.from_count_groups`,
+:func:`repro.core.regions._axis_rank`).  These properties pin the
+equivalence with the exact ``Fraction``-keyed reference implementations
+they replaced, including the adversarial boundary cases: exact axis
+hits, near-collision rationals that agree in float space, and
+generation-threshold edges.
+"""
+
+from bisect import bisect_left
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ValidationError
+from repro.core.locations import (
+    count_axes,
+    group_by_counts,
+    group_by_location,
+    location_of,
+)
+from repro.core.regions import ParameterSetting, WindowSlice, _axis_rank
+from repro.mining.rules import Rule, ScoredRule
+
+RULE = Rule((1,), (2,))
+
+
+def scored(rule_id, rule_count, antecedent_count, window_size):
+    return ScoredRule(
+        rule_id=rule_id,
+        rule=RULE,
+        support=rule_count / window_size,
+        confidence=rule_count / antecedent_count,
+        rule_count=rule_count,
+        antecedent_count=antecedent_count,
+        window_size=window_size,
+    )
+
+
+@st.composite
+def scored_window(draw):
+    """A window of random scored rules sharing one window size."""
+    window_size = draw(st.integers(min_value=1, max_value=400))
+    count_pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=window_size),
+                st.integers(min_value=1, max_value=window_size),
+            ).filter(lambda pair: pair[0] <= pair[1]),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    return [
+        scored(rule_id, rule_count, antecedent_count, window_size)
+        for rule_id, (rule_count, antecedent_count) in enumerate(count_pairs)
+    ]
+
+
+class TestGroupingEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(scored_window())
+    def test_count_grouping_matches_fraction_grouping(self, rules):
+        """Property (a): integer count-pair grouping ≡ group_by_location."""
+        by_location = group_by_location(rules)
+        by_counts = group_by_counts(rules)
+        assert len(by_counts) == len(by_location)
+        if rules:
+            window_size = rules[0].window_size
+            translated = {
+                (Fraction(rule_count, window_size), Fraction(p, q)): rule_ids
+                for (rule_count, p, q), rule_ids in by_counts.items()
+            }
+            assert translated == {
+                (location.support, location.confidence): rule_ids
+                for location, rule_ids in by_location.items()
+            }
+
+    @settings(max_examples=100, deadline=None)
+    @given(scored_window())
+    def test_count_native_slice_equals_reference_slice(self, rules):
+        """The hot-path constructor produces an identical WindowSlice."""
+        setting = ParameterSetting(0.0, 0.0)
+        reference = WindowSlice(
+            3, group_by_location(rules), generation_setting=setting
+        )
+        window_size = rules[0].window_size if rules else 1
+        native = WindowSlice.from_count_groups(
+            3, window_size, group_by_counts(rules), generation_setting=setting
+        )
+        assert native.supports == reference.supports
+        assert native.confidences == reference.confidences
+        assert native.location_count == reference.location_count
+        assert native.rule_count == reference.rule_count
+        assert sorted(native.locations()) == sorted(reference.locations())
+
+    def test_zero_count_rules_share_one_confidence(self):
+        """0/3 and 0/7 are the same exact confidence (key normalizes)."""
+        rules = [
+            scored(0, rule_count=0, antecedent_count=3, window_size=10),
+            scored(1, rule_count=0, antecedent_count=7, window_size=10),
+        ]
+        assert group_by_counts(rules) == {(0, 0, 1): [0, 1]}
+        assert len(group_by_location(rules)) == 1
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValidationError):
+            group_by_counts(
+                [ScoredRule(0, RULE, 0.0, 0.0, 0, 1, 0)]
+            )
+        with pytest.raises(ValidationError):
+            location_of(ScoredRule(0, RULE, 0.0, 0.0, 0, 1, 0))
+
+    def test_out_of_range_counts_rejected_at_axis_boundary(self):
+        with pytest.raises(ValidationError):
+            count_axes(5, {(7, 7, 10)})  # support 7/5 > 1
+        with pytest.raises(ValidationError):
+            count_axes(5, {(2, 3, 2)})  # confidence 3/2 > 1
+
+
+class TestCountAxes:
+    @settings(max_examples=200, deadline=None)
+    @given(scored_window())
+    def test_axes_and_ranks_match_reference(self, rules):
+        """count_axes reproduces distinct_axes order with correct ranks."""
+        groups = group_by_counts(rules)
+        window_size = rules[0].window_size if rules else 1
+        supports, confidences, support_rank, confidence_rank = count_axes(
+            window_size, groups
+        )
+        locations = [location_of(s) for s in rules]
+        assert supports == sorted({loc.support for loc in locations})
+        assert confidences == sorted({loc.confidence for loc in locations})
+        for rule_count, rank in support_rank.items():
+            assert supports[rank] == Fraction(rule_count, window_size)
+        for (p, q), rank in confidence_rank.items():
+            assert confidences[rank] == Fraction(p, q)
+
+    def test_near_collision_rationals_stay_distinct(self):
+        """Pairs that collide in float space keep their exact order."""
+        # 1/3 and 333333333333/10**12 round to the same float but are
+        # distinct rationals; 333333333333/10**12 < 1/3 exactly.
+        groups = {
+            (1, 1, 3),
+            (2, 333333333333, 10**12),
+            (3, 333333333334, 10**12),
+        }
+        _, confidences, _, confidence_rank = count_axes(10, groups)
+        assert confidences == sorted(confidences)
+        assert len(confidences) == 3
+        assert confidence_rank[(333333333333, 10**12)] == 0
+        assert confidence_rank[(1, 3)] == 1
+        assert confidence_rank[(333333333334, 10**12)] == 2
+
+
+def reference_rank(axis, value):
+    """The old Fraction-based rank: the exact semantics _axis_rank keeps."""
+    return bisect_left(axis, Fraction(value).limit_denominator(10**12))
+
+
+axis_fraction = st.fractions(
+    min_value=0, max_value=1, max_denominator=10**13
+)
+
+
+class TestAxisRank:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        st.lists(axis_fraction, min_size=0, max_size=40, unique=True),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_random_queries_match_fraction_bisect(self, values, query):
+        """Property (b): float-bisect rank ≡ old Fraction-based rank."""
+        axis = sorted(values)
+        axis_float = [float(v) for v in axis]
+        assert _axis_rank(axis, axis_float, query) == reference_rank(axis, query)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(axis_fraction, min_size=1, max_size=40, unique=True), st.data())
+    def test_exact_boundary_hits(self, values, data):
+        """Queries sitting exactly on a float axis value resolve exactly."""
+        axis = sorted(values)
+        axis_float = [float(v) for v in axis]
+        query = data.draw(st.sampled_from(axis_float))
+        assert _axis_rank(axis, axis_float, query) == reference_rank(axis, query)
+
+    def test_near_collision_axis_values(self):
+        """Adjacent rationals closer than float resolution still rank right."""
+        axis = sorted(
+            [
+                Fraction(333333333333, 10**12),
+                Fraction(1, 3),
+                Fraction(333333333334, 10**12),
+            ]
+        )
+        axis_float = [float(v) for v in axis]
+        for query in (1 / 3, 0.333333333333, 0.333333333334, 0.0, 1.0):
+            assert _axis_rank(axis, axis_float, query) == reference_rank(
+                axis, query
+            )
+
+    def test_generation_threshold_edges(self):
+        """Queries at/just past the generation thresholds stay consistent."""
+        axis = [Fraction(1, 100), Fraction(3, 100), Fraction(30, 100)]
+        axis_float = [float(v) for v in axis]
+        for query in (0.01, 0.3, 0.010000000000000002, 0.29999999999999993):
+            assert _axis_rank(axis, axis_float, query) == reference_rank(
+                axis, query
+            )
+
+    @settings(max_examples=200, deadline=None)
+    @given(scored_window(), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_cut_ranks_match_old_semantics_end_to_end(self, rules, supp, conf):
+        """WindowSlice._cut_ranks ≡ the old per-query Fraction bisects."""
+        setting = ParameterSetting(0.0, 0.0)
+        window_size = rules[0].window_size if rules else 1
+        window_slice = WindowSlice.from_count_groups(
+            0, window_size, group_by_counts(rules), generation_setting=setting
+        )
+        query = ParameterSetting(supp, conf)
+        si, ci = window_slice.region_ranks(query)
+        assert si == reference_rank(window_slice.supports, supp)
+        assert ci == reference_rank(window_slice.confidences, conf)

@@ -188,6 +188,55 @@ class TestNeighborRegions:
         assert "looser_support" not in neighbors
         assert "looser_confidence" not in neighbors
 
+    def test_neighbors_step_exactly_one_rank(self):
+        """Rank-native neighbors: each direction moves one grid step."""
+        window_slice, _, _ = build_slice(TRANSACTIONS)
+        setting = ParameterSetting(0.3, 0.5)
+        si, ci = window_slice.region_ranks(setting)
+        neighbors = window_slice.neighbor_regions(setting)
+        expected = {
+            "looser_support": (si - 1, ci),
+            "tighter_support": (si + 1, ci),
+            "looser_confidence": (si, ci - 1),
+            "tighter_confidence": (si, ci + 1),
+        }
+        for direction, (nsi, nci) in expected.items():
+            assert direction in neighbors
+            assert neighbors[direction] == window_slice.region_at_ranks(nsi, nci)
+
+    def test_neighbors_resolve_float_colliding_axis_values(self):
+        """Adjacent axis values equal in float space stay distinct.
+
+        The old implementation probed neighbors by round-tripping the
+        axis value through a float setting, which cannot tell these two
+        confidences apart; the rank-native construction can.
+        """
+        groups = {
+            Location(Fraction(1, 2), Fraction(333333333333, 10**12)): [0],
+            Location(Fraction(1, 2), Fraction(1, 3)): [1],
+            Location(Fraction(3, 4), Fraction(1, 2)): [2],
+        }
+        window_slice = WindowSlice(
+            0, groups, generation_setting=ParameterSetting(0.0, 0.0)
+        )
+        setting = ParameterSetting(0.5, 0.2)
+        neighbors = window_slice.neighbor_regions(setting)
+        tighter = neighbors["tighter_confidence"]
+        assert tighter.cut is not None
+        # One rank up from confidence rank 0 is exactly 1/3, not the
+        # float-indistinguishable 333333333333/10**12 below it.
+        assert tighter.cut.confidence == Fraction(1, 3)
+        assert tighter.support_floor == Fraction(333333333333, 10**12) or (
+            tighter.confidence_floor == Fraction(333333333333, 10**12)
+        )
+
+    def test_region_at_ranks_rejects_out_of_grid(self):
+        window_slice, _, _ = build_slice(TRANSACTIONS)
+        with pytest.raises(QueryError, match="cut ranks"):
+            window_slice.region_at_ranks(-1, 0)
+        with pytest.raises(QueryError, match="cut ranks"):
+            window_slice.region_at_ranks(0, len(window_slice.confidences) + 1)
+
 
 class TestItemIndex:
     def test_content_query_filters_by_item(self):

@@ -158,3 +158,67 @@ class TestDeriveRules:
         )
         derived = {(s.rule.antecedent, s.rule.consequent) for s in scored}
         assert derived == brute_force_rules(transactions, min_support, min_confidence)
+
+
+class TestSplitPlanMemo:
+    """The catalog-level derivation memo replays ap-genrules exactly."""
+
+    TRANSACTIONS = [
+        (1, 2, 3, 4),
+        (1, 2, 3),
+        (1, 2, 4),
+        (2, 3, 4),
+        (1, 3),
+        (1, 2, 3, 4),
+    ]
+
+    def test_replay_windows_bit_identical_to_fresh_catalogs(self):
+        """A shared catalog's plan replay = fresh ap-genrules per window."""
+        windows = [self.TRANSACTIONS, self.TRANSACTIONS[::-1], self.TRANSACTIONS[:4]]
+        shared = RuleCatalog()
+        replayed = [
+            derive_rules(mine_apriori(w, 0.2), 0.4, catalog=shared) for w in windows
+        ]
+        for window, scored in zip(windows, replayed):
+            fresh = derive_rules(mine_apriori(window, 0.2), 0.4)
+            assert [
+                (s.rule.antecedent, s.rule.consequent, s.rule_count, s.antecedent_count)
+                for s in scored
+            ] == [
+                (s.rule.antecedent, s.rule.consequent, s.rule_count, s.antecedent_count)
+                for s in fresh
+            ]
+
+    def test_interned_rules_are_canonical_objects(self):
+        """Re-deriving returns the catalog's Rule instance, not a copy."""
+        catalog = RuleCatalog()
+        first = derive_rules(mine_apriori(self.TRANSACTIONS, 0.2), 0.4, catalog=catalog)
+        second = derive_rules(
+            mine_apriori(self.TRANSACTIONS, 0.2), 0.4, catalog=catalog
+        )
+        by_id = {s.rule_id: s.rule for s in first}
+        for s in second:
+            assert s.rule is by_id[s.rule_id]
+            assert s.rule is catalog.get(s.rule_id)
+
+    def test_plan_path_equals_levelwise_fallback(self, monkeypatch):
+        """Forcing the plan-free fallback derives the identical ruleset."""
+        import repro.mining.rules as rules_module
+
+        planned = derive_rules(mine_apriori(self.TRANSACTIONS, 0.2), 0.4)
+        monkeypatch.setattr(rules_module, "PLAN_SIZE_CAP", 1)
+        fallback = derive_rules(mine_apriori(self.TRANSACTIONS, 0.2), 0.4)
+        assert planned == fallback
+
+    def test_intern_parts_validates_on_first_intern(self):
+        catalog = RuleCatalog()
+        with pytest.raises(ValidationError):
+            catalog.intern_parts((1, 2), (2, 3))
+        with pytest.raises(ValidationError):
+            catalog.intern_parts((), (1,))
+
+    def test_intern_parts_matches_intern(self):
+        catalog = RuleCatalog()
+        rule_id, rule = catalog.intern_parts((1,), (2,))
+        assert catalog.intern(Rule((1,), (2,))) == rule_id
+        assert catalog.get(rule_id) is rule
