@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple, Type
 
 from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, ProjectIndex
 from repro.analysis.suppressions import SuppressionIndex
 from repro.common.errors import ValidationError
 
@@ -96,6 +97,41 @@ class Rule(ABC):
     def rationale(self) -> str:
         """The rule's docstring — the 'why' behind the invariant."""
         return (self.__doc__ or "").strip()
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Project rules see the shared :class:`~repro.analysis.project.ProjectIndex`
+    — every module parsed once, with class attribute inventories, lock
+    declarations, and the call graph — instead of one file at a time.
+    The runner invokes :meth:`check_project` exactly once per lint run;
+    findings are still filtered through each module's suppression index
+    and the rule's :class:`RuleScope`, so the suppression and scoping
+    contracts are identical to per-file rules.
+    """
+
+    def check(self, tree: ast.Module, context: FileContext) -> Iterator[Finding]:
+        """Project rules do not run per file; the runner calls
+        :meth:`check_project` instead."""
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        """Yield findings over the whole indexed project."""
+
+    def project_finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        """Construct a finding anchored at *node* inside *module*."""
+        return Finding(
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+            fix_hint=self.fix_hint,
+        )
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

@@ -46,6 +46,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--index-cache",
+        default=None,
+        metavar="PATH",
+        help=(
+            "pickle file caching the whole-program index; reused when "
+            "the linted files are unchanged (size+mtime stamp)"
+        ),
+    )
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -58,7 +67,9 @@ def run_lint(args: argparse.Namespace) -> int:
         select = [token.strip() for token in args.select.split(",") if token.strip()]
     try:
         rules = all_rules(tuple(select) if select else None)
-        report = lint_paths(args.paths, rules)
+        report = lint_paths(
+            args.paths, rules, index_cache=getattr(args, "index_cache", None)
+        )
     except ReproError as error:
         # Usage errors (unknown rule id, missing target) exit 2 from both
         # entry points; the main CLI's generic ReproError handler would
@@ -69,6 +80,13 @@ def run_lint(args: argparse.Namespace) -> int:
         print(json.dumps(report.to_json(), indent=2))
     else:
         print(report.format_text())
+    # Crashed rules exit 3 (distinct from findings=1 and usage=2) and
+    # dump their tracebacks on stderr so CI logs show the cause even
+    # when only the JSON report is archived.
+    for crash in report.crashes:
+        print(f"rule crash: {crash.format()}", file=sys.stderr)
+        if crash.traceback:
+            print(crash.traceback, file=sys.stderr)
     return report.exit_code
 
 

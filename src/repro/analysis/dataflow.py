@@ -1,0 +1,325 @@
+"""Conservative dataflow used by the cross-module rules.
+
+Two facilities:
+
+* **Reaching definitions** (:func:`reaching_definition`) — the lexically
+  latest assignment to a name before a use, inside one function.  This
+  is deliberately flow-*insensitive* across branches (the latest prior
+  assignment wins), which is exactly conservative enough for the
+  publish rule: the canonical freeze pattern ``x = [...]; x = tuple(x)``
+  resolves to the tuple, while a bare mutable display reaching a sink
+  still resolves to the display.
+* **Mutability classification** (:func:`classify_mutability`) — a
+  three-valued verdict for an expression: provably :data:`MUTABLE`
+  (list/dict/set/bytearray displays, comprehensions, and their
+  constructor calls), :data:`IMMUTABLE` (literals, tuples and
+  frozensets of non-mutable elements, the exact-arithmetic whitelist,
+  frozen-dataclass/NamedTuple constructors), or :data:`UNKNOWN`.  Calls
+  into project functions resolve through the
+  :class:`~repro.analysis.project.ProjectIndex` call graph (bounded
+  depth, cycle-guarded): a function's verdict is the join of its
+  ``return`` expressions, where *any* provably mutable return makes the
+  call mutable — a value that *may* be a list must not reach a publish
+  sink.
+
+Only :data:`MUTABLE` verdicts produce findings; everything the
+analysis cannot prove stays :data:`UNKNOWN` and passes.  That keeps the
+rules quiet on sound-but-opaque code at the cost of missing hazards
+hidden behind dynamic dispatch — the right trade for a self-hosting
+gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.analysis.project import (
+    ClassInfo,
+    FunctionNode,
+    ModuleInfo,
+    ProjectIndex,
+)
+
+
+class Mutability(enum.Enum):
+    """Three-valued mutability verdict for an expression."""
+
+    IMMUTABLE = "immutable"
+    UNKNOWN = "unknown"
+    MUTABLE = "mutable"
+
+
+IMMUTABLE = Mutability.IMMUTABLE
+UNKNOWN = Mutability.UNKNOWN
+MUTABLE = Mutability.MUTABLE
+
+#: Constructor calls that always yield mutable containers.
+MUTABLE_CALLS: FrozenSet[str] = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+        "sorted",
+    }
+)
+
+#: Constructor/value calls on the transitively-immutable whitelist.
+IMMUTABLE_CALLS: FrozenSet[str] = frozenset(
+    {
+        "tuple",
+        "frozenset",
+        "int",
+        "float",
+        "bool",
+        "str",
+        "bytes",
+        "complex",
+        "range",
+        "len",
+        "abs",
+        "Fraction",
+        "Decimal",
+    }
+)
+
+#: Maximum call-graph depth the classifier walks from a sink.
+MAX_WALK_DEPTH = 5
+
+
+@dataclass(frozen=True)
+class EvalScope:
+    """Where an expression is being evaluated.
+
+    ``function`` provides the reaching-definition environment;
+    ``owner`` (the enclosing class, if any) resolves ``self.*`` reads
+    and ``self.method(...)`` calls; ``module`` + ``index`` resolve
+    bare-name calls through the project call graph.
+    """
+
+    index: ProjectIndex
+    module: ModuleInfo
+    function: Optional[FunctionNode] = None
+    owner: Optional[ClassInfo] = None
+
+    def for_callee(
+        self,
+        module: ModuleInfo,
+        function: FunctionNode,
+        owner: Optional[ClassInfo],
+    ) -> "EvalScope":
+        """The scope for evaluating inside a resolved callee."""
+        return EvalScope(
+            index=self.index, module=module, function=function, owner=owner
+        )
+
+
+def reaching_definition(
+    function: FunctionNode, name: str, before_line: int
+) -> Optional[ast.expr]:
+    """Latest assignment of *name* in *function* before *before_line*.
+
+    Returns the assigned value expression, or ``None`` when the name is
+    a parameter, loop target, or otherwise not plainly assigned (the
+    caller then treats it as :data:`UNKNOWN`).
+    """
+    latest: Optional[Tuple[int, ast.expr]] = None
+    for node in ast.walk(function):
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(target, ast.Name) and target.id == name
+                for target in node.targets
+            ):
+                value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == name
+                and node.value is not None
+            ):
+                value = node.value
+        elif isinstance(node, ast.NamedExpr):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                value = node.value
+        if value is None:
+            continue
+        lineno = getattr(node, "lineno", 0)
+        if lineno < before_line and (latest is None or lineno > latest[0]):
+            latest = (lineno, value)
+    return latest[1] if latest is not None else None
+
+
+def _join_any_mutable(verdicts: Tuple[Mutability, ...]) -> Mutability:
+    """Join where one possibly-flowing mutable taints the whole value."""
+    if not verdicts:
+        return UNKNOWN
+    if MUTABLE in verdicts:
+        return MUTABLE
+    if UNKNOWN in verdicts:
+        return UNKNOWN
+    return IMMUTABLE
+
+
+def _call_target_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _classify_call(
+    node: ast.Call,
+    scope: EvalScope,
+    depth: int,
+    visited: Set[int],
+) -> Mutability:
+    name = _call_target_name(node)
+    if name is None:
+        return UNKNOWN
+    if name in MUTABLE_CALLS:
+        return MUTABLE
+    if name in IMMUTABLE_CALLS:
+        # tuple()/frozenset() over an inline comprehension are only as
+        # immutable as the element expression they aggregate.
+        if (
+            name in ("tuple", "frozenset")
+            and len(node.args) == 1
+            and isinstance(node.args[0], (ast.GeneratorExp, ast.ListComp, ast.SetComp))
+        ):
+            element = node.args[0].elt
+            if classify_mutability(element, scope, depth, visited) is MUTABLE:
+                return MUTABLE
+        return IMMUTABLE
+    # A frozen-dataclass / NamedTuple constructor is immutable; other
+    # known classes are opaque (not containers — never auto-flagged).
+    target_class = scope.index.resolve_class(name)
+    if target_class is not None:
+        return IMMUTABLE if target_class.is_immutable_carrier else UNKNOWN
+    # ``self.helper(...)`` resolves into the owning class.
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+        and scope.owner is not None
+    ):
+        method = scope.owner.methods.get(name)
+        if method is not None:
+            owner_module = scope.index.modules.get(scope.owner.module)
+            if owner_module is not None:
+                return _classify_function_result(
+                    method, scope.for_callee(owner_module, method, scope.owner),
+                    depth, visited,
+                )
+        return UNKNOWN
+    if isinstance(func, ast.Name):
+        resolved = scope.index.resolve_function(scope.module, name)
+        if resolved is not None:
+            callee_module, callee = resolved
+            return _classify_function_result(
+                callee, scope.for_callee(callee_module, callee, None),
+                depth, visited,
+            )
+    return UNKNOWN
+
+
+def _classify_function_result(
+    function: FunctionNode,
+    scope: EvalScope,
+    depth: int,
+    visited: Set[int],
+) -> Mutability:
+    """Join of a callee's return expressions (cycle- and depth-guarded)."""
+    if depth >= MAX_WALK_DEPTH or id(function) in visited:
+        return UNKNOWN
+    visited = visited | {id(function)}
+    verdicts = []
+    for node in ast.walk(function):
+        if isinstance(node, ast.Return) and node.value is not None:
+            verdicts.append(
+                classify_mutability(node.value, scope, depth + 1, visited)
+            )
+    return _join_any_mutable(tuple(verdicts))
+
+
+def _classify_self_attribute(
+    attr: str, scope: EvalScope, depth: int, visited: Set[int]
+) -> Mutability:
+    """Verdict for ``self.<attr>``: mutable only if *every* assignment is."""
+    owner = scope.owner
+    if owner is None:
+        return UNKNOWN
+    values = owner.attr_values.get(attr, [])
+    if not values:
+        return UNKNOWN
+    verdicts = tuple(
+        classify_mutability(value, scope, depth, visited) for value in values
+    )
+    if all(verdict is MUTABLE for verdict in verdicts):
+        return MUTABLE
+    return UNKNOWN
+
+
+def classify_mutability(
+    node: ast.expr,
+    scope: EvalScope,
+    depth: int = 0,
+    visited: Optional[Set[int]] = None,
+) -> Mutability:
+    """Three-valued mutability verdict for *node* in *scope*."""
+    if visited is None:
+        visited = set()
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return MUTABLE
+    if isinstance(node, ast.Constant):
+        return IMMUTABLE
+    if isinstance(node, ast.Tuple):
+        return _join_any_mutable(
+            tuple(
+                classify_mutability(element, scope, depth, visited)
+                for element in node.elts
+                if not isinstance(element, ast.Starred)
+            )
+        )
+    if isinstance(node, ast.Call):
+        return _classify_call(node, scope, depth, visited)
+    if isinstance(node, ast.IfExp):
+        return _join_any_mutable(
+            (
+                classify_mutability(node.body, scope, depth, visited),
+                classify_mutability(node.orelse, scope, depth, visited),
+            )
+        )
+    if isinstance(node, ast.BoolOp):
+        return _join_any_mutable(
+            tuple(
+                classify_mutability(value, scope, depth, visited)
+                for value in node.values
+            )
+        )
+    if isinstance(node, ast.Name):
+        if scope.function is None:
+            return UNKNOWN
+        definition = reaching_definition(
+            scope.function, node.id, getattr(node, "lineno", 0)
+        )
+        if definition is None or definition is node:
+            return UNKNOWN
+        return classify_mutability(definition, scope, depth + 1, visited)
+    if isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return _classify_self_attribute(node.attr, scope, depth + 1, visited)
+        return UNKNOWN
+    if isinstance(node, ast.Starred):
+        return classify_mutability(node.value, scope, depth, visited)
+    return UNKNOWN

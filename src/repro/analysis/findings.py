@@ -45,6 +45,34 @@ class Finding:
         }
 
 
+@dataclass(frozen=True, order=True)
+class RuleCrash:
+    """One rule that raised instead of reporting findings.
+
+    A crash means the lint verdict on *path* is incomplete — CI must be
+    able to tell that apart from a finding (which is actionable) and
+    from a clean pass, so crashes drive a distinct exit code (3).
+    """
+
+    rule_id: str
+    path: str
+    error: str
+    traceback: str = ""
+
+    def format(self) -> str:
+        """One-line crash summary (the traceback prints separately)."""
+        return f"{self.path}: {self.rule_id} crashed: {self.error}"
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable mapping for the ``--format json`` mode."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "error": self.error,
+            "traceback": self.traceback,
+        }
+
+
 @dataclass(frozen=True)
 class LintReport:
     """Aggregated result of one linter run."""
@@ -52,16 +80,24 @@ class LintReport:
     findings: Tuple[Finding, ...]
     files_checked: int
     suppressed_count: int = 0
+    crashes: Tuple[RuleCrash, ...] = ()
 
     @property
     def is_clean(self) -> bool:
         """True when no finding survived suppression filtering."""
-        return not self.findings
+        return not self.findings and not self.crashes
 
     @property
     def exit_code(self) -> int:
-        """Process exit code: 0 clean, 1 findings present."""
-        return 0 if self.is_clean else 1
+        """Process exit code: 0 clean, 1 findings, 3 crashed rule(s).
+
+        A crash dominates findings: the report is *incomplete*, so CI
+        must not treat it as an ordinary red lint run (and certainly
+        not as a green one).  Exit 2 stays reserved for usage errors.
+        """
+        if self.crashes:
+            return 3
+        return 0 if not self.findings else 1
 
     def counts_by_rule(self) -> Dict[str, int]:
         """Rule id -> number of findings, sorted by rule id."""
@@ -73,6 +109,8 @@ class LintReport:
     def format_text(self) -> str:
         """Multi-line human-readable report."""
         lines: List[str] = [finding.format() for finding in self.findings]
+        for crash in self.crashes:
+            lines.append(crash.format())
         if self.findings:
             by_rule = ", ".join(
                 f"{rule}={count}" for rule, count in self.counts_by_rule().items()
@@ -81,20 +119,26 @@ class LintReport:
                 f"{len(self.findings)} finding(s) in {self.files_checked} "
                 f"file(s) ({by_rule}; {self.suppressed_count} suppressed)"
             )
-        else:
+        elif not self.crashes:
             lines.append(
                 f"clean: {self.files_checked} file(s), "
                 f"{self.suppressed_count} suppressed finding(s)"
+            )
+        if self.crashes:
+            lines.append(
+                f"{len(self.crashes)} rule crash(es) — report incomplete "
+                f"(exit 3; tracebacks on stderr)"
             )
         return "\n".join(lines)
 
     def to_json(self) -> Dict[str, object]:
         """JSON-serializable mapping of the whole report (for CI)."""
         return {
-            "version": 1,
+            "version": 2,
             "files_checked": self.files_checked,
             "suppressed": self.suppressed_count,
             "clean": self.is_clean,
             "counts": self.counts_by_rule(),
             "findings": [finding.to_json() for finding in self.findings],
+            "crashes": [crash.to_json() for crash in self.crashes],
         }

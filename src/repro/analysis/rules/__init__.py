@@ -10,15 +10,23 @@ the next free ``R0xx`` id, and document it in
 from __future__ import annotations
 
 from repro.analysis.rules.clocks import DirectClockRule
+from repro.analysis.rules.epochs import EpochDisciplineRule
 from repro.analysis.rules.exceptions import ExceptionDisciplineRule
 from repro.analysis.rules.float_equality import FloatEqualityRule
 from repro.analysis.rules.frozen_types import FrozenValueTypeRule
 from repro.analysis.rules.layering import ImportLayeringRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.picklable import ExecutorPicklabilityRule
+from repro.analysis.rules.publish import PublishImmutabilityRule
 
 __all__ = [
     "DirectClockRule",
+    "EpochDisciplineRule",
     "ExceptionDisciplineRule",
+    "ExecutorPicklabilityRule",
     "FloatEqualityRule",
     "FrozenValueTypeRule",
     "ImportLayeringRule",
+    "LockDisciplineRule",
+    "PublishImmutabilityRule",
 ]

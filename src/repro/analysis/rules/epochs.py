@@ -1,0 +1,292 @@
+"""R008 — epoch discipline: purge-only append hooks, equality-only tags.
+
+The serving layer's invalidation protocol (service docstring, point 3)
+is built on two facts about epochs:
+
+1. **Append listeners retire, they never add.**  The subscribe hook
+   fires inside :meth:`IncrementalTara.append_batch` while the builder's
+   caller still holds partially published state; a listener that inserts
+   into the cache can resurrect an entry tagged with the *previous*
+   epoch one line after the purge dropped it, and the stale answer then
+   serves forever.  Purging is idempotent and safe; inserting is not.
+
+2. **Epoch tags are identities, not a timeline.**  An entry is valid
+   iff its tag *equals* the current epoch (or is ``EPOCH_FREE``).
+   Ordering comparisons (``entry.epoch < epoch``) encode the accidental
+   fact that epochs are monotonically increasing window counts — an
+   assumption the roadmap's MVCC work breaks the moment epochs recycle
+   or fork.  Equality survives any epoch scheme; ``<`` does not.
+
+The rule therefore flags, within the serving layers:
+
+* any ordering comparison (``<``, ``<=``, ``>``, ``>=``) whose operand
+  mentions an epoch (a name or attribute containing ``epoch``);
+* any insert-like operation — a call to ``put``/``insert``/
+  ``setdefault``/``store`` or a subscript assignment — reachable from a
+  callback passed to ``subscribe(...)``, following ``self.`` method
+  calls and attribute-typed collaborators up to three hops.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.base import ProjectRule, RuleScope, register_rule
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    ClassInfo,
+    FunctionNode,
+    ModuleInfo,
+    ProjectIndex,
+)
+
+#: Method names that add an entry to a keyed container.
+INSERT_CALLS = frozenset({"put", "insert", "setdefault", "store"})
+
+#: How many self-call / collaborator hops the listener walk follows.
+MAX_HOOK_DEPTH = 3
+
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _mentions_epoch(node: ast.expr) -> bool:
+    """True when the expression names anything epoch-ish."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and "epoch" in child.id.lower():
+            return True
+        if isinstance(child, ast.Attribute) and "epoch" in child.attr.lower():
+            return True
+    return False
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@register_rule
+class EpochDisciplineRule(ProjectRule):
+    """Append hooks only purge; epoch tags compare only by equality.
+
+    Insertions inside a subscribe callback race the epoch transition
+    they run under; ordering comparisons bake in monotonic epochs the
+    MVCC roadmap retires.  Both are one-line mistakes that pass every
+    single-threaded test.
+    """
+
+    rule_id = "R008"
+    title = "epoch tags are equality-only; append hooks purge-only"
+    fix_hint = (
+        "compare epochs with ==/!= (validity is identity, not age); "
+        "move insertions out of subscribe callbacks — listeners may "
+        "only purge/retire entries"
+    )
+    scope = RuleScope(
+        include=(
+            "repro/service/",
+            "repro/core/incremental.py",
+        )
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        """Flag ordering comparisons, then walk subscribe callbacks."""
+        for module in sorted(
+            index.modules.values(), key=lambda m: m.logical_path
+        ):
+            yield from self._check_comparisons(module)
+            yield from self._check_subscriptions(index, module)
+
+    # ------------------------------------------------------------------
+    # equality-only comparisons
+    # ------------------------------------------------------------------
+    def _check_comparisons(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, _ORDERING_OPS) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_mentions_epoch(operand) for operand in operands):
+                yield self.project_finding(
+                    module,
+                    node,
+                    "ordering comparison on an epoch tag; epoch validity "
+                    "is identity (==/!=), not age — ordering breaks when "
+                    "epochs recycle or fork",
+                )
+
+    # ------------------------------------------------------------------
+    # subscribe callbacks
+    # ------------------------------------------------------------------
+    def _check_subscriptions(
+        self, index: ProjectIndex, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        for owner, function in _functions_of(module):
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    not isinstance(node.func, ast.Attribute)
+                    or node.func.attr != "subscribe"
+                    or not node.args
+                ):
+                    continue
+                callback = node.args[0]
+                yield from self._check_callback(
+                    index, module, owner, callback
+                )
+
+    def _check_callback(
+        self,
+        index: ProjectIndex,
+        module: ModuleInfo,
+        owner: Optional[ClassInfo],
+        callback: ast.expr,
+    ) -> Iterator[Finding]:
+        """Resolve one subscribe argument and walk what it runs."""
+        if isinstance(callback, ast.Lambda):
+            yield from self._walk_hook(
+                index, module, owner, callback.body, "lambda listener", 0, set()
+            )
+            return
+        attr = _self_attr(callback)
+        if attr is not None and owner is not None:
+            method = owner.methods.get(attr)
+            if method is not None:
+                yield from self._walk_hook(
+                    index,
+                    module,
+                    owner,
+                    method,
+                    f"{owner.name}.{attr}",
+                    0,
+                    set(),
+                )
+            return
+        if isinstance(callback, ast.Name):
+            resolved = index.resolve_function(module, callback.id)
+            if resolved is not None:
+                target_module, function = resolved
+                yield from self._walk_hook(
+                    index,
+                    target_module,
+                    None,
+                    function,
+                    callback.id,
+                    0,
+                    set(),
+                )
+
+    def _walk_hook(
+        self,
+        index: ProjectIndex,
+        module: ModuleInfo,
+        owner: Optional[ClassInfo],
+        body: ast.AST,
+        hook_name: str,
+        depth: int,
+        visited: Set[int],
+    ) -> Iterator[Finding]:
+        """Flag insert-like operations reachable from an append hook."""
+        if depth > MAX_HOOK_DEPTH or id(body) in visited:
+            return
+        visited.add(id(body))
+        for node in ast.walk(body):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in INSERT_CALLS:
+                    yield self.project_finding(
+                        module,
+                        node,
+                        f"append listener {hook_name} inserts via "
+                        f".{node.func.attr}(...); subscribe callbacks may "
+                        "only purge — an insert here races the epoch "
+                        "transition it runs under",
+                    )
+                    continue
+                yield from self._walk_callee(
+                    index, module, owner, node.func, hook_name, depth, visited
+                )
+            targets = _store_targets(node)
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    yield self.project_finding(
+                        module,
+                        target,
+                        f"append listener {hook_name} stores into a "
+                        "container by key; subscribe callbacks may only "
+                        "purge, never insert",
+                    )
+
+    def _walk_callee(
+        self,
+        index: ProjectIndex,
+        module: ModuleInfo,
+        owner: Optional[ClassInfo],
+        func: ast.Attribute,
+        hook_name: str,
+        depth: int,
+        visited: Set[int],
+    ) -> Iterator[Finding]:
+        """Follow ``self.m(...)`` and ``self.attr.m(...)`` one hop down."""
+        if owner is None:
+            return
+        attr = _self_attr(func)
+        if attr is not None:
+            method = owner.methods.get(attr)
+            if method is not None:
+                yield from self._walk_hook(
+                    index, module, owner, method, hook_name, depth + 1, visited
+                )
+            return
+        receiver = _self_attr(func.value)
+        if receiver is None:
+            return
+        class_name = owner.attr_classes.get(receiver)
+        if class_name is None:
+            return
+        collaborator = index.resolve_class(class_name)
+        if collaborator is None:
+            return
+        method = collaborator.methods.get(func.attr)
+        if method is None:
+            return
+        target_module = index.modules.get(collaborator.module)
+        if target_module is None:
+            return
+        yield from self._walk_hook(
+            index,
+            target_module,
+            collaborator,
+            method,
+            hook_name,
+            depth + 1,
+            visited,
+        )
+
+
+def _store_targets(node: ast.AST) -> List[ast.expr]:
+    """Assignment targets of *node*, for store-into-container checks."""
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []
+
+
+def _functions_of(
+    module: ModuleInfo,
+) -> Iterator[Tuple[Optional[ClassInfo], FunctionNode]]:
+    """Every (owning class or None, def) in one module."""
+    for function in module.functions.values():
+        yield None, function
+    for info in module.classes.values():
+        for method in info.methods.values():
+            yield info, method

@@ -1,0 +1,202 @@
+"""R009 — work shipped to ``run_ordered`` must survive pickling.
+
+:func:`repro.common.executors.run_ordered` is strategy-polymorphic: the
+same call runs serially, on a thread pool, or on a **process** pool
+depending on :class:`ExecutorConfig`.  Serial and threaded runs happily
+accept lambdas, closures, and bound methods — and then the one user who
+flips ``strategy="process"`` gets a ``PicklingError`` from the depths of
+``multiprocessing`` (or worse, a worker that silently re-imports half
+the service).  The bit-identical parallel build guarantee (builder
+docstring) only holds because every shipped unit is a module-level def
+applied to frozen work items.
+
+The rule pins that contract at every call site:
+
+* the *function* argument must resolve to a **module-level def** — a
+  lambda, a def nested in the calling function (a closure), or a
+  ``self.method`` bound reference is an error;
+* elements of the *items* argument whose constructors resolve in the
+  project index must be frozen dataclasses or NamedTuples (the
+  picklable value types); unresolvable expressions pass — the rule
+  flags only provable violations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.base import ProjectRule, RuleScope, register_rule
+from repro.analysis.dataflow import reaching_definition
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    ClassInfo,
+    FunctionNode,
+    ModuleInfo,
+    ProjectIndex,
+)
+
+#: The executor entry point whose arguments this rule audits.
+EXECUTOR_ENTRY = "run_ordered"
+
+
+def _called_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _nested_def_names(function: FunctionNode) -> FrozenSet[str]:
+    """Names of defs nested inside *function* (closure candidates)."""
+    names: Set[str] = set()
+    for node in ast.walk(function):
+        if node is function:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+    return frozenset(names)
+
+
+@register_rule
+class ExecutorPicklabilityRule(ProjectRule):
+    """``run_ordered`` receives module-level defs and frozen work items.
+
+    The process-pool strategy pickles both; lambdas, closures, bound
+    methods, and mutable work units break only under that strategy, far
+    from the code that introduced them.
+    """
+
+    rule_id = "R009"
+    title = "run_ordered work must be module-level defs + frozen items"
+    fix_hint = (
+        "hoist the callable to a module-level def and carry its context "
+        "in the work item; make work items frozen dataclasses or "
+        "NamedTuples"
+    )
+    scope = RuleScope()  # every run_ordered call site, tree-wide
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        """Audit every ``run_ordered(function, items, ...)`` call site."""
+        for module in sorted(
+            index.modules.values(), key=lambda m: m.logical_path
+        ):
+            for _owner, function in _functions_of(module):
+                nested = _nested_def_names(function)
+                for node in ast.walk(function):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if _called_name(node.func) != EXECUTOR_ENTRY:
+                        continue
+                    if len(node.args) < 2:
+                        continue
+                    yield from self._check_function_arg(
+                        index, module, node.args[0], nested
+                    )
+                    yield from self._check_items_arg(
+                        index, module, function, node.args[1], node.lineno
+                    )
+
+    # ------------------------------------------------------------------
+    # the callable
+    # ------------------------------------------------------------------
+    def _check_function_arg(
+        self,
+        index: ProjectIndex,
+        module: ModuleInfo,
+        func_arg: ast.expr,
+        nested_defs: FrozenSet[str],
+    ) -> Iterator[Finding]:
+        if isinstance(func_arg, ast.Lambda):
+            yield self.project_finding(
+                module,
+                func_arg,
+                "lambda passed to run_ordered; lambdas cannot be pickled "
+                "to process-pool workers — hoist to a module-level def",
+            )
+            return
+        if (
+            isinstance(func_arg, ast.Attribute)
+            and isinstance(func_arg.value, ast.Name)
+            and func_arg.value.id == "self"
+        ):
+            yield self.project_finding(
+                module,
+                func_arg,
+                f"bound method self.{func_arg.attr} passed to run_ordered; "
+                "bound methods drag their instance through pickle — hoist "
+                "to a module-level def taking the work item",
+            )
+            return
+        if isinstance(func_arg, ast.Name) and func_arg.id in nested_defs:
+            yield self.project_finding(
+                module,
+                func_arg,
+                f"nested def {func_arg.id!r} passed to run_ordered; "
+                "closures cannot be pickled to process-pool workers — "
+                "hoist it to module level",
+            )
+
+    # ------------------------------------------------------------------
+    # the work items
+    # ------------------------------------------------------------------
+    def _check_items_arg(
+        self,
+        index: ProjectIndex,
+        module: ModuleInfo,
+        function: FunctionNode,
+        items_arg: ast.expr,
+        call_line: int,
+    ) -> Iterator[Finding]:
+        resolved = items_arg
+        if isinstance(items_arg, ast.Name):
+            definition = reaching_definition(
+                function, items_arg.id, call_line
+            )
+            if definition is None:
+                return
+            resolved = definition
+        for element in _element_exprs(resolved):
+            if isinstance(element, ast.Lambda):
+                yield self.project_finding(
+                    module,
+                    element,
+                    "lambda work item passed to run_ordered; work items "
+                    "must be picklable values",
+                )
+                continue
+            if not isinstance(element, ast.Call):
+                continue
+            name = _called_name(element.func)
+            if name is None:
+                continue
+            info = index.resolve_class(name)
+            if info is not None and not info.is_immutable_carrier:
+                yield self.project_finding(
+                    module,
+                    element,
+                    f"run_ordered work items are {name} instances, which "
+                    "is neither a frozen dataclass nor a NamedTuple; "
+                    "workers must receive immutable, picklable units",
+                )
+
+
+def _element_exprs(container: ast.expr) -> List[ast.expr]:
+    """Element expressions of a list/tuple display or comprehension."""
+    if isinstance(container, (ast.List, ast.Tuple, ast.Set)):
+        return list(container.elts)
+    if isinstance(container, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        return [container.elt]
+    return []
+
+
+def _functions_of(
+    module: ModuleInfo,
+) -> Iterator[Tuple[Optional[ClassInfo], FunctionNode]]:
+    """Every (owning class or None, def) in one module."""
+    for function in module.functions.values():
+        yield None, function
+    for info in module.classes.values():
+        for method in info.methods.values():
+            yield info, method

@@ -5,16 +5,40 @@ The runner owns everything rules should not care about: discovering
 parsing, collecting findings, filtering them through the suppression
 index, and aggregating the result into a
 :class:`~repro.analysis.findings.LintReport`.
+
+Two rule families dispatch differently:
+
+* **per-file rules** run once per parsed module, exactly as in the
+  original runner;
+* **project rules** (:class:`~repro.analysis.base.ProjectRule`) run
+  once per invocation over a shared
+  :class:`~repro.analysis.project.ProjectIndex` — every module parsed
+  a single time — and their findings are filtered through the *owning
+  module's* suppression index and the rule's scope, so directives work
+  identically for both families.
+
+A rule that raises does not abort the run: the exception is captured
+as a :class:`~repro.analysis.findings.RuleCrash` (with traceback) and
+the report exits 3, so CI can distinguish "lint found problems" (1)
+from "lint itself is broken" (3).
 """
 
 from __future__ import annotations
 
 import ast
+import traceback
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis.base import FileContext, Rule, all_rules
-from repro.analysis.findings import Finding, LintReport
+from repro.analysis.base import FileContext, ProjectRule, Rule, all_rules
+from repro.analysis.findings import Finding, LintReport, RuleCrash
+from repro.analysis.project import (
+    ModuleInfo,
+    ProjectIndex,
+    build_index,
+    load_cached_index,
+    store_cached_index,
+)
 from repro.analysis.suppressions import parse_suppressions
 from repro.common.errors import ValidationError
 
@@ -53,6 +77,83 @@ def iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
             raise ValidationError(f"lint target does not exist: {path}")
 
 
+def split_rules(
+    rules: Sequence[Rule],
+) -> Tuple[List[Rule], List[ProjectRule]]:
+    """Partition *rules* into (per-file rules, project rules)."""
+    file_rules: List[Rule] = []
+    project_rules: List[ProjectRule] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            project_rules.append(rule)
+        else:
+            file_rules.append(rule)
+    return file_rules, project_rules
+
+
+def _run_file_rules(
+    rules: Sequence[Rule],
+    tree: ast.Module,
+    context: FileContext,
+    crashes: List[RuleCrash],
+) -> Tuple[List[Finding], int]:
+    """Run per-file rules over one parsed module, capturing crashes."""
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.scope.contains(context.logical_path):
+            continue
+        try:
+            produced = list(rule.check(tree, context))
+        except Exception as error:  # repro-lint: disable=R003
+            # Crash isolation is the runner's contract: one broken rule
+            # must not hide the rest of the report; the exception is
+            # captured and surfaced through the distinct exit code 3.
+            crashes.append(
+                RuleCrash(
+                    rule_id=rule.rule_id,
+                    path=context.display_path,
+                    error=f"{type(error).__name__}: {error}",
+                    traceback=traceback.format_exc(),
+                )
+            )
+            continue
+        for finding in produced:
+            if context.suppressions.is_suppressed(finding.rule_id, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def _filter_project_findings(
+    rule: ProjectRule,
+    produced: Sequence[Finding],
+    index: ProjectIndex,
+) -> Tuple[List[Finding], int]:
+    """Apply scope and per-module suppressions to project findings.
+
+    A project finding is attributed to the module whose display path it
+    names; that module's suppression index and the rule's scope apply,
+    so a cross-module rule cannot bypass the per-file contracts.
+    """
+    by_display: Dict[str, ModuleInfo] = {
+        module.display_path: module for module in index.modules.values()
+    }
+    findings: List[Finding] = []
+    suppressed = 0
+    for finding in produced:
+        module = by_display.get(finding.path)
+        if module is not None:
+            if not rule.scope.contains(module.logical_path):
+                continue
+            if module.suppressions.is_suppressed(finding.rule_id, finding.line):
+                suppressed += 1
+                continue
+        findings.append(finding)
+    return findings, suppressed
+
+
 def lint_source(
     source: str,
     path: str,
@@ -67,6 +168,11 @@ def lint_source(
     *path*) is what findings print.  A syntax error becomes a single
     ``E001`` finding rather than an exception, so one broken file
     cannot hide the rest of the report.
+
+    Project rules run against a single-module index, so self-contained
+    fixtures exercise them exactly like per-file rules; rule crashes
+    propagate (this is the library entry point — capture happens in
+    :func:`lint_paths`).
     """
     shown = display_path if display_path is not None else path
     try:
@@ -89,9 +195,10 @@ def lint_source(
         suppressions=suppressions,
     )
     active = list(rules) if rules is not None else all_rules()
+    file_rules, project_rules = split_rules(active)
     findings: List[Finding] = []
     suppressed = 0
-    for rule in active:
+    for rule in file_rules:
         if not rule.scope.contains(path):
             continue
         for finding in rule.check(tree, context):
@@ -99,18 +206,38 @@ def lint_source(
                 suppressed += 1
             else:
                 findings.append(finding)
+    if project_rules:
+        index = build_index([(path, shown, source)])
+        for rule in project_rules:
+            project_findings, project_suppressed = _filter_project_findings(
+                rule, list(rule.check_project(index)), index
+            )
+            findings.extend(project_findings)
+            suppressed += project_suppressed
     return findings, suppressed
 
 
 def lint_paths(
     paths: Iterable[PathLike],
     rules: Optional[Sequence[Rule]] = None,
+    *,
+    index_cache: Optional[PathLike] = None,
 ) -> LintReport:
-    """Lint every Python file under *paths* and aggregate the report."""
+    """Lint every Python file under *paths* and aggregate the report.
+
+    When *index_cache* names a file, the whole-program index is loaded
+    from it if the target files are byte-for-byte unchanged (size +
+    mtime stamp) and stored back after a rebuild, so repeated
+    invocations on an unchanged tree skip the project-indexing pass.
+    """
     active = list(rules) if rules is not None else all_rules()
+    file_rules, project_rules = split_rules(active)
     findings: List[Finding] = []
+    crashes: List[RuleCrash] = []
     files_checked = 0
     suppressed_total = 0
+    indexed: List[Tuple[str, str, str]] = []
+    file_list: List[Path] = []
     for file_path in iter_python_files(paths):
         files_checked += 1
         logical = logical_path_of(file_path)
@@ -118,13 +245,78 @@ def lint_paths(
             # Outside any repro tree: no scope matches, nothing to check.
             continue
         source = file_path.read_text("utf-8")
-        file_findings, suppressed = lint_source(
-            source, logical, active, display_path=str(file_path)
+        shown = str(file_path)
+        file_list.append(file_path)
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=shown,
+                    line=error.lineno or 1,
+                    column=(error.offset or 1),
+                    rule_id="E001",
+                    message=f"file does not parse: {error.msg}",
+                    fix_hint="fix the syntax error; no rules ran on this file",
+                )
+            )
+            continue
+        context = FileContext(
+            logical_path=logical,
+            display_path=shown,
+            source=source,
+            suppressions=parse_suppressions(source),
+        )
+        file_findings, suppressed = _run_file_rules(
+            file_rules, tree, context, crashes
         )
         findings.extend(file_findings)
         suppressed_total += suppressed
+        indexed.append((logical, shown, source))
+    if project_rules and indexed:
+        index = _load_or_build_index(indexed, file_list, index_cache)
+        for rule in project_rules:
+            try:
+                produced = list(rule.check_project(index))
+            except Exception as error:  # repro-lint: disable=R003
+                # Crash isolation is the runner's contract: one broken
+                # rule must not hide the rest of the report, so the
+                # exception is captured (with traceback) and surfaced
+                # through the distinct exit code 3 instead.
+                crashes.append(
+                    RuleCrash(
+                        rule_id=rule.rule_id,
+                        path="<project>",
+                        error=f"{type(error).__name__}: {error}",
+                        traceback=traceback.format_exc(),
+                    )
+                )
+                continue
+            project_findings, project_suppressed = _filter_project_findings(
+                rule, produced, index
+            )
+            findings.extend(project_findings)
+            suppressed_total += project_suppressed
     return LintReport(
         findings=tuple(sorted(findings)),
         files_checked=files_checked,
         suppressed_count=suppressed_total,
+        crashes=tuple(sorted(crashes)),
     )
+
+
+def _load_or_build_index(
+    entries: Sequence[Tuple[str, str, str]],
+    files: Sequence[Path],
+    index_cache: Optional[PathLike],
+) -> ProjectIndex:
+    """The project index, through the optional on-disk cache."""
+    if index_cache is None:
+        return build_index(entries)
+    cache_path = Path(index_cache)
+    cached = load_cached_index(cache_path, files)
+    if cached is not None:
+        return cached
+    index = build_index(entries)
+    store_cached_index(cache_path, files, index)
+    return index

@@ -15,6 +15,7 @@ every batch (the behaviour the paper ascribes to PARAS).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, List, Sequence
 
 from repro.common.errors import ValidationError
@@ -37,7 +38,8 @@ class IncrementalTara:
             catalog=RuleCatalog(),
             archive=TarArchive(),
         )
-        self._listeners: List[Callable[[int], None]] = []
+        self._lock = threading.Lock()
+        self._listeners: List[Callable[[int], None]] = []  # repro-lint: guarded-by=_lock
 
     @property
     def window_count(self) -> int:
@@ -52,11 +54,20 @@ class IncrementalTara:
         its cache epoch — invalidating generation-scoped entries without
         flushing still-valid per-window ones.
         """
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def _notify_appended(self) -> None:
-        for listener in self._listeners:
-            listener(self.knowledge_base.window_count)
+        # Snapshot under the lock, call outside it: a listener such as
+        # TaraService._on_append acquires its own lock, and holding ours
+        # across that call would nest the two.  The global acquisition
+        # order, for any path that must nest them, is:
+        # repro-lint: lock-order=IncrementalTara._lock,TaraService._lock
+        with self._lock:
+            listeners = tuple(self._listeners)
+        count = self.knowledge_base.window_count
+        for listener in listeners:
+            listener(count)
 
     def append_batch(self, transactions: Sequence[Transaction]) -> WindowSlice:
         """Incorporate the next batch as a new basic window.

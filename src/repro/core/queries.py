@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.archive import RolledUpMeasure, WindowMeasure
 from repro.core.regions import ParameterSetting, StableRegion
@@ -138,7 +138,9 @@ class RuleTrajectory:
 
     rule_id: RuleId
     rule: Rule
-    measures: Dict[int, Optional[WindowMeasure]]
+    # Mapping (not Dict): trajectories are cached frozen and shared
+    # across concurrent readers, so the field must stay read-only.
+    measures: Mapping[int, Optional[WindowMeasure]]
 
     def present_windows(self) -> Tuple[int, ...]:
         """Windows (sorted) in which the rule had archived values."""
@@ -201,7 +203,9 @@ class Recommendation:
     window: int
     setting: ParameterSetting
     region: StableRegion
-    neighbors: Dict[str, StableRegion]
+    # Mapping (not Dict): recommendations are cached frozen and shared
+    # across concurrent readers, so the field must stay read-only.
+    neighbors: Mapping[str, StableRegion]
 
     def ruleset_delta(self, direction: str) -> Optional[int]:
         """Ruleset-size change when crossing into *direction*'s region."""

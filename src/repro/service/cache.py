@@ -3,11 +3,11 @@
 The cache is deliberately small and boring: an :class:`~collections.OrderedDict`
 in least-recently-used order, a hard entry bound, an eviction counter,
 and one operation the serving layer's invalidation protocol needs —
-:meth:`RegionKeyedCache.purge_scoped_before`, which retires every
-*epoch-scoped* entry older than the new epoch while leaving epoch-free
-entries (explicit-window answers, valid forever because archived
-windows are immutable) untouched.  No global flush exists on the hot
-path by design.
+:meth:`RegionKeyedCache.purge_scoped_except`, which retires every
+*epoch-scoped* entry whose tag differs from the new epoch while leaving
+epoch-free entries (explicit-window answers, valid forever because
+archived windows are immutable) untouched.  No global flush exists on
+the hot path by design.
 
 The cache itself is **not** synchronized; :class:`repro.service.service.TaraService`
 owns the lock and is the only caller.
@@ -71,16 +71,20 @@ class RegionKeyedCache:
         self.evictions += evicted
         return evicted
 
-    def purge_scoped_before(self, epoch: int) -> int:
-        """Drop epoch-scoped entries older than *epoch*; returns the count.
+    def purge_scoped_except(self, epoch: int) -> int:
+        """Drop epoch-scoped entries not tagged *epoch*; returns the count.
 
-        Epoch-free entries survive: they answer explicit-window requests
-        whose underlying windows are immutable once built.
+        Validity is identity, not age: a scoped entry serves only while
+        its tag *equals* the current epoch, so retirement compares by
+        equality rather than ordering (which would silently break the
+        moment epochs recycle or fork).  Epoch-free entries survive:
+        they answer explicit-window requests whose underlying windows
+        are immutable once built.
         """
         stale: List[CacheKey] = [
             key
             for key, entry in self._entries.items()
-            if entry.epoch != EPOCH_FREE and entry.epoch < epoch
+            if entry.epoch != EPOCH_FREE and entry.epoch != epoch
         ]
         for key in stale:
             del self._entries[key]

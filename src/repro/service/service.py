@@ -78,9 +78,9 @@ class TaraService:
         metrics: Optional[ServiceMetrics] = None,
     ) -> None:
         self._lock = threading.RLock()
-        self._cache = RegionKeyedCache(max_entries=max_entries)
+        self._cache = RegionKeyedCache(max_entries=max_entries)  # repro-lint: guarded-by=_lock
         self.metrics = metrics if metrics is not None else ServiceMetrics()
-        self._explorer: Optional[TaraExplorer] = None
+        self._explorer: Optional[TaraExplorer] = None  # repro-lint: guarded-by=_lock
         if isinstance(source, IncrementalTara):
             self._knowledge_base = source.knowledge_base
             source.subscribe(self._on_append)
@@ -93,7 +93,7 @@ class TaraService:
             raise ValidationError(
                 f"cannot serve from a {type(source).__name__!r}"
             )
-        self._epoch = self._knowledge_base.window_count
+        self._epoch = self._knowledge_base.window_count  # repro-lint: guarded-by=_lock
 
     # ------------------------------------------------------------------
     # state
@@ -123,14 +123,18 @@ class TaraService:
         """Append listener: advance the epoch, retire scoped entries."""
         with self._lock:
             self._epoch = window_count
-            invalidated = self._cache.purge_scoped_before(window_count)
+            invalidated = self._cache.purge_scoped_except(window_count)
             self.metrics.record_invalidations(invalidated)
 
     def _get_explorer(self) -> TaraExplorer:
-        explorer = self._explorer
-        if explorer is None:
-            explorer = TaraExplorer(self._knowledge_base)
-            self._explorer = explorer
+        # Lazy creation races without the lock: two concurrent misses
+        # could each observe None and publish different explorers, and
+        # the unlocked write is not a safe publication of the one kept.
+        with self._lock:
+            explorer = self._explorer
+            if explorer is None:
+                explorer = TaraExplorer(self._knowledge_base)
+                self._explorer = explorer
         return explorer
 
     # ------------------------------------------------------------------
@@ -203,6 +207,7 @@ class TaraService:
     # ------------------------------------------------------------------
     # freeze / thaw
     # ------------------------------------------------------------------
+    # repro-lint: publish
     def _freeze(self, canonical: CanonicalQuery, answer: object) -> object:
         """Convert *answer* to the immutable form stored in the cache."""
         if canonical.query_class == "Q1":

@@ -1,0 +1,21 @@
+"""R006 negative fixture: every guarded access holds the declared lock."""
+
+import threading
+
+
+class Service:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._epoch = 0  # repro-lint: guarded-by=_lock
+
+    def epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    def advance(self) -> None:
+        with self._lock:
+            self._bump()
+
+    def _bump(self) -> None:
+        # Private helper: its only call site holds the lock.
+        self._epoch += 1

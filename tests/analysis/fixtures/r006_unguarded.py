@@ -1,0 +1,22 @@
+"""R006 positive fixture: guarded attributes touched without the lock."""
+
+import threading
+
+
+class Service:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._epoch = 0  # repro-lint: guarded-by=_lock
+
+    def epoch(self) -> int:
+        return self._epoch  # public read outside the lock -> finding
+
+    def advance(self) -> None:
+        self._epoch += 1  # public write outside the lock -> finding
+
+    def _bump(self) -> None:
+        # Private, but its only call site below does not hold the lock.
+        self._epoch += 1
+
+    def tick(self) -> None:
+        self._bump()

@@ -1,0 +1,28 @@
+"""R007 positive fixture: mutable containers reach publish sinks."""
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+class RegionKeyedCache:
+    def put(self, key, value, epoch):
+        return 0
+
+
+@dataclass(frozen=True)
+class Answer:
+    # Mutable container inside a "frozen" published value -> finding.
+    rows: Dict[int, str]
+
+
+class Service:
+    def __init__(self) -> None:
+        self._cache = RegionKeyedCache()
+
+    def store(self, key, rows) -> None:
+        value = [tuple(row) for row in rows]
+        self._cache.put(key, value, 3)  # list into the cache -> finding
+
+    # repro-lint: publish
+    def freeze(self, rows):
+        return {row[0]: row for row in rows}  # dict published -> finding

@@ -1,0 +1,25 @@
+"""R008 positive fixture: append hook inserts; epoch compared by order."""
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._entries = {}
+
+    def put(self, key, value, epoch):
+        self._entries[key] = (value, epoch)
+
+    def purge_scoped_except(self, epoch):
+        return 0
+
+
+class Service:
+    def __init__(self, source) -> None:
+        self._cache = Cache()
+        self._epoch = 0
+        source.subscribe(self._on_append)
+
+    def _on_append(self, count) -> None:
+        if count < self._epoch:  # ordering on an epoch tag -> finding
+            return
+        self._epoch = count
+        self._cache.put(("sentinel",), "warm", count)  # insert -> finding

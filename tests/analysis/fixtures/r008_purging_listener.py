@@ -1,0 +1,29 @@
+"""R008 negative fixture: append hook only purges; equality epochs."""
+
+
+class Cache:
+    def __init__(self) -> None:
+        self._entries = {}
+
+    def purge_scoped_except(self, epoch):
+        stale = [
+            key
+            for key, (_, tag) in self._entries.items()
+            if tag != -1 and tag != epoch
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+
+class Service:
+    def __init__(self, source) -> None:
+        self._cache = Cache()
+        self._epoch = 0
+        source.subscribe(self._on_append)
+
+    def _on_append(self, count) -> None:
+        if count == self._epoch:
+            return
+        self._epoch = count
+        self._cache.purge_scoped_except(count)

@@ -1,0 +1,22 @@
+"""R009 negative fixture: module-level def over frozen work items."""
+
+from dataclasses import dataclass
+
+
+def run_ordered(function, items, config=None):
+    return [function(item) for item in items]
+
+
+@dataclass(frozen=True)
+class Task:
+    n: int
+
+
+def step(task):
+    return task.n
+
+
+class Builder:
+    def mine(self, config):
+        tasks = [Task(n) for n in range(4)]
+        return run_ordered(step, tasks, config)

@@ -1,0 +1,28 @@
+"""R009 positive fixture: unpicklable work shipped to run_ordered."""
+
+
+def run_ordered(function, items, config=None):
+    return [function(item) for item in items]
+
+
+class Task:
+    def __init__(self, n) -> None:
+        self.n = n
+
+
+class Builder:
+    def mine(self, config):
+        tasks = [Task(n) for n in range(4)]  # mutable work units -> finding
+        return run_ordered(lambda task: task.n, tasks, config)  # lambda -> finding
+
+    def mine_bound(self, config, tasks):
+        return run_ordered(self.step, tasks, config)  # bound method -> finding
+
+    def mine_closure(self, config, tasks):
+        def step(task):  # nested def -> finding when passed below
+            return task
+
+        return run_ordered(step, tasks, config)
+
+    def step(self, task):
+        return task

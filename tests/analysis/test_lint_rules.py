@@ -210,9 +210,19 @@ class TestR005Clocks:
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["R001", "R002", "R003", "R004", "R005"]
+        assert ids == [
+            "R001",
+            "R002",
+            "R003",
+            "R004",
+            "R005",
+            "R006",
+            "R007",
+            "R008",
+            "R009",
+        ]
 
     def test_every_rule_has_metadata(self):
         for rule in all_rules():

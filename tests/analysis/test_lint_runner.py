@@ -94,9 +94,10 @@ class TestLintPaths:
     def test_json_payload_is_stable(self, tmp_path):
         report = lint_paths([self.fixture_tree(tmp_path)])
         payload = json.loads(json.dumps(report.to_json()))
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["clean"] is False
         assert payload["counts"] == {"R001": 1}
+        assert payload["crashes"] == []
         finding = payload["findings"][0]
         assert finding["rule"] == "R001"
         assert finding["line"] == 1

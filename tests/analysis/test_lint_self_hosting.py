@@ -10,7 +10,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.runner import lint_paths
+from repro.analysis.base import get_rule
+from repro.analysis.runner import lint_paths, lint_source
 from repro.cli import main
 
 SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
@@ -32,6 +33,39 @@ class TestTreeIsClean:
         # Every suppression in the tree carries a rationale comment; a
         # sudden jump here means someone is silencing rather than fixing.
         assert 0 < tree_report.suppressed_count <= 10
+
+    def test_no_rule_crashed(self, tree_report):
+        assert tree_report.crashes == ()
+
+
+class TestLockRemovalSentinel:
+    """Deleting a ``with self._lock:`` from the real service must fail R006.
+
+    This is the contract CI stakes its value on: the rule set is not
+    just clean on the tree, it actually *notices* when the tree's lock
+    discipline regresses.
+    """
+
+    def test_removing_service_lock_trips_r006(self):
+        source = (SRC / "service" / "service.py").read_text("utf-8")
+        target = (
+            "        with self._lock:\n"
+            "            return self._epoch\n"
+        )
+        assert target in source, "epoch property changed; update sentinel"
+        mutated = source.replace(target, "        return self._epoch\n")
+        findings, _ = lint_source(
+            mutated, "repro/service/service.py", [get_rule("R006")]
+        )
+        assert [f.rule_id for f in findings] == ["R006"]
+        assert "self._epoch" in findings[0].message
+
+    def test_unmutated_service_is_clean(self):
+        source = (SRC / "service" / "service.py").read_text("utf-8")
+        findings, _ = lint_source(
+            source, "repro/service/service.py", [get_rule("R006")]
+        )
+        assert findings == []
 
 
 class TestCliLint:
@@ -84,8 +118,26 @@ class TestCliLint:
         exit_code = main(["lint", "--list-rules"])
         assert exit_code == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        for rule_id in (
+            "R001",
+            "R002",
+            "R003",
+            "R004",
+            "R005",
+            "R006",
+            "R007",
+            "R008",
+            "R009",
+        ):
             assert rule_id in out
+
+    def test_lint_index_cache_cli_round_trip(self, tmp_path, capsys):
+        cache = tmp_path / "lint-index.pickle"
+        assert main(["lint", str(SRC), "--index-cache", str(cache)]) == 0
+        capsys.readouterr()
+        assert cache.exists()
+        assert main(["lint", str(SRC), "--index-cache", str(cache)]) == 0
+        assert "clean" in capsys.readouterr().out
 
 
 class TestModuleEntryPoint:

@@ -52,7 +52,7 @@ class TestEpochRetirement:
         cache.put((1,), "free", EPOCH_FREE)
         cache.put((2,), "old", 3)
         cache.put((3,), "current", 4)
-        purged = cache.purge_scoped_before(4)
+        purged = cache.purge_scoped_except(4)
         assert purged == 1
         assert cache.get((2,)) is None
         assert cache.get((1,)) is not None  # epoch-free survives
@@ -61,5 +61,5 @@ class TestEpochRetirement:
     def test_purge_is_idempotent(self):
         cache = RegionKeyedCache(max_entries=8)
         cache.put((1,), "old", 2)
-        assert cache.purge_scoped_before(5) == 1
-        assert cache.purge_scoped_before(5) == 0
+        assert cache.purge_scoped_except(5) == 1
+        assert cache.purge_scoped_except(5) == 0

@@ -1,0 +1,141 @@
+"""Threaded stress over the paths the R006 contracts now guard.
+
+Before this round of fixes, ``TaraService._get_explorer`` mutated
+``self._explorer`` outside the lock and ``IncrementalTara`` registered
+listeners on an unsynchronized list.  These tests hammer exactly those
+paths — explorer creation from a cold service, queries racing appends,
+and concurrent subscription — and assert the served answers stay
+correct and every registration survives.  CPython's GIL makes the old
+races hard to *force*, so the assertions pin observable outcomes (equal
+answers, complete listener sets, coherent epochs) rather than timing.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    GenerationConfig,
+    IncrementalTara,
+    ParameterSetting,
+    RecommendQuery,
+)
+from repro.service import TaraService
+
+SETTING = ParameterSetting(0.05, 0.3)
+
+
+@pytest.fixture()
+def incremental(small_windows):
+    inc = IncrementalTara(GenerationConfig(0.02, 0.1))
+    inc.append_batch(small_windows.window(0))
+    return inc
+
+
+def run_all(threads):
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestExplorerCreationRace:
+    def test_cold_concurrent_queries_share_one_explorer(self, small_kb):
+        service = TaraService(small_kb)
+        expected = service.uncached(RecommendQuery(setting=SETTING, window=0))
+        results = []
+        errors = []
+
+        def client():
+            try:
+                results.append(service.recommend(SETTING, window=0))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        run_all([threading.Thread(target=client) for _ in range(16)])
+        assert not errors
+        assert all(got.region == expected.region for got in results)
+        # The lock makes lazy creation single-shot: later calls reuse it.
+        assert service._get_explorer() is service._get_explorer()
+
+
+class TestQueriesRacingAppends:
+    def test_explicit_window_answers_survive_epoch_churn(
+        self, incremental, small_windows
+    ):
+        service = TaraService(incremental)
+        expected = service.recommend(SETTING, window=0)
+        errors = []
+        stop = threading.Event()
+
+        def client():
+            while not stop.is_set():
+                got = service.recommend(SETTING, window=0)
+                if got.region != expected.region:
+                    errors.append(got)
+
+        clients = [threading.Thread(target=client) for _ in range(4)]
+        for thread in clients:
+            thread.start()
+        try:
+            for index in range(1, small_windows.window_count):
+                incremental.append_batch(small_windows.window(index))
+        finally:
+            stop.set()
+            for thread in clients:
+                thread.join()
+        assert not errors
+        # Every append notified the service: epochs ended in sync.
+        assert service.epoch == incremental.window_count
+        assert service.cache_info()["epoch"] == incremental.window_count
+
+
+class TestConcurrentSubscription:
+    def test_no_registration_is_lost(self, incremental, small_windows):
+        notified = set()
+        lock = threading.Lock()
+
+        def register(worker, per_worker):
+            for slot in range(per_worker):
+                token = (worker, slot)
+
+                def listener(count, token=token):
+                    with lock:
+                        notified.add(token)
+
+                incremental.subscribe(listener)
+
+        workers, per_worker = 8, 25
+        run_all(
+            [
+                threading.Thread(target=register, args=(worker, per_worker))
+                for worker in range(workers)
+            ]
+        )
+        incremental.append_batch(small_windows.window(1))
+        assert len(notified) == workers * per_worker
+
+    def test_subscribe_races_appends_without_corruption(
+        self, incremental, small_windows
+    ):
+        counts = []
+        lock = threading.Lock()
+
+        def listener(count):
+            with lock:
+                counts.append(count)
+
+        def subscriber():
+            for _ in range(50):
+                incremental.subscribe(lambda count: None)
+
+        subscribers = [threading.Thread(target=subscriber) for _ in range(4)]
+        incremental.subscribe(listener)
+        for thread in subscribers:
+            thread.start()
+        for index in range(1, small_windows.window_count):
+            incremental.append_batch(small_windows.window(index))
+        for thread in subscribers:
+            thread.join()
+        # The pre-registered listener saw every append, in order.
+        assert counts == list(range(2, small_windows.window_count + 1))
