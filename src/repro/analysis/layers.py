@@ -3,7 +3,7 @@
 The architecture is a strict layering (DESIGN.md)::
 
     _version -> common -> {data, analysis} -> mining -> core -> service
-             -> {baselines, maras} -> datagen -> bench -> cli
+             -> serve -> {baselines, maras} -> datagen -> bench -> cli
 
 A module may import from its own layer or from any *strictly lower*
 rank.  Layers sharing a rank (``data``/``analysis``, and the two rule
@@ -13,12 +13,16 @@ internals' siblings) and keeps the linter importable everywhere.
 
 ``service`` (the online serving layer: region-keyed query cache and
 metrics) sits directly above ``core`` — it wraps the explorer and must
-know nothing about data generation or benchmarking.  ``datagen`` sits
-above ``maras`` because the FAERS generator plants known interactions
-from the MARAS reference knowledge base; ``bench`` (the ``repro bench``
-/ ``bench-online`` perf harnesses) builds workloads from ``datagen``
-and drives the service layer from above; the CLI and the package root
-sit on top and may import anything.
+know nothing about data generation or benchmarking.  ``serve`` (the
+asyncio network tier: wire protocol, request coalescing, HTTP front
+door) sits directly above ``service`` — it speaks sockets and JSON but
+must not know how workloads are generated or benchmarked.  ``datagen``
+sits above ``maras`` because the FAERS generator plants known
+interactions from the MARAS reference knowledge base; ``bench`` (the
+``repro bench`` / ``bench-online`` / ``bench-serve`` perf harnesses)
+builds workloads from ``datagen`` and drives the service and serve
+layers from above; the CLI and the package root sit on top and may
+import anything.
 """
 
 from __future__ import annotations
@@ -34,19 +38,20 @@ LAYER_RANKS: Dict[str, int] = {
     "mining": 3,
     "core": 4,
     "service": 5,
-    "baselines": 6,
-    "maras": 6,
-    "datagen": 7,
-    "bench": 8,
-    "cli": 9,
+    "serve": 6,
+    "baselines": 7,
+    "maras": 7,
+    "datagen": 8,
+    "bench": 9,
+    "cli": 10,
     # Entry-point modules sit above everything, including the CLI.
-    "__init__": 10,
-    "__main__": 10,
+    "__init__": 11,
+    "__main__": 11,
 }
 
 #: Human-readable rendering of the contract, used in findings and docs.
 LAYER_CHAIN = (
-    "common -> {data, analysis} -> mining -> core -> service -> "
+    "common -> {data, analysis} -> mining -> core -> service -> serve -> "
     "{baselines, maras} -> datagen -> bench -> cli"
 )
 

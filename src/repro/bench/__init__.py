@@ -9,7 +9,11 @@ Two sibling harnesses share one workload vocabulary
 * :mod:`repro.bench.online` drives the serving layer's region-keyed
   cache through the E6/E7 query sweeps and emits ``BENCH_online.json``
   (``repro-bench-online/1``), verifying cached answers against uncached
-  recomputation before writing anything.
+  recomputation before writing anything;
+* :mod:`repro.bench.serve` drives the asyncio network tier with
+  concurrent clients and emits ``BENCH_serve.json``
+  (``repro-bench-serve/1``), verifying served answers against direct
+  execution and asserting the coalescer actually collapsed duplicates.
 
 For backward compatibility this package re-exports the offline
 harness's public surface under its historical ``repro.bench`` names
@@ -30,6 +34,13 @@ from repro.bench.online import (
     add_bench_online_arguments,
     run_bench_online,
     run_online_matrix,
+)
+from repro.bench.serve import (
+    DEFAULT_OUT as SERVE_DEFAULT_OUT,
+    SCHEMA as SERVE_SCHEMA,
+    add_bench_serve_arguments,
+    run_bench_serve,
+    run_serve_matrix,
 )
 from repro.bench.workloads import (
     FULL_DATASETS,
@@ -56,13 +67,18 @@ __all__ = [
     "QUICK_DATASETS",
     "QUICK_MINERS",
     "SCHEMA",
+    "SERVE_DEFAULT_OUT",
+    "SERVE_SCHEMA",
     "add_bench_arguments",
     "add_bench_online_arguments",
+    "add_bench_serve_arguments",
     "knowledge_base_fingerprint",
     "online_settings",
     "run_bench",
     "run_bench_online",
+    "run_bench_serve",
     "run_matrix",
     "run_online_matrix",
+    "run_serve_matrix",
     "select_datasets",
 ]

@@ -1,0 +1,297 @@
+"""``repro bench-serve`` — the network-tier load harness.
+
+Measures what a client actually sees through the socket: every cell of
+the (dataset x query class x concurrency) matrix boots a fresh
+:class:`repro.serve.TaraServer` on an ephemeral port, connects
+``concurrency`` persistent clients, and drives an identical-request
+workload through them:
+
+round 1 (cold)
+    all clients fire the same query concurrently at a cold cache — the
+    window where request coalescing must collapse the burst into one
+    execution;
+rounds 2+ (warm)
+    each client re-issues the query until the cell's request budget is
+    spent (the cache-hit path, measured per request).
+
+Per-request wall latencies give nearest-rank p50/p95/p99
+(:func:`repro.common.stats.percentile`) and the cell wall time gives
+RPS.  Before anything is written the harness verifies every served
+answer byte-for-byte against a direct, cache-bypassing
+:meth:`repro.service.TaraService.uncached` execution encoded through
+the same wire mapping, and asserts that the identical-request workload
+produced at least one coalesce hit — a bench that measured a broken
+server aborts instead of recording a lie.
+
+Schema of ``BENCH_serve.json`` (``repro-bench-serve/1``)
+========================================================
+
+``schema``
+    The literal string ``"repro-bench-serve/1"``.
+``version`` / ``quick`` / ``host`` / ``pool_size``
+    As in the sibling artefacts (no wall date — rule R005).
+``results``
+    One object per (dataset, query class, concurrency) cell::
+
+        {"dataset", "query_class",        # "Q1" | "Q2" | "Q3" | "Q5"
+         "concurrency", "requests",       # clients, total requests sent
+         "p50_ms", "p95_ms", "p99_ms",    # nearest-rank percentiles
+         "rps",                           # requests / cell wall seconds
+         "coalesce_executions",           # leader executions in the cell
+         "coalesce_hits",                 # requests served by a leader
+         "verified": true}                # wire answers == direct execute
+
+``build_seconds``
+    Per-dataset offline build wall time, for context.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+from typing import Any, Dict, List, Tuple
+
+from repro._version import __version__
+from repro.bench.online import _build, _cell_queries
+from repro.bench.workloads import _WORKLOADS, online_settings, select_datasets
+from repro.common.errors import ValidationError
+from repro.common.stats import percentile
+from repro.common.timing import stopwatch
+from repro.core import ExplorerQuery, ParameterSetting, TaraKnowledgeBase
+from repro.serve.client import ServeClient
+from repro.serve.gateway import DEFAULT_POOL_SIZE
+from repro.serve.protocol import JsonDict, encode_answer, encode_request
+from repro.serve.server import ServeConfig, TaraServer
+from repro.service.service import TaraService
+
+SCHEMA = "repro-bench-serve/1"
+DEFAULT_OUT = "BENCH_serve.json"
+
+#: Concurrency levels per matrix mode (the spec requires at least two).
+QUICK_CONCURRENCY: Tuple[int, ...] = (2, 8)
+FULL_CONCURRENCY: Tuple[int, ...] = (4, 16)
+
+#: Total requests per cell per matrix mode.
+QUICK_REQUESTS = 24
+FULL_REQUESTS = 64
+
+
+async def _run_cell(
+    knowledge_base: TaraKnowledgeBase,
+    query_class: str,
+    query: ExplorerQuery,
+    *,
+    concurrency: int,
+    requests: int,
+    pool_size: int,
+) -> Dict[str, Any]:
+    """Serve one cell through a fresh server; returns the result row."""
+    service = TaraService(knowledge_base)
+    server = TaraServer(service, ServeConfig(port=0, pool_size=pool_size))
+    await server.start()
+    host, port = server.address
+    clients = [
+        await ServeClient.open(host, port) for _ in range(concurrency)
+    ]
+    kind, payload = encode_request(query)
+    latencies: List[float] = []
+    envelopes: List[JsonDict] = []
+
+    async def one(client: ServeClient) -> None:
+        with stopwatch() as clock:
+            status, envelope = await client.query(kind, payload)
+        if status != 200 or not envelope.get("ok"):
+            raise ValidationError(
+                f"{query_class} request failed with HTTP {status}: {envelope}"
+            )
+        latencies.append(clock.seconds)
+        envelopes.append(envelope)
+
+    per_client = max(requests // concurrency, 1)
+
+    async def drive(client: ServeClient) -> None:
+        # The first iteration of every client races the others at the
+        # cold cache (the coalescing window); later iterations measure
+        # the warm path.
+        for _ in range(per_client):
+            await one(client)
+
+    try:
+        with stopwatch() as wall:
+            await asyncio.gather(*(drive(client) for client in clients))
+        coalesce = server.gateway.coalescer.counters()
+        expected = encode_answer(query_class, service.uncached(query))
+        for envelope in envelopes:
+            if envelope["answer"] != expected:
+                raise ValidationError(
+                    f"served {query_class} answer diverged from direct "
+                    f"execution at concurrency {concurrency}"
+                )
+    finally:
+        for client in clients:
+            await client.aclose()
+        await server.stop()
+
+    sent = len(latencies)
+    millis = sorted(seconds * 1e3 for seconds in latencies)
+    return {
+        "dataset": "",  # filled by the matrix driver
+        "query_class": query_class,
+        "concurrency": concurrency,
+        "requests": sent,
+        "p50_ms": percentile(millis, 50.0),
+        "p95_ms": percentile(millis, 95.0),
+        "p99_ms": percentile(millis, 99.0),
+        "rps": sent / wall.seconds if wall.seconds else 0.0,
+        "coalesce_executions": coalesce["executions"],
+        "coalesce_hits": coalesce["hits"],
+        "verified": True,
+    }
+
+
+def run_serve_matrix(
+    datasets: Tuple[str, ...],
+    concurrency_levels: Tuple[int, ...],
+    requests: int,
+    pool_size: int,
+) -> Tuple[List[Dict[str, Any]], Dict[str, float]]:
+    """Run the full matrix; returns ``(results, build_seconds)``.
+
+    Raises :class:`ValidationError` if any served answer deviates from
+    direct execution, or if the identical-request workload never
+    produced a coalesce hit (the coalescer would then be dead code).
+    """
+    results: List[Dict[str, Any]] = []
+    build_seconds: Dict[str, float] = {}
+    for dataset in datasets:
+        knowledge_base, seconds = _build(dataset)
+        build_seconds[dataset] = seconds
+        print(
+            f"  {dataset}: built {knowledge_base.window_count} windows, "
+            f"{len(knowledge_base.catalog)} rules in {seconds:.2f} s"
+        )
+        _, minsupp, minconf = online_settings(dataset)[0]
+        setting = ParameterSetting(minsupp, minconf)
+        for query_class, query in _cell_queries(knowledge_base, setting):
+            for concurrency in concurrency_levels:
+                row = asyncio.run(
+                    _run_cell(
+                        knowledge_base,
+                        query_class,
+                        query,
+                        concurrency=concurrency,
+                        requests=requests,
+                        pool_size=pool_size,
+                    )
+                )
+                row["dataset"] = dataset
+                results.append(row)
+                print(
+                    f"    {query_class} c={concurrency:<3} "
+                    f"n={row['requests']:<4} "
+                    f"p50={row['p50_ms']:8.3f} ms  "
+                    f"p95={row['p95_ms']:8.3f} ms  "
+                    f"p99={row['p99_ms']:8.3f} ms  "
+                    f"rps={row['rps']:8.1f}  "
+                    f"coalesced={row['coalesce_hits']}"
+                )
+    total_hits = sum(row["coalesce_hits"] for row in results)
+    if total_hits == 0:
+        raise ValidationError(
+            "identical-request workload produced zero coalesce hits; "
+            "the serving tier is not collapsing concurrent duplicates"
+        )
+    return results, build_seconds
+
+
+def add_bench_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``repro bench-serve`` arguments on *parser*."""
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced CI matrix (retail only, fewer requests)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT}; '-' for stdout only)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=tuple(_WORKLOADS),
+        default=None,
+        help="benchmark only these datasets (default: quick/full selection)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrent clients per cell (default: 2 8 quick, 4 16 full)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=0,
+        help="total requests per cell (default: 24 quick, 64 full)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=DEFAULT_POOL_SIZE,
+        help=f"server worker threads (default: {DEFAULT_POOL_SIZE})",
+    )
+
+
+def run_bench_serve(args: argparse.Namespace) -> int:
+    """Entry point for the ``repro bench-serve`` subcommand."""
+    datasets = select_datasets(args)
+    if args.concurrency is not None:
+        concurrency_levels = tuple(args.concurrency)
+    else:
+        concurrency_levels = (
+            QUICK_CONCURRENCY if args.quick else FULL_CONCURRENCY
+        )
+    if any(level < 1 for level in concurrency_levels):
+        raise ValidationError(
+            f"--concurrency levels must be >= 1, got {concurrency_levels}"
+        )
+    requests = args.requests
+    if requests <= 0:
+        requests = QUICK_REQUESTS if args.quick else FULL_REQUESTS
+    print(
+        f"repro bench-serve ({'quick' if args.quick else 'full'} matrix): "
+        f"{len(datasets)} dataset(s), Q1/Q2/Q3/Q5 x "
+        f"concurrency {list(concurrency_levels)}, "
+        f"{requests} requests/cell, pool={args.pool_size}"
+    )
+    results, build_seconds = run_serve_matrix(
+        datasets, concurrency_levels, requests, args.pool_size
+    )
+    payload = {
+        "schema": SCHEMA,
+        "version": __version__,
+        "quick": args.quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
+        },
+        "pool_size": args.pool_size,
+        "concurrency": list(concurrency_levels),
+        "requests_per_cell": requests,
+        "results": results,
+        "build_seconds": build_seconds,
+    }
+    if args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.out} ({SCHEMA})")
+    return 0

@@ -23,6 +23,12 @@ Covers the full workflow without writing Python:
 ``repro bench-online``
     Serving-layer perf harness: drive the region-keyed query cache
     through the E6/E7 sweeps and emit ``BENCH_online.json``.
+``repro serve``
+    Serve a saved knowledge base over HTTP (asyncio network tier with
+    request coalescing; see docs/serving.md).
+``repro bench-serve``
+    Network-tier load harness: drive a served knowledge base with
+    concurrent clients and emit ``BENCH_serve.json``.
 
 Query thresholds are spelled ``--minsupp`` / ``--minconf`` uniformly
 across ``mine``, ``recommend``, and ``compare`` (``compare`` adds
@@ -46,8 +52,10 @@ from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.bench import (
     add_bench_arguments,
     add_bench_online_arguments,
+    add_bench_serve_arguments,
     run_bench,
     run_bench_online,
+    run_bench_serve,
 )
 from repro.common.errors import ReproError
 from repro.core import (
@@ -73,6 +81,14 @@ from repro.datagen import (
     FaersParameters,
 )
 from repro.maras import MarasAnalyzer, MarasConfig
+from repro.serve import (
+    DEFAULT_DRAIN_TIMEOUT,
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_POOL_SIZE,
+    DEFAULT_PORT,
+    ServeConfig,
+    run_server,
+)
 
 
 def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
@@ -197,6 +213,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="serving-layer perf harness -> BENCH_online.json (see docs/serving.md)",
     )
     add_bench_online_arguments(bench_online)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a saved knowledge base over HTTP (see docs/serving.md)",
+    )
+    serve.add_argument("--kb", required=True, help="saved knowledge-base path")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"bind port (default: {DEFAULT_PORT}; 0 for ephemeral)")
+    serve.add_argument("--pool-size", type=int, default=DEFAULT_POOL_SIZE,
+                       help=f"query worker threads (default: {DEFAULT_POOL_SIZE})")
+    serve.add_argument("--max-entries", type=int, default=DEFAULT_MAX_ENTRIES,
+                       help=f"region-keyed cache capacity (default: {DEFAULT_MAX_ENTRIES})")
+    serve.add_argument("--drain-timeout", type=float, default=DEFAULT_DRAIN_TIMEOUT,
+                       help="graceful-shutdown drain seconds "
+                            f"(default: {DEFAULT_DRAIN_TIMEOUT:g})")
+
+    bench_serve = commands.add_parser(
+        "bench-serve",
+        help="network-tier load harness -> BENCH_serve.json (see docs/benchmarks.md)",
+    )
+    add_bench_serve_arguments(bench_serve)
     return parser
 
 
@@ -376,6 +415,28 @@ def _cmd_maras(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    knowledge_base = load_knowledge_base(args.kb)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool_size,
+        max_entries=args.max_entries,
+        drain_timeout=args.drain_timeout,
+    )
+    print(
+        f"serving {knowledge_base.window_count} windows, "
+        f"{len(knowledge_base.catalog)} rules from {args.kb}"
+    )
+
+    def on_ready(host: str, port: int) -> None:
+        print(f"listening on http://{host}:{port} (Ctrl-C to drain and stop)")
+
+    run_server(knowledge_base, config, on_ready=on_ready)
+    print("drained; bye")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -386,6 +447,8 @@ _COMMANDS = {
     "lint": run_lint,
     "bench": run_bench,
     "bench-online": run_bench_online,
+    "serve": _cmd_serve,
+    "bench-serve": run_bench_serve,
 }
 
 

@@ -42,5 +42,15 @@ class QueryError(ReproError):
     """An online query is inconsistent (e.g. empty period set, bad mode)."""
 
 
+class ProtocolError(ReproError):
+    """A network request violates the serving wire protocol.
+
+    Raised by the serving tier (:mod:`repro.serve`) for malformed HTTP
+    framing or JSON request bodies — client errors that map to 4xx
+    responses, as opposed to :class:`ValidationError`/:class:`QueryError`
+    which describe well-formed requests with out-of-domain contents.
+    """
+
+
 class NotBuiltError(ReproError, RuntimeError):
     """An online operation ran before the offline knowledge base was built."""

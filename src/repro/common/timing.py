@@ -153,3 +153,22 @@ class Stopwatch:
     def millis(self) -> float:
         """Measured duration in milliseconds."""
         return self.seconds * 1e3
+
+
+class Ticker:
+    """A monotonic elapsed-seconds reader for long-lived processes.
+
+    Where :func:`stopwatch` measures one bounded block, a ``Ticker`` is
+    read repeatedly while still running — the serving tier uses it for
+    uptime and requests-per-second gauges.  Like every other timing
+    primitive it lives here so clock access stays confined to this
+    module (rule R005).
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    @property
+    def seconds(self) -> float:
+        """Seconds elapsed since construction (monotonic)."""
+        return time.perf_counter() - self._start

@@ -1,0 +1,64 @@
+"""The asyncio network tier: TARA's queries over a socket.
+
+Where :mod:`repro.service` makes query answers cheap to *reuse* (the
+region-keyed cache), this layer makes them cheap to *share*: a
+stdlib-only asyncio HTTP front door (:class:`TaraServer`) exposes
+Q1–Q5 as JSON endpoints over one thread-safe
+:class:`repro.service.TaraService`, with request coalescing
+(:class:`RequestCoalescer`) collapsing concurrent region-equivalent
+requests into a single execution and per-endpoint metrics
+(:class:`ServerMetrics`) on a ``/metrics`` route.  An ASGI adapter
+(:func:`create_asgi_app`) exposes the identical wire behaviour to
+external ASGI servers.
+
+See ``docs/serving.md`` for the wire-protocol reference and the
+operations handbook, and ``docs/benchmarks.md`` for the matching
+``repro bench-serve`` harness.
+"""
+
+from repro.serve.asgi import AsgiApp, create_asgi_app
+from repro.serve.client import ServeClient
+from repro.serve.coalesce import RequestCoalescer
+from repro.serve.gateway import DEFAULT_POOL_SIZE, QueryGateway
+from repro.serve.httpd import HttpRequest, WireError
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import (
+    QUERY_KINDS,
+    decode_request,
+    encode_answer,
+    encode_request,
+)
+from repro.serve.server import (
+    DEFAULT_DRAIN_TIMEOUT,
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_PORT,
+    ServeConfig,
+    TaraServer,
+    create_server,
+    run_server,
+    serve_until_stopped,
+)
+
+__all__ = [
+    "AsgiApp",
+    "DEFAULT_DRAIN_TIMEOUT",
+    "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_POOL_SIZE",
+    "DEFAULT_PORT",
+    "HttpRequest",
+    "QUERY_KINDS",
+    "QueryGateway",
+    "RequestCoalescer",
+    "ServeClient",
+    "ServeConfig",
+    "ServerMetrics",
+    "TaraServer",
+    "WireError",
+    "create_asgi_app",
+    "create_server",
+    "decode_request",
+    "encode_answer",
+    "encode_request",
+    "run_server",
+    "serve_until_stopped",
+]

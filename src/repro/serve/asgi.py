@@ -1,0 +1,100 @@
+"""A stdlib-pure ASGI adapter over the query gateway.
+
+For deployments that already run an ASGI server (uvicorn, hypercorn —
+installable via the ``repro[asgi]`` extra; nothing here imports them),
+:func:`create_asgi_app` exposes exactly the same routes, envelopes, and
+coalescing semantics as the asyncio front door: both transports
+delegate to one :class:`repro.serve.gateway.QueryGateway`, so wire
+behaviour cannot diverge.
+
+The adapter speaks the ASGI 3 single-callable protocol and handles the
+``lifespan`` and ``http`` scopes; anything else (websockets) is
+answered with a 404 envelope.  It depends on nothing outside the
+standard library, so importing :mod:`repro.serve` never requires the
+extra to be installed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Awaitable, Callable, Mapping, MutableMapping, Optional
+
+from repro.serve.gateway import DEFAULT_POOL_SIZE, QueryGateway
+from repro.serve.metrics import ServerMetrics
+from repro.service.service import TaraService
+
+#: ASGI 3 message/callable shapes (stdlib spellings; no asgiref import).
+Scope = Mapping[str, Any]
+Message = MutableMapping[str, Any]
+Receive = Callable[[], Awaitable[Message]]
+Send = Callable[[Mapping[str, Any]], Awaitable[None]]
+
+
+class AsgiApp:
+    """The ASGI 3 application object; also exposes its gateway."""
+
+    def __init__(
+        self,
+        service: TaraService,
+        *,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        self.gateway = QueryGateway(
+            service, pool_size=pool_size, metrics=metrics
+        )
+
+    async def __call__(
+        self, scope: Scope, receive: Receive, send: Send
+    ) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] == "http":
+            await self._http(scope, receive, send)
+            return
+        # Unsupported scope type (e.g. websocket): refuse politely if
+        # the scope allows an HTTP-shaped answer; otherwise do nothing.
+
+    async def _lifespan(self, receive: Receive, send: Send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                self.gateway.begin_drain()
+                self.gateway.aclose()
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _http(
+        self, scope: Scope, receive: Receive, send: Send
+    ) -> None:
+        body = b""
+        while True:
+            message = await receive()
+            body += message.get("body", b"")
+            if not message.get("more_body", False):
+                break
+        status, payload = await self.gateway.dispatch(
+            scope["method"], scope["path"], body
+        )
+        data = json.dumps(payload).encode("utf-8")
+        await send(
+            {
+                "type": "http.response.start",
+                "status": status,
+                "headers": [
+                    (b"content-type", b"application/json"),
+                    (b"content-length", str(len(data)).encode("latin-1")),
+                ],
+            }
+        )
+        await send({"type": "http.response.body", "body": data})
+
+
+def create_asgi_app(
+    service: TaraService, *, pool_size: int = DEFAULT_POOL_SIZE
+) -> AsgiApp:
+    """Build the ASGI application for *service* (``repro[asgi]`` docs)."""
+    return AsgiApp(service, pool_size=pool_size)

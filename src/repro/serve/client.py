@@ -1,0 +1,100 @@
+"""A minimal asyncio HTTP/1.1 client for the serving tier.
+
+:class:`ServeClient` is the counterpart of the server's framing layer —
+one persistent connection, JSON envelopes in and out.  The bench-serve
+harness drives its concurrent workload through it, the test suite uses
+it for end-to-end assertions, and it doubles as a reference
+implementation of the wire protocol for external clients
+(docs/serving.md shows the equivalent ``curl`` spellings).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Optional, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.core.queries import ExplorerQuery
+from repro.serve.httpd import read_response
+from repro.serve.protocol import JsonDict, encode_request
+
+
+class ServeClient:
+    """One keep-alive connection to a :class:`repro.serve.server.TaraServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._reader = reader
+        self._writer = writer
+        self._closed = False
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "ServeClient":
+        """Connect to ``host:port`` and return a ready client."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(host, port, reader, writer)
+
+    @property
+    def closed(self) -> bool:
+        """True once the connection is gone (close() or server hangup)."""
+        return self._closed
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        payload: Optional[JsonDict] = None,
+    ) -> Tuple[int, Any]:
+        """Send one request; returns ``(status, decoded JSON body)``."""
+        if self._closed:
+            raise ProtocolError("client connection is closed")
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {target} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status, headers, raw = await read_response(self._reader)
+        if headers.get("connection", "").lower() == "close":
+            await self.aclose()
+        return status, json.loads(raw) if raw else None
+
+    async def query(self, kind: str, payload: JsonDict) -> Tuple[int, Any]:
+        """POST one wire-shaped query of endpoint *kind*."""
+        return await self.request("POST", f"/v1/query/{kind}", payload)
+
+    async def execute(self, query: ExplorerQuery) -> Tuple[int, Any]:
+        """Encode a request dataclass and POST it (client-side protocol)."""
+        kind, payload = encode_request(query)
+        return await self.query(kind, payload)
+
+    async def healthz(self) -> Tuple[int, Any]:
+        """GET the liveness/drain-state route."""
+        return await self.request("GET", "/healthz")
+
+    async def metrics(self) -> Tuple[int, Any]:
+        """GET the counters/histograms route."""
+        return await self.request("GET", "/metrics")
+
+    async def aclose(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass  # the peer already hung up; the socket is gone either way

@@ -1,0 +1,249 @@
+"""Transport-agnostic routing and dispatch for the serving tier.
+
+:class:`QueryGateway` is the part of the server that is pure
+request/response logic: route a ``(method, target, body)`` triple to a
+handler, decode the JSON request, coalesce region-equivalent executions
+(:mod:`repro.serve.coalesce`), run the query on a thread pool in front
+of one shared thread-safe :class:`repro.service.service.TaraService`,
+and wrap the answer in the response envelope.  Both transports — the
+asyncio HTTP front door (:mod:`repro.serve.server`) and the ASGI
+adapter (:mod:`repro.serve.asgi`) — delegate here, so wire semantics
+cannot drift between them.
+
+Routes::
+
+    GET  /healthz             liveness + drain state + serving epoch
+    GET  /metrics             counters, latency histograms, coalescing
+    POST /v1/query/<kind>     one query; kinds in protocol.QUERY_KINDS
+
+Envelope: success is ``{"ok": true, "query_class", "epoch",
+"coalesced", "answer"}``; every failure is ``{"ok": false, "error":
+{"code", "message"}}`` with the HTTP status carrying the family
+(400 protocol/domain, 404/405 routing, 503 draining, 500 bug).
+
+Epoch consistency: the gateway canonicalizes on the event loop at the
+epoch it observed, coalesces on the canonical key (which embeds the
+epoch for generation-scoped queries — see :mod:`repro.serve.coalesce`),
+and re-checks the epoch after awaiting a coalesced answer.  If an
+append moved the epoch underneath a scoped request, the request
+re-executes directly instead of returning the pre-append answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Tuple
+
+from repro.common.errors import (
+    ProtocolError,
+    QueryError,
+    ReproError,
+    UnknownRuleError,
+    UnknownWindowError,
+    ValidationError,
+)
+from repro.common.timing import stopwatch
+from repro.serve.coalesce import RequestCoalescer
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import (
+    QUERY_KINDS,
+    JsonDict,
+    decode_request,
+    encode_answer,
+)
+from repro.service.keys import EPOCH_FREE, canonicalize
+from repro.service.service import TaraService
+
+#: Route prefix for the query endpoints.
+QUERY_ROUTE_PREFIX = "/v1/query/"
+
+#: Default worker-pool width (threads executing queries).
+DEFAULT_POOL_SIZE = 4
+
+
+def error_payload(code: str, message: str) -> JsonDict:
+    """The failure envelope every error response uses."""
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+def _error_code(error: ReproError) -> str:
+    if isinstance(error, ProtocolError):
+        return "protocol"
+    if isinstance(error, ValidationError):
+        return "validation"
+    if isinstance(error, (QueryError, UnknownRuleError, UnknownWindowError)):
+        return "query"
+    return "error"
+
+
+class QueryGateway:
+    """Routes requests onto one shared :class:`TaraService`.
+
+    The gateway itself is event-loop-confined (coalescer map, metrics);
+    only :meth:`TaraService.execute` calls cross into the thread pool,
+    and the service carries its own lock.  One gateway serves exactly
+    one loop — create it from the loop that will dispatch on it.
+    """
+
+    def __init__(
+        self,
+        service: TaraService,
+        *,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        if pool_size < 1:
+            raise ValidationError(f"pool_size must be >= 1, got {pool_size}")
+        self._service = service
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="tara-serve"
+        )
+        self.pool_size = pool_size
+        self.coalescer = RequestCoalescer()
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._draining = False
+
+    @property
+    def service(self) -> TaraService:
+        """The shared service every worker thread executes against."""
+        return self._service
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` was called."""
+        return self._draining
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently being dispatched (drain watches this)."""
+        return self.metrics.in_flight
+
+    def begin_drain(self) -> None:
+        """Stop accepting query work; health checks report ``draining``."""
+        self._draining = True
+
+    def aclose(self) -> None:
+        """Release the worker pool (after the last request drained)."""
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, JsonDict]:
+        """Serve one request; always returns ``(status, envelope)``."""
+        endpoint = self._endpoint_label(target)
+        self.metrics.enter()
+        try:
+            with stopwatch() as clock:
+                try:
+                    status, payload = await self._route(method, target, body)
+                except ReproError as error:
+                    status = 400
+                    payload = error_payload(_error_code(error), str(error))
+                except Exception as error:  # repro-lint: disable=R003
+                    # The dispatch contract is "every request gets an
+                    # envelope": a handler bug must become a 500 response,
+                    # not a dropped connection or a dead server loop.
+                    status = 500
+                    payload = error_payload(
+                        "internal", f"{type(error).__name__}: {error}"
+                    )
+            self.metrics.observe(endpoint, status, clock.seconds)
+            return status, payload
+        finally:
+            self.metrics.exit()
+
+    def _endpoint_label(self, target: str) -> str:
+        if target.startswith(QUERY_ROUTE_PREFIX):
+            kind = target[len(QUERY_ROUTE_PREFIX) :]
+            if kind in QUERY_KINDS:
+                return f"query/{kind}"
+        if target in ("/healthz", "/metrics"):
+            return target.lstrip("/")
+        return "other"
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, JsonDict]:
+        if target == "/healthz":
+            if method != "GET":
+                return 405, error_payload("method", "use GET for /healthz")
+            return 200, self._health()
+        if target == "/metrics":
+            if method != "GET":
+                return 405, error_payload("method", "use GET for /metrics")
+            return 200, {
+                "ok": True,
+                "metrics": self.metrics.as_dict(self.coalescer.counters()),
+            }
+        if target.startswith(QUERY_ROUTE_PREFIX):
+            kind = target[len(QUERY_ROUTE_PREFIX) :]
+            if kind not in QUERY_KINDS:
+                return 404, error_payload(
+                    "route",
+                    f"unknown query kind {kind!r}; "
+                    f"expected one of {', '.join(QUERY_KINDS)}",
+                )
+            if method != "POST":
+                return 405, error_payload(
+                    "method", f"use POST for {QUERY_ROUTE_PREFIX}{kind}"
+                )
+            if self._draining:
+                return 503, error_payload("draining", "server is draining")
+            return await self._query(kind, body)
+        return 404, error_payload("route", f"no route for {target!r}")
+
+    def _health(self) -> JsonDict:
+        return {
+            "ok": True,
+            "status": "draining" if self._draining else "serving",
+            "epoch": self._service.epoch,
+            "windows": self._service.knowledge_base.window_count,
+            "uptime_seconds": self.metrics.uptime_seconds,
+        }
+
+    async def _query(self, kind: str, body: bytes) -> Tuple[int, JsonDict]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, error_payload(
+                "protocol", f"request body is not valid JSON: {error}"
+            )
+        # ProtocolError (bad shape) and domain errors (unknown window,
+        # out-of-range setting) both surface here; dispatch maps them
+        # to a 400 envelope with the class-specific code.
+        query = decode_request(kind, payload)
+        canonical = canonicalize(
+            query, self._service.knowledge_base, self._service.epoch
+        )
+        loop = asyncio.get_running_loop()
+
+        def execute() -> object:
+            return self._service.execute(query)
+
+        def supplier() -> "asyncio.Future[object]":
+            return loop.run_in_executor(self._pool, execute)
+
+        if canonical.key is None:
+            # Roll-up: not region-cacheable, so not coalescible either.
+            answer: object = await supplier()
+            coalesced = False
+        else:
+            answer, coalesced = await self.coalescer.run(canonical.key, supplier)
+            if canonical.epoch not in (EPOCH_FREE, self._service.epoch):
+                # An append landed while the coalesced execution ran; a
+                # generation-scoped answer from the old epoch must not
+                # be served.  Re-execute at the current epoch.
+                answer = await supplier()
+                coalesced = False
+        return 200, {
+            "ok": True,
+            "query_class": canonical.query_class,
+            "epoch": self._service.epoch,
+            "coalesced": coalesced,
+            "answer": encode_answer(canonical.query_class, answer),
+        }

@@ -1,0 +1,64 @@
+"""``repro bench-serve --quick`` integration: artifact shape and gates."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def tiny_retail(monkeypatch):
+    """Shrink the retail workload so the quick matrix runs in seconds."""
+    import repro.bench as bench
+    import repro.bench.workloads as workloads
+
+    monkeypatch.setitem(bench._WORKLOADS, "retail", (150, 3, 0.05, 0.30))
+    # The queried setting must sit above the shrunk generation
+    # thresholds (same trick as the bench-online CLI test).
+    monkeypatch.setitem(workloads.ONLINE_SUPPORT_SWEEP, "retail", (0.06, 0.08))
+    monkeypatch.setitem(workloads.ONLINE_FIXED_CONFIDENCE, "retail", 0.4)
+
+
+def test_bench_serve_quick_writes_artifact(tmp_path, tiny_retail, capsys):
+    out = tmp_path / "BENCH_serve.json"
+    code = main(
+        [
+            "bench-serve",
+            "--quick",
+            "--requests", "8",
+            "--concurrency", "2", "4",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro-bench-serve/1"
+    assert payload["quick"] is True
+    assert payload["concurrency"] == [2, 4]
+
+    results = payload["results"]
+    # 4 query classes x 2 concurrency levels on the quick dataset.
+    assert len(results) == 8
+    assert {row["query_class"] for row in results} == {"Q1", "Q2", "Q3", "Q5"}
+    assert {row["concurrency"] for row in results} == {2, 4}
+    for row in results:
+        assert row["dataset"] == "retail"
+        assert row["verified"] is True
+        assert row["requests"] == 8
+        assert 0.0 < row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+        assert row["rps"] > 0.0
+    # The identical-request workload must have coalesced somewhere.
+    assert sum(row["coalesce_hits"] for row in results) > 0
+
+    captured = capsys.readouterr().out
+    assert "wrote" in captured and "repro-bench-serve/1" in captured
+
+
+def test_bench_serve_rejects_bad_concurrency(tiny_retail):
+    code = main(
+        ["bench-serve", "--quick", "--concurrency", "0", "--out", "-"]
+    )
+    assert code == 1  # ValidationError -> CLI error convention

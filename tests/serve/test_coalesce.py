@@ -1,0 +1,126 @@
+"""Coalescer unit tests: one execution per key, shared failures."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.common.errors import QueryError
+from repro.serve.coalesce import RequestCoalescer
+
+KEY_A = (1, -1, 0, 7)
+KEY_B = (3, -1, 2, 9)
+
+
+def test_concurrent_identical_requests_execute_once():
+    async def scenario():
+        coalescer = RequestCoalescer()
+        release = asyncio.Event()
+        executions = []
+
+        async def supplier():
+            executions.append(1)
+            await release.wait()
+            return {"answer": 42}
+
+        tasks = [
+            asyncio.create_task(coalescer.run(KEY_A, supplier))
+            for _ in range(5)
+        ]
+        await asyncio.sleep(0)  # let every task reach the coalescer
+        assert coalescer.in_flight == 1
+        release.set()
+        results = await asyncio.gather(*tasks)
+        return coalescer, executions, results
+
+    coalescer, executions, results = asyncio.run(scenario())
+    assert len(executions) == 1
+    assert coalescer.executions == 1
+    assert coalescer.hits == 4
+    assert coalescer.in_flight == 0
+    answers = [answer for answer, _ in results]
+    assert all(answer is answers[0] for answer in answers)
+    assert sorted(coalesced for _, coalesced in results) == [
+        False, True, True, True, True,
+    ]
+
+
+def test_distinct_keys_do_not_coalesce():
+    async def scenario():
+        coalescer = RequestCoalescer()
+        release = asyncio.Event()
+
+        def supplier_for(value):
+            async def supplier():
+                await release.wait()
+                return value
+
+            return supplier
+
+        task_a = asyncio.create_task(coalescer.run(KEY_A, supplier_for("a")))
+        task_b = asyncio.create_task(coalescer.run(KEY_B, supplier_for("b")))
+        await asyncio.sleep(0)
+        assert coalescer.in_flight == 2
+        release.set()
+        (answer_a, _), (answer_b, _) = await asyncio.gather(task_a, task_b)
+        return coalescer, answer_a, answer_b
+
+    coalescer, answer_a, answer_b = asyncio.run(scenario())
+    assert (answer_a, answer_b) == ("a", "b")
+    assert coalescer.executions == 2
+    assert coalescer.hits == 0
+
+
+def test_failure_propagates_to_every_waiter():
+    async def scenario():
+        coalescer = RequestCoalescer()
+        release = asyncio.Event()
+
+        async def supplier():
+            await release.wait()
+            raise QueryError("window 99 does not exist")
+
+        tasks = [
+            asyncio.create_task(coalescer.run(KEY_A, supplier))
+            for _ in range(3)
+        ]
+        await asyncio.sleep(0)
+        release.set()
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+        return coalescer, outcomes
+
+    coalescer, outcomes = asyncio.run(scenario())
+    assert len(outcomes) == 3
+    assert all(isinstance(outcome, QueryError) for outcome in outcomes)
+    # One execution paid for the whole burst, even though it failed.
+    assert coalescer.executions == 1
+    assert coalescer.hits == 2
+    assert coalescer.in_flight == 0
+
+
+def test_sequential_requests_each_execute():
+    async def scenario():
+        coalescer = RequestCoalescer()
+
+        async def supplier():
+            return "fresh"
+
+        first = await coalescer.run(KEY_A, supplier)
+        second = await coalescer.run(KEY_A, supplier)
+        return coalescer, first, second
+
+    coalescer, first, second = asyncio.run(scenario())
+    # No overlap, no coalescing: the cache above this layer handles
+    # sequential reuse; the coalescer only collapses concurrency.
+    assert first == ("fresh", False)
+    assert second == ("fresh", False)
+    assert coalescer.executions == 2
+    assert coalescer.hits == 0
+
+
+def test_counters_snapshot():
+    coalescer = RequestCoalescer()
+    assert coalescer.counters() == {
+        "executions": 0,
+        "hits": 0,
+        "in_flight": 0,
+    }

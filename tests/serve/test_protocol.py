@@ -1,0 +1,173 @@
+"""Wire-protocol tests: round-trips, strictness, answer determinism."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core import (
+    CompareQuery,
+    ContentQuery,
+    MatchMode,
+    ParameterSetting,
+    RecommendQuery,
+    RollupQuery,
+    TrajectoryQuery,
+)
+from repro.data import PeriodSpec
+from repro.serve.protocol import (
+    QUERY_KINDS,
+    decode_request,
+    encode_answer,
+    encode_request,
+)
+from repro.service import TaraService, canonicalize
+
+SETTING = ParameterSetting(min_support=0.03, min_confidence=0.2)
+TIGHTER = ParameterSetting(min_support=0.05, min_confidence=0.2)
+
+#: One request per endpoint kind, defaults and explicit windows mixed.
+ROUND_TRIP_QUERIES = [
+    TrajectoryQuery(setting=SETTING, anchor_window=1),
+    TrajectoryQuery(setting=SETTING, anchor_window=0, spec=PeriodSpec([0, 2])),
+    CompareQuery(first=SETTING, second=TIGHTER),
+    CompareQuery(
+        first=SETTING,
+        second=TIGHTER,
+        spec=PeriodSpec([1, 3]),
+        mode=MatchMode.EXACT,
+    ),
+    RecommendQuery(setting=SETTING),
+    RecommendQuery(setting=SETTING, window=2),
+    ContentQuery(setting=SETTING, items=(3, 1, 7)),
+    ContentQuery(setting=SETTING, items=(2,), spec=PeriodSpec([0, 1])),
+    RollupQuery(setting=SETTING, spec=PeriodSpec([0, 1, 2])),
+]
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize(
+        "query", ROUND_TRIP_QUERIES, ids=lambda q: type(q).__name__
+    )
+    def test_decode_inverts_encode(self, query):
+        kind, payload = encode_request(query)
+        assert kind in QUERY_KINDS
+        assert decode_request(kind, payload) == query
+
+    @pytest.mark.parametrize(
+        "query", ROUND_TRIP_QUERIES, ids=lambda q: type(q).__name__
+    )
+    def test_round_trip_preserves_canonical_key(self, query, small_kb):
+        kind, payload = encode_request(query)
+        decoded = decode_request(kind, payload)
+        epoch = small_kb.window_count
+        original = canonicalize(query, small_kb, epoch)
+        again = canonicalize(decoded, small_kb, epoch)
+        assert again.key == original.key
+        assert again.query_class == original.query_class
+
+
+class TestStrictDecoding:
+    def test_unknown_field_rejected(self):
+        payload = {
+            "setting": {"minsupp": 0.03, "minconf": 0.2},
+            "anchor_window": 0,
+            "ancor_window": 1,  # typo must not be silently ignored
+        }
+        with pytest.raises(ProtocolError, match="ancor_window"):
+            decode_request("trajectory", payload)
+
+    def test_unknown_setting_field_rejected(self):
+        payload = {
+            "setting": {"minsupp": 0.03, "minconf": 0.2, "minsup": 0.1},
+            "anchor_window": 0,
+        }
+        with pytest.raises(ProtocolError, match="minsup"):
+            decode_request("trajectory", payload)
+
+    def test_missing_required_field(self):
+        with pytest.raises(ProtocolError, match="anchor_window"):
+            decode_request(
+                "trajectory", {"setting": {"minsupp": 0.03, "minconf": 0.2}}
+            )
+
+    def test_non_object_body(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_request("recommend", [1, 2, 3])
+
+    def test_boolean_is_not_a_number(self):
+        with pytest.raises(ProtocolError, match="number"):
+            decode_request(
+                "recommend", {"setting": {"minsupp": True, "minconf": 0.2}}
+            )
+
+    def test_non_integer_window(self):
+        payload = {
+            "setting": {"minsupp": 0.03, "minconf": 0.2},
+            "anchor_window": 0,
+            "windows": [0, 1.5],
+        }
+        with pytest.raises(ProtocolError, match="integer"):
+            decode_request("trajectory", payload)
+
+    def test_empty_windows_rejected(self):
+        payload = {
+            "setting": {"minsupp": 0.03, "minconf": 0.2},
+            "anchor_window": 0,
+            "windows": [],
+        }
+        with pytest.raises(ProtocolError, match="non-empty"):
+            decode_request("trajectory", payload)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="unknown query kind"):
+            decode_request("trajectories", {})
+
+    def test_bad_compare_mode(self):
+        payload = {
+            "first": {"minsupp": 0.03, "minconf": 0.2},
+            "second": {"minsupp": 0.05, "minconf": 0.2},
+            "mode": "both",
+        }
+        with pytest.raises(ProtocolError, match="mode"):
+            decode_request("compare", payload)
+
+
+class TestAnswerEncoding:
+    def test_encoding_is_deterministic(self, small_kb):
+        service = TaraService(small_kb)
+        query = TrajectoryQuery(setting=SETTING, anchor_window=0)
+        first = encode_answer("Q1", service.execute(query))
+        second = encode_answer("Q1", service.execute(query))
+        assert first == second
+
+    def test_recommendation_carries_exact_fractions(self, small_kb):
+        service = TaraService(small_kb)
+        answer = service.execute(RecommendQuery(setting=SETTING))
+        payload = encode_answer("Q3", answer)
+        region = payload["region"]
+        numerator, denominator = map(
+            int, region["support_floor_exact"].split("/")
+        )
+        exact = Fraction(numerator, denominator)
+        assert exact == answer.region.support_floor
+        assert region["support_floor"] == float(exact)
+
+    def test_every_class_encodes(self, small_kb):
+        service = TaraService(small_kb)
+        queries = {
+            "Q1": TrajectoryQuery(setting=SETTING, anchor_window=0),
+            "Q2": CompareQuery(first=SETTING, second=TIGHTER),
+            "Q3": RecommendQuery(setting=SETTING),
+            "Q5": ContentQuery(setting=SETTING, items=(0, 1)),
+            "rollup": RollupQuery(setting=SETTING, spec=PeriodSpec([0, 1])),
+        }
+        for query_class, query in queries.items():
+            payload = encode_answer(query_class, service.execute(query))
+            assert isinstance(payload, dict) and payload
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ProtocolError, match="Q4"):
+            encode_answer("Q4", object())

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's Markdown documentation.
+
+CI runs this over ``README.md`` and ``docs/`` (see
+``.github/workflows/ci.yml``).  The checker is deliberately small and
+stdlib-only:
+
+* inline links ``[text](target)`` and images ``![alt](target)`` are
+  collected with a regex; reference-style definitions ``[id]: target``
+  are collected too;
+* absolute URLs (``http://``, ``https://``, ``mailto:``) are skipped —
+  this is a *relative*-link checker, not a crawler;
+* pure-fragment links (``#section``) are skipped (heading anchors are
+  renderer-specific);
+* everything else must resolve, relative to the containing file, to an
+  existing file or directory after stripping any ``#fragment``.
+
+Exit status: 0 when every relative link resolves, 1 otherwise (each
+broken link is printed as ``file:line: target``), 2 on usage error.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+
+Directory arguments are walked recursively for ``*.md`` files.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple
+
+# Inline link/image: [text](target ...) — target ends at whitespace or
+# the closing paren; an optional "title" after the target is tolerated.
+_INLINE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+# Reference definition at line start: [id]: target
+_REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$")
+# Fenced code blocks must not contribute links (``[i]`` indexing etc.).
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(arguments: Iterable[str]) -> Iterator[Path]:
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        else:
+            yield path
+
+
+def iter_links(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every link in *text*."""
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        reference = _REFERENCE.match(line)
+        if reference:
+            yield number, reference.group(1)
+            continue
+        for match in _INLINE.finditer(line):
+            yield number, match.group(1)
+
+
+def broken_links(path: Path) -> List[Tuple[int, str]]:
+    """Relative links in *path* that do not resolve to an existing file."""
+    broken: List[Tuple[int, str]] = []
+    text = path.read_text(encoding="utf-8")
+    for number, target in iter_links(text):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        if target.startswith("#"):
+            continue
+        bare = target.split("#", 1)[0]
+        if not bare:
+            continue
+        resolved = (path.parent / bare).resolve()
+        if not resolved.exists():
+            broken.append((number, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE_OR_DIR [FILE_OR_DIR ...]", file=sys.stderr)
+        return 2
+    files = list(iter_markdown_files(argv))
+    missing = [str(path) for path in files if not path.is_file()]
+    if missing:
+        for path in missing:
+            print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in files:
+        for number, target in broken_links(path):
+            print(f"{path}:{number}: broken relative link -> {target}")
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"{failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"ok: {checked} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
