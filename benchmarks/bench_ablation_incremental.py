@@ -34,21 +34,19 @@ def test_ablation_incremental_append(benchmark, strategy):
         # History absorbed once outside the timer; the measured cost is
         # the new batch only.
         incremental = IncrementalTara(config)
-        for batch in history:
-            incremental.append_batch(batch)
+        incremental.publish(history)
         state = {"tara": incremental, "appended": False}
 
         def absorb():
             if state["appended"]:
-                # Re-appending the same window is illegal; rebuild the
+                # Re-publishing the same window is illegal; rebuild the
                 # prefix outside any reasonable timing impact is not an
                 # option, so subsequent rounds re-create the incremental
                 # state lazily. rounds=1 avoids this path entirely.
                 fresh = IncrementalTara(config)
-                for batch in history:
-                    fresh.append_batch(batch)
+                fresh.publish(history)
                 state["tara"] = fresh
-            state["tara"].append_batch(new_batch)
+            state["tara"].publish([new_batch])
             state["appended"] = True
 
         benchmark.pedantic(absorb, rounds=1, iterations=1, warmup_rounds=0)

@@ -18,7 +18,12 @@ import pytest
 
 from benchmarks import datasets as data
 from benchmarks.conftest import format_time, mean_seconds, report
-from repro.core import ParameterSetting
+from repro.core import (
+    ContentQuery,
+    ParameterSetting,
+    RecommendQuery,
+    TrajectoryQuery,
+)
 from repro.data import PeriodSpec
 
 FIGURE = "Figure 7 - Q1/Q3 time vs minsupp (fixed minconf)"
@@ -41,14 +46,17 @@ def _query(dataset: str, system: str, setting: ParameterSetting):
     spec = PeriodSpec.window_range(0, data.BATCHES - 1)
     if system == "TARA":
         explorer = data.tara_explorer(dataset)
-        return lambda: explorer.trajectories(setting, anchor, spec)
+        request = TrajectoryQuery(setting=setting, anchor_window=anchor, spec=spec)
+        return lambda: explorer.execute(request)
     if system == "TARA-S":
         explorer = data.tara_explorer(dataset, item_index=True)
-        items = sorted(data.database(dataset).unique_items())[:3]
-        return lambda: explorer.content(setting, items, spec)
+        items = tuple(sorted(data.database(dataset).unique_items())[:3])
+        request = ContentQuery(setting=setting, items=items, spec=spec)
+        return lambda: explorer.execute(request)
     if system == "TARA-R":
         explorer = data.tara_explorer(dataset)
-        return lambda: explorer.recommend(setting, anchor)
+        request = RecommendQuery(setting=setting, window=anchor)
+        return lambda: explorer.execute(request)
     baseline = data.baseline(dataset, system)
     return lambda: baseline.trajectory(setting, anchor, spec)
 

@@ -15,7 +15,7 @@ import pytest
 
 from benchmarks import datasets as data
 from benchmarks.conftest import format_time, mean_seconds, report
-from repro.core import MatchMode, ParameterSetting
+from repro.core import CompareQuery, MatchMode, ParameterSetting
 from repro.data import PeriodSpec
 
 FIGURE = "Figure 10 - Q2 comparison time vs 2nd minsupp (exact match)"
@@ -46,7 +46,10 @@ def test_fig10_compare_vary_support(benchmark, dataset, system, supp2):
 
     if system == "TARA":
         explorer = data.tara_explorer(dataset)
-        query = lambda: explorer.compare(first, second, spec, MatchMode.EXACT)
+        request = CompareQuery(
+            first=first, second=second, spec=spec, mode=MatchMode.EXACT
+        )
+        query = lambda: explorer.execute(request)
         rounds = 3
     else:
         baseline = data.baseline(dataset, system)

@@ -12,7 +12,7 @@ import pytest
 
 from benchmarks import datasets as data
 from benchmarks.conftest import format_time, mean_seconds, report
-from repro.core import MatchMode, ParameterSetting
+from repro.core import CompareQuery, MatchMode, ParameterSetting
 from repro.data import PeriodSpec
 
 FIGURE = "Figure 11 - Q2 comparison time vs 2nd minconf (exact match)"
@@ -43,7 +43,10 @@ def test_fig11_compare_vary_confidence(benchmark, dataset, system, conf2):
 
     if system == "TARA":
         explorer = data.tara_explorer(dataset)
-        query = lambda: explorer.compare(first, second, spec, MatchMode.EXACT)
+        request = CompareQuery(
+            first=first, second=second, spec=spec, mode=MatchMode.EXACT
+        )
+        query = lambda: explorer.execute(request)
         rounds = 3
     else:
         baseline = data.baseline(dataset, system)

@@ -15,10 +15,13 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core import (
+    CompareQuery,
     GenerationConfig,
     MatchMode,
     ParameterSetting,
+    RecommendQuery,
     TaraExplorer,
+    TrajectoryQuery,
     build_knowledge_base,
 )
 from repro.data import WindowedDatabase
@@ -59,7 +62,7 @@ def main() -> None:
         )
 
     # -- 4. parameter recommendation (Q3) --------------------------------
-    recommendation = explorer.recommend(setting)
+    recommendation = explorer.execute(RecommendQuery(setting=setting))
     region = recommendation.region
     print(
         f"\nstable region around the setting: any (supp, conf) in "
@@ -74,7 +77,9 @@ def main() -> None:
 
     # -- 5. evolving ruleset comparison (Q2) ------------------------------
     tighter = ParameterSetting(min_support=0.02, min_confidence=0.4)
-    comparison = explorer.compare(setting, tighter, mode=MatchMode.SINGLE)
+    comparison = explorer.execute(
+        CompareQuery(first=setting, second=tighter, mode=MatchMode.SINGLE)
+    )
     print(
         f"\ncomparing against (supp={tighter.min_support}, "
         f"conf={tighter.min_confidence}): {comparison.difference_size} rules "
@@ -82,7 +87,9 @@ def main() -> None:
     )
 
     # -- 6. rule trajectory (Q1) -----------------------------------------
-    trajectories = explorer.trajectories(setting, anchor_window=latest)
+    trajectories = explorer.execute(
+        TrajectoryQuery(setting=setting, anchor_window=latest)
+    )
     trajectory = max(
         trajectories, key=lambda t: len(t.present_windows())
     )

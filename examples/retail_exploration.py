@@ -12,8 +12,10 @@ Run:  python examples/retail_exploration.py
 """
 
 from repro.core import (
+    ContentQuery,
     GenerationConfig,
     ParameterSetting,
+    RollupQuery,
     TaraExplorer,
     build_knowledge_base,
 )
@@ -71,7 +73,9 @@ def main() -> None:
 
     # -- (c) roll-up to a coarser granularity ----------------------------
     print("\n== roll-up: one answer over the merged first four windows ==")
-    answer = explorer.mine_rolled_up(setting, PeriodSpec.window_range(0, 3))
+    answer = explorer.execute(
+        RollupQuery(setting=setting, spec=PeriodSpec.window_range(0, 3))
+    )
     print(
         f"certain rules: {len(answer.certain)}, possible: "
         f"{len(answer.possible)}, max support error: "
@@ -81,8 +85,8 @@ def main() -> None:
     # -- (d) content-based exploration (Q5) -------------------------------
     seasonal_item = truth.seasonal_items[0]
     print(f"\n== rules mentioning seasonal item {seasonal_item} per window ==")
-    content = explorer.content(
-        ParameterSetting(0.01, 0.2), [seasonal_item]
+    content = explorer.execute(
+        ContentQuery(setting=ParameterSetting(0.01, 0.2), items=(seasonal_item,))
     )
     for window, rule_ids in content.items():
         print(f"  window {window}: {len(rule_ids)} rules")

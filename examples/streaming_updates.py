@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Evolving data: incremental knowledge-base maintenance (iPARAS-style).
 
-Batches of transactions arrive over time; each batch becomes a new
-basic window.  The incremental builder mines and indexes *only the new
-batch* — all previous windows' archive series and EPS slices are reused
-— and the explorer stays queryable between arrivals.  The final state
-is bit-identical to a from-scratch build over the same data, which the
-script verifies.
+Batches of transactions arrive over time; each ``publish`` turns a
+batch into a new basic window and installs a fresh immutable snapshot.
+The publisher mines and indexes *only the new batch* — all previous
+windows' archive series and EPS slices are reused — and readers keep
+querying the previous snapshot until the new one is installed.  The
+final state is bit-identical to a from-scratch build over the same
+data, which the script verifies.
 
 Run:  python examples/streaming_updates.py
 """
@@ -34,9 +35,9 @@ def main() -> None:
     for index in range(windows.window_count):
         batch = windows.window(index)
         start = time.perf_counter()
-        incremental.append_batch(batch)
+        snapshot = incremental.publish([batch])
         elapsed = (time.perf_counter() - start) * 1e3
-        explorer = incremental.explorer()
+        explorer = snapshot.explorer()
         latest_rules = explorer.ruleset(setting, index)
         print(
             f"  batch {index}: {len(batch)} transactions ingested in "

@@ -13,13 +13,25 @@ Two sibling harnesses share one workload vocabulary
 * :mod:`repro.bench.serve` drives the asyncio network tier with
   concurrent clients and emits ``BENCH_serve.json``
   (``repro-bench-serve/1``), verifying served answers against direct
-  execution and asserting the coalescer actually collapsed duplicates.
+  execution and asserting the coalescer actually collapsed duplicates;
+* :mod:`repro.bench.ingest` drives concurrent query clients while a
+  writer appends windows through ``/v1/admin/append`` and emits
+  ``BENCH_ingest.json`` (``repro-bench-ingest/1``), verifying every
+  answer against a serial rebuild at the answering snapshot's window
+  count and gating p99-under-ingest at twice the no-ingest baseline.
 
 For backward compatibility this package re-exports the offline
 harness's public surface under its historical ``repro.bench`` names
 (``SCHEMA``, ``_WORKLOADS``, ``run_bench``, ...).
 """
 
+from repro.bench.ingest import (
+    DEFAULT_OUT as INGEST_DEFAULT_OUT,
+    SCHEMA as INGEST_SCHEMA,
+    add_bench_ingest_arguments,
+    run_bench_ingest,
+    run_ingest_matrix,
+)
 from repro.bench.offline import (
     DEFAULT_OUT,
     SCHEMA,
@@ -59,6 +71,8 @@ __all__ = [
     "DEFAULT_OUT",
     "FULL_DATASETS",
     "FULL_MINERS",
+    "INGEST_DEFAULT_OUT",
+    "INGEST_SCHEMA",
     "ONLINE_CONFIDENCE_SWEEP",
     "ONLINE_DEFAULT_OUT",
     "ONLINE_FIXED_CONFIDENCE",
@@ -70,13 +84,16 @@ __all__ = [
     "SERVE_DEFAULT_OUT",
     "SERVE_SCHEMA",
     "add_bench_arguments",
+    "add_bench_ingest_arguments",
     "add_bench_online_arguments",
     "add_bench_serve_arguments",
     "knowledge_base_fingerprint",
     "online_settings",
     "run_bench",
+    "run_bench_ingest",
     "run_bench_online",
     "run_bench_serve",
+    "run_ingest_matrix",
     "run_matrix",
     "run_online_matrix",
     "run_serve_matrix",

@@ -1,0 +1,538 @@
+"""``repro bench-ingest`` — the mixed append+query load harness.
+
+Measures what PR 8's MVCC snapshot epochs actually bought: query
+latency while the served knowledge base is *evolving*.  For every
+dataset the harness splits the standard window sequence in two, serves
+the first half through a :class:`repro.core.IncrementalTara` publisher
+behind a fresh :class:`repro.serve.TaraServer`, then drives the same
+concurrent query workload twice:
+
+baseline (no ingest)
+    ``concurrency`` persistent clients cycle through the E6/E7 query
+    settings (Q1/Q2/Q3/Q5 per setting) against the frozen half-built
+    snapshot — per-request wall latencies per query class;
+ingest
+    the identical client load runs again while a writer connection
+    POSTs the held-back windows through ``/v1/admin/append`` one batch
+    at a time (retrying on HTTP 409 while a build is in flight).  The
+    clients keep cycling until the writer has landed every window, so
+    the load genuinely overlaps every publish.
+
+Before anything is written the harness verifies every served answer —
+baseline and mid-ingest — byte-for-byte against a serial rebuild at the
+answering snapshot's window count: each envelope carries
+``snapshot_epoch`` (the pinned snapshot's window count), and a
+reference :class:`repro.service.TaraService` built single-threaded from
+exactly that window prefix must produce the identical encoded answer.
+It also asserts the ingest phase observed at least two distinct
+snapshot epochs (otherwise the load never overlapped a publish and the
+"with ingest" numbers would be a lie), and gates the headline result:
+pooled p99 during concurrent ingest must stay within
+:data:`P99_GATE_RATIO` of the no-ingest baseline.
+
+Schema of ``BENCH_ingest.json`` (``repro-bench-ingest/1``)
+==========================================================
+
+``schema``
+    The literal string ``"repro-bench-ingest/1"``.
+``version`` / ``quick`` / ``host`` / ``pool_size``
+    As in the sibling artefacts (no wall date — rule R005).
+``results``
+    One object per (dataset, query class)::
+
+        {"dataset", "query_class",            # "Q1" | "Q2" | "Q3" | "Q5"
+         "concurrency",
+         "baseline_requests", "ingest_requests",
+         "baseline_p50_ms", "baseline_p95_ms", "baseline_p99_ms",
+         "ingest_p50_ms", "ingest_p95_ms", "ingest_p99_ms",
+         "verified": true}                    # vs serial rebuild
+
+``gates``
+    One object per dataset: the pooled (all classes) p99 of each phase,
+    their ratio, and the enforced ``limit``.
+``ingest``
+    One object per dataset: ``windows_start`` / ``windows_end``,
+    ``publishes``, ``append_retries`` (409 responses absorbed by the
+    writer), and ``epochs_observed`` mid-ingest.
+``build_seconds``
+    Per-dataset initial (pre-serve) publish wall time, for context.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.bench.online import _cell_queries
+from repro.bench.workloads import (
+    _WORKLOADS,
+    _windows,
+    online_settings,
+    select_datasets,
+)
+from repro.common.errors import ValidationError
+from repro.common.stats import percentile
+from repro.common.timing import stopwatch
+from repro.core import (
+    ExplorerQuery,
+    GenerationConfig,
+    IncrementalTara,
+    ParameterSetting,
+)
+from repro.data.transactions import Transaction
+from repro.serve.client import ServeClient
+from repro.serve.gateway import DEFAULT_POOL_SIZE
+from repro.serve.protocol import JsonDict, encode_answer, encode_request
+from repro.serve.server import ServeConfig, TaraServer
+from repro.service.service import TaraService
+
+SCHEMA = "repro-bench-ingest/1"
+DEFAULT_OUT = "BENCH_ingest.json"
+
+#: Windows held back from the initial publish and appended live during
+#: the ingest phase (every bench dataset has eight standard windows).
+HELD_BACK = 4
+
+#: The acceptance gate: pooled p99 with concurrent ingest must stay
+#: within this factor of the no-ingest baseline.
+P99_GATE_RATIO = 2.0
+
+#: Concurrent query clients per matrix mode (the writer is extra).
+QUICK_CONCURRENCY = 3
+FULL_CONCURRENCY = 6
+
+#: Minimum query requests per phase per matrix mode; the ingest phase
+#: keeps cycling past this floor until the writer finishes.
+QUICK_REQUESTS = 36
+FULL_REQUESTS = 96
+
+#: How long the writer waits before retrying a 409 (build in flight).
+_RETRY_SECONDS = 0.02
+_MAX_RETRIES = 500
+
+#: One served request, queued for post-phase verification.
+_Observation = Tuple[str, ExplorerQuery, Any]
+
+_CLASSES = ("Q1", "Q2", "Q3", "Q5")
+
+
+def _publisher_config(name: str) -> GenerationConfig:
+    """The generation config the bench dataset is served with."""
+    _, _, min_support, min_confidence = _WORKLOADS[name]
+    return GenerationConfig(
+        min_support=min_support,
+        min_confidence=min_confidence,
+        build_item_index=True,
+    )
+
+
+def _batches(name: str) -> List[List[Transaction]]:
+    """The dataset's standard windows as publishable batches."""
+    batches = [list(window) for window in _windows(name)]
+    if len(batches) <= HELD_BACK:
+        raise ValidationError(
+            f"dataset {name!r} has {len(batches)} windows; bench-ingest "
+            f"needs more than the {HELD_BACK} it holds back for appends"
+        )
+    return batches
+
+
+def _reference_services(
+    config: GenerationConfig,
+    batches: Sequence[Sequence[Transaction]],
+    start: int,
+) -> Dict[int, TaraService]:
+    """A serial rebuild at every window count the server can answer at.
+
+    Keyed by window count == snapshot epoch: the verifier looks up each
+    envelope's ``snapshot_epoch`` here and demands the identical answer.
+    """
+    services: Dict[int, TaraService] = {}
+    for count in range(start, len(batches) + 1):
+        publisher = IncrementalTara(config)
+        publisher.publish([list(batch) for batch in batches[:count]])
+        services[count] = TaraService(publisher.knowledge_base)
+    return services
+
+
+class _Phase:
+    """Latencies and served envelopes collected by one load phase."""
+
+    def __init__(self) -> None:
+        self.latencies: Dict[str, List[float]] = {qc: [] for qc in _CLASSES}
+        self.observations: List[_Observation] = []
+        self.epochs: set = set()
+
+    @property
+    def requests(self) -> int:
+        return sum(len(values) for values in self.latencies.values())
+
+    def pooled_p99_ms(self) -> float:
+        pooled = sorted(
+            seconds * 1e3
+            for values in self.latencies.values()
+            for seconds in values
+        )
+        return percentile(pooled, 99.0)
+
+
+async def _drive_clients(
+    clients: Sequence[ServeClient],
+    plans: Sequence[Sequence[Tuple[str, ExplorerQuery, str, JsonDict]]],
+    cycles: int,
+    phase: _Phase,
+    writer_done: Optional["asyncio.Event"],
+) -> None:
+    """Run the cycling query load; one coroutine per client.
+
+    Each client walks the setting plans at its own offset so concurrent
+    clients mix cache hits and misses.  When *writer_done* is given the
+    clients keep cycling past their budget until it is set, so the load
+    overlaps the entire publish sequence.
+    """
+
+    async def drive(client: ServeClient, index: int) -> None:
+        cycle = 0
+        while cycle < cycles or (
+            writer_done is not None and not writer_done.is_set()
+        ):
+            for query_class, query, kind, payload in plans[
+                (index + cycle) % len(plans)
+            ]:
+                with stopwatch() as clock:
+                    status, envelope = await client.query(kind, payload)
+                if status != 200 or not envelope.get("ok"):
+                    raise ValidationError(
+                        f"{query_class} request failed with "
+                        f"HTTP {status}: {envelope}"
+                    )
+                phase.latencies[query_class].append(clock.seconds)
+                phase.observations.append((query_class, query, envelope))
+                phase.epochs.add(envelope["snapshot_epoch"])
+            cycle += 1
+
+    await asyncio.gather(
+        *(drive(client, index) for index, client in enumerate(clients))
+    )
+
+
+async def _drive_writer(
+    writer: ServeClient,
+    held: Sequence[Sequence[Transaction]],
+    done: "asyncio.Event",
+) -> int:
+    """Append the held-back windows one batch at a time; returns retries."""
+    retries = 0
+    try:
+        for batch in held:
+            for attempt in range(_MAX_RETRIES + 1):
+                status, body = await writer.admin_append([list(batch)])
+                if status == 200:
+                    break
+                if status == 409:
+                    retries += 1
+                    await asyncio.sleep(_RETRY_SECONDS)
+                    continue
+                raise ValidationError(
+                    f"append failed with HTTP {status}: {body}"
+                )
+            else:
+                raise ValidationError(
+                    f"append still building after {_MAX_RETRIES} retries"
+                )
+    finally:
+        done.set()
+    return retries
+
+
+def _verify(
+    phase: _Phase,
+    references: Dict[int, TaraService],
+    label: str,
+) -> None:
+    """Every served answer must match the serial rebuild at its epoch."""
+    expected_cache: Dict[Tuple[int, str, str], JsonDict] = {}
+    for query_class, query, envelope in phase.observations:
+        epoch = envelope["snapshot_epoch"]
+        if epoch not in references:
+            raise ValidationError(
+                f"{label} served snapshot_epoch {epoch}, which no serial "
+                f"rebuild can reach (have {sorted(references)})"
+            )
+        cache_key = (epoch, query_class, repr(query))
+        expected = expected_cache.get(cache_key)
+        if expected is None:
+            expected = encode_answer(
+                query_class, references[epoch].uncached(query)
+            )
+            expected_cache[cache_key] = expected
+        if envelope["answer"] != expected:
+            raise ValidationError(
+                f"{label} {query_class} answer at epoch {epoch} diverged "
+                f"from the serial rebuild at the same window count"
+            )
+
+
+async def _run_dataset(
+    name: str,
+    *,
+    concurrency: int,
+    requests: int,
+    pool_size: int,
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any], Dict[str, Any], float]:
+    """Both phases for one dataset; returns (rows, gate, ingest, build_s)."""
+    config = _publisher_config(name)
+    batches = _batches(name)
+    start = len(batches) - HELD_BACK
+    held = batches[start:]
+
+    publisher = IncrementalTara(config)
+    with stopwatch() as build_clock:
+        publisher.publish([list(batch) for batch in batches[:start]])
+    references = _reference_services(config, batches, start)
+
+    initial = publisher.knowledge_base
+    plans = []
+    for _, minsupp, minconf in online_settings(name):
+        setting = ParameterSetting(minsupp, minconf)
+        plan = []
+        for query_class, query in _cell_queries(initial, setting):
+            kind, payload = encode_request(query)
+            plan.append((query_class, query, kind, payload))
+        plans.append(plan)
+    cycles = max(requests // (concurrency * len(_CLASSES)), 1)
+
+    service = TaraService(publisher)
+    server = TaraServer(service, ServeConfig(port=0, pool_size=pool_size))
+    await server.start()
+    host, port = server.address
+    clients = [
+        await ServeClient.open(host, port) for _ in range(concurrency)
+    ]
+    writer = await ServeClient.open(host, port)
+
+    baseline = _Phase()
+    ingest = _Phase()
+    try:
+        await _drive_clients(clients, plans, cycles, baseline, None)
+        done = asyncio.Event()
+        retries_task = asyncio.ensure_future(
+            _drive_writer(writer, held, done)
+        )
+        await asyncio.gather(
+            _drive_clients(clients, plans, cycles, ingest, done),
+            retries_task,
+        )
+        retries = retries_task.result()
+        final = await writer.snapshot()
+    finally:
+        for client in clients:
+            await client.aclose()
+        await writer.aclose()
+        await server.stop()
+
+    _verify(baseline, references, f"{name} baseline")
+    _verify(ingest, references, f"{name} ingest")
+    if len(ingest.epochs) < 2:
+        raise ValidationError(
+            f"{name} ingest phase observed only epochs "
+            f"{sorted(ingest.epochs)}; the query load never overlapped "
+            f"a publish, so the bench measured nothing"
+        )
+    windows_end = final[1]["snapshot"]["windows"]
+    if windows_end != len(batches):
+        raise ValidationError(
+            f"{name} writer landed {windows_end} windows, "
+            f"expected {len(batches)}"
+        )
+
+    baseline_p99 = baseline.pooled_p99_ms()
+    ingest_p99 = ingest.pooled_p99_ms()
+    gate = {
+        "dataset": name,
+        "baseline_p99_ms": baseline_p99,
+        "ingest_p99_ms": ingest_p99,
+        "ratio": ingest_p99 / baseline_p99 if baseline_p99 else 0.0,
+        "limit": P99_GATE_RATIO,
+    }
+    rows: List[Dict[str, Any]] = []
+    for query_class in _CLASSES:
+        base_ms = sorted(s * 1e3 for s in baseline.latencies[query_class])
+        load_ms = sorted(s * 1e3 for s in ingest.latencies[query_class])
+        rows.append(
+            {
+                "dataset": name,
+                "query_class": query_class,
+                "concurrency": concurrency,
+                "baseline_requests": len(base_ms),
+                "ingest_requests": len(load_ms),
+                "baseline_p50_ms": percentile(base_ms, 50.0),
+                "baseline_p95_ms": percentile(base_ms, 95.0),
+                "baseline_p99_ms": percentile(base_ms, 99.0),
+                "ingest_p50_ms": percentile(load_ms, 50.0),
+                "ingest_p95_ms": percentile(load_ms, 95.0),
+                "ingest_p99_ms": percentile(load_ms, 99.0),
+                "verified": True,
+            }
+        )
+    ingest_stats = {
+        "dataset": name,
+        "windows_start": start,
+        "windows_end": windows_end,
+        "publishes": len(held),
+        "append_retries": retries,
+        "epochs_observed": sorted(ingest.epochs),
+    }
+    return rows, gate, ingest_stats, build_clock.seconds
+
+
+def run_ingest_matrix(
+    datasets: Tuple[str, ...],
+    concurrency: int,
+    requests: int,
+    pool_size: int,
+) -> Tuple[
+    List[Dict[str, Any]],
+    List[Dict[str, Any]],
+    List[Dict[str, Any]],
+    Dict[str, float],
+]:
+    """Run both phases for every dataset and enforce the p99 gate.
+
+    Raises :class:`ValidationError` if any served answer deviates from
+    the serial rebuild at its snapshot's window count, if the ingest
+    load never overlapped a publish, or if pooled p99 under ingest
+    exceeds :data:`P99_GATE_RATIO` times the baseline.
+    """
+    results: List[Dict[str, Any]] = []
+    gates: List[Dict[str, Any]] = []
+    ingest_stats: List[Dict[str, Any]] = []
+    build_seconds: Dict[str, float] = {}
+    for dataset in datasets:
+        rows, gate, stats, seconds = asyncio.run(
+            _run_dataset(
+                dataset,
+                concurrency=concurrency,
+                requests=requests,
+                pool_size=pool_size,
+            )
+        )
+        build_seconds[dataset] = seconds
+        results.extend(rows)
+        gates.append(gate)
+        ingest_stats.append(stats)
+        print(
+            f"  {dataset}: {stats['windows_start']} -> "
+            f"{stats['windows_end']} windows over {stats['publishes']} "
+            f"publishes, epochs observed {stats['epochs_observed']}, "
+            f"{stats['append_retries']} append retries"
+        )
+        for row in rows:
+            print(
+                f"    {row['query_class']} "
+                f"baseline p50={row['baseline_p50_ms']:8.3f} "
+                f"p99={row['baseline_p99_ms']:8.3f} ms | "
+                f"ingest p50={row['ingest_p50_ms']:8.3f} "
+                f"p99={row['ingest_p99_ms']:8.3f} ms"
+            )
+        print(
+            f"    pooled p99: baseline {gate['baseline_p99_ms']:.3f} ms, "
+            f"ingest {gate['ingest_p99_ms']:.3f} ms "
+            f"(ratio {gate['ratio']:.2f}, limit {P99_GATE_RATIO:.1f})"
+        )
+        if gate["ingest_p99_ms"] > P99_GATE_RATIO * gate["baseline_p99_ms"]:
+            raise ValidationError(
+                f"{dataset}: p99 under concurrent ingest "
+                f"({gate['ingest_p99_ms']:.3f} ms) exceeds "
+                f"{P99_GATE_RATIO}x the no-ingest baseline "
+                f"({gate['baseline_p99_ms']:.3f} ms)"
+            )
+    return results, gates, ingest_stats, build_seconds
+
+
+def add_bench_ingest_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``repro bench-ingest`` arguments on *parser*."""
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced CI matrix (retail only, fewer requests)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT}; '-' for stdout only)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=tuple(_WORKLOADS),
+        default=None,
+        help="benchmark only these datasets (default: quick/full selection)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=0,
+        help="concurrent query clients (default: 3 quick, 6 full)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=0,
+        help="minimum query requests per phase (default: 36 quick, 96 full)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=DEFAULT_POOL_SIZE,
+        help=f"server worker threads (default: {DEFAULT_POOL_SIZE})",
+    )
+
+
+def run_bench_ingest(args: argparse.Namespace) -> int:
+    """Entry point for the ``repro bench-ingest`` subcommand."""
+    datasets = select_datasets(args)
+    concurrency = args.concurrency
+    if concurrency <= 0:
+        concurrency = QUICK_CONCURRENCY if args.quick else FULL_CONCURRENCY
+    requests = args.requests
+    if requests <= 0:
+        requests = QUICK_REQUESTS if args.quick else FULL_REQUESTS
+    print(
+        f"repro bench-ingest ({'quick' if args.quick else 'full'} matrix): "
+        f"{len(datasets)} dataset(s), Q1/Q2/Q3/Q5 x "
+        f"{concurrency} clients + 1 writer, "
+        f">={requests} requests/phase, pool={args.pool_size}"
+    )
+    results, gates, ingest_stats, build_seconds = run_ingest_matrix(
+        datasets, concurrency, requests, args.pool_size
+    )
+    payload = {
+        "schema": SCHEMA,
+        "version": __version__,
+        "quick": args.quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
+        },
+        "pool_size": args.pool_size,
+        "concurrency": concurrency,
+        "requests_per_phase": requests,
+        "results": results,
+        "gates": gates,
+        "ingest": ingest_stats,
+        "build_seconds": build_seconds,
+    }
+    if args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.out} ({SCHEMA})")
+    return 0

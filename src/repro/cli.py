@@ -29,12 +29,15 @@ Covers the full workflow without writing Python:
 ``repro bench-serve``
     Network-tier load harness: drive a served knowledge base with
     concurrent clients and emit ``BENCH_serve.json``.
+``repro bench-ingest``
+    Mixed append+query harness: concurrent clients query while a
+    writer publishes snapshots; emits ``BENCH_ingest.json``.
 
 Query thresholds are spelled ``--minsupp`` / ``--minconf`` uniformly
 across ``mine``, ``recommend``, and ``compare`` (``compare`` adds
 ``--second-minsupp`` / ``--second-minconf``); the original spellings
 (``--min-support``, ``--first SUPP CONF``, ...) keep working as hidden
-aliases.
+aliases but emit one :class:`DeprecationWarning` per process.
 
 Every subcommand prints plain text to stdout; exit code 0 on success,
 2 on argument errors (argparse convention), 1 on domain errors with the
@@ -51,17 +54,22 @@ from repro._version import __version__
 from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.bench import (
     add_bench_arguments,
+    add_bench_ingest_arguments,
     add_bench_online_arguments,
     add_bench_serve_arguments,
     run_bench,
+    run_bench_ingest,
     run_bench_online,
     run_bench_serve,
 )
+from repro.common.deprecation import warn_deprecated
 from repro.common.errors import ReproError
 from repro.core import (
+    CompareQuery,
     GenerationConfig,
     MatchMode,
     ParameterSetting,
+    RecommendQuery,
     TaraExplorer,
     build_knowledge_base,
     load_knowledge_base,
@@ -91,12 +99,40 @@ from repro.serve import (
 )
 
 
+class _DeprecatedAlias(argparse.Action):
+    """A hidden legacy flag spelling: warn once per process, then store.
+
+    argparse cannot otherwise tell which spelling of a shared ``dest``
+    the user typed; routing the legacy option strings through this
+    action is what lets the deprecation fire only for the old ones.
+    """
+
+    def __init__(self, *args: object, preferred: str = "", **kwargs: object) -> None:
+        self._preferred = preferred
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+
+    def __call__(
+        self,
+        parser: argparse.ArgumentParser,
+        namespace: argparse.Namespace,
+        values: object,
+        option_string: Optional[str] = None,
+    ) -> None:
+        spelling = option_string or self.option_strings[0]
+        warn_deprecated(
+            f"cli.{spelling}",
+            f"{spelling} is deprecated: use {self._preferred}",
+        )
+        setattr(namespace, self.dest, values)
+
+
 def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
     """Install the unified ``--minsupp`` / ``--minconf`` query flags.
 
     The historical ``--min-support`` / ``--min-confidence`` spellings
     stay accepted as hidden aliases (same destination, mutually
-    exclusive with the new spelling) so existing scripts keep working.
+    exclusive with the new spelling) so existing scripts keep working —
+    at the price of one :class:`DeprecationWarning` per process.
     """
     support = parser.add_mutually_exclusive_group(required=True)
     support.add_argument(
@@ -105,6 +141,7 @@ def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
     )
     support.add_argument(
         "--min-support", dest="min_support", type=float,
+        action=_DeprecatedAlias, preferred="--minsupp",
         help=argparse.SUPPRESS,
     )
     confidence = parser.add_mutually_exclusive_group(required=True)
@@ -114,6 +151,7 @@ def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
     )
     confidence.add_argument(
         "--min-confidence", dest="min_confidence", type=float,
+        action=_DeprecatedAlias, preferred="--minconf",
         help=argparse.SUPPRESS,
     )
 
@@ -184,8 +222,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="second setting's minimum confidence")
     # Hidden legacy aliases: --first/--second SUPP CONF pairs.
     compare.add_argument("--first", nargs=2, type=float, default=None,
+                         action=_DeprecatedAlias,
+                         preferred="--minsupp/--minconf",
                          metavar=("SUPP", "CONF"), help=argparse.SUPPRESS)
     compare.add_argument("--second", nargs=2, type=float, default=None,
+                         action=_DeprecatedAlias,
+                         preferred="--second-minsupp/--second-minconf",
                          metavar=("SUPP", "CONF"), help=argparse.SUPPRESS)
     compare.add_argument("--mode", choices=("single", "exact"), default="single")
 
@@ -236,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="network-tier load harness -> BENCH_serve.json (see docs/benchmarks.md)",
     )
     add_bench_serve_arguments(bench_serve)
+
+    bench_ingest = commands.add_parser(
+        "bench-ingest",
+        help="mixed append+query harness -> BENCH_ingest.json (see docs/benchmarks.md)",
+    )
+    add_bench_ingest_arguments(bench_ingest)
     return parser
 
 
@@ -325,7 +373,9 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     knowledge_base = load_knowledge_base(args.kb)
     explorer = TaraExplorer(knowledge_base)
     setting = ParameterSetting(args.min_support, args.min_confidence)
-    recommendation = explorer.recommend(setting, args.window)
+    recommendation = explorer.execute(
+        RecommendQuery(setting=setting, window=args.window)
+    )
     region = recommendation.region
     if region.is_empty:
         print("no rules at or above this setting in the window")
@@ -386,7 +436,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     knowledge_base = load_knowledge_base(args.kb)
     explorer = TaraExplorer(knowledge_base)
     mode = MatchMode.EXACT if args.mode == "exact" else MatchMode.SINGLE
-    result = explorer.compare(first, second, mode=mode)
+    result = explorer.execute(
+        CompareQuery(first=first, second=second, mode=mode)
+    )
     print(
         f"{len(result.only_first)} rules only under the first setting, "
         f"{len(result.only_second)} only under the second "
@@ -449,6 +501,7 @@ _COMMANDS = {
     "bench-online": run_bench_online,
     "serve": _cmd_serve,
     "bench-serve": run_bench_serve,
+    "bench-ingest": run_bench_ingest,
 }
 
 

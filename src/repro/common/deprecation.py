@@ -1,0 +1,55 @@
+"""Once-per-process deprecation warnings with a test-visible registry.
+
+The PR-8 API redesign keeps every legacy entry point alive as a thin
+shim — ``IncrementalTara.append_batch``, the PR-3 explorer methods, the
+hidden CLI flag aliases — but each shim must tell its caller exactly
+once that it is living on borrowed time.  Python's own
+``warnings.simplefilter("once")`` machinery dedupes per *location*, not
+per *API*, and is global mutable state the test suite resets at will;
+this module keeps its own keyed registry instead so the contract is
+"one warning per deprecated surface per process", independent of the
+interpreter's warning filters.
+
+The registry is intentionally tiny: :func:`warn_deprecated` warns the
+first time a key is seen, and :func:`reset_deprecation_registry` clears
+the registry so tests can assert on the warning itself
+(``pytest.warns(DeprecationWarning)``) without being starved by an
+earlier test having consumed the one shot.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Set
+
+_registry_lock = threading.Lock()
+_warned_keys: Set[str] = set()
+
+
+def warn_deprecated(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time *key* is seen.
+
+    *key* names the deprecated surface (``"explorer.compare"``,
+    ``"cli.--min-support"``); subsequent calls with the same key are
+    silent for the rest of the process.  *stacklevel* defaults to 3 so
+    the warning points at the caller of the deprecated shim, not at the
+    shim or at this helper.
+    """
+    with _registry_lock:
+        if key in _warned_keys:
+            return
+        _warned_keys.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_registry() -> None:
+    """Forget every warned key (test aid; see the module docstring)."""
+    with _registry_lock:
+        _warned_keys.clear()
+
+
+def deprecation_registry_snapshot() -> Set[str]:
+    """The keys warned so far (test aid; returns a copy)."""
+    with _registry_lock:
+        return set(_warned_keys)

@@ -54,3 +54,21 @@ class ProtocolError(ReproError):
 
 class NotBuiltError(ReproError, RuntimeError):
     """An online operation ran before the offline knowledge base was built."""
+
+
+class BuildInFlightError(ReproError):
+    """A snapshot publish was requested while another build is in flight.
+
+    :meth:`repro.core.IncrementalTara.publish` admits one writer at a
+    time; the serving tier maps this error to HTTP 409 so admin clients
+    can retry once the in-flight build lands.
+    """
+
+
+class RetiredSnapshotError(ReproError, RuntimeError):
+    """A pin was attempted on a snapshot whose last reader already drained.
+
+    Unreachable through the supported API — the publisher hands out
+    handles only for the current (never-retired) snapshot — but raised
+    defensively instead of silently resurrecting freed state.
+    """

@@ -3,7 +3,8 @@
 Offline phase: :class:`TaraBuilder` / :func:`build_knowledge_base`
 produce a :class:`TaraKnowledgeBase` (rule catalog + TAR Archive + EPS
 index).  Online phase: :class:`TaraExplorer`.  Incremental maintenance:
-:class:`IncrementalTara`.
+:class:`IncrementalTara`, which publishes immutable :class:`Snapshot`
+views that readers pin through :class:`SnapshotHandle`.
 """
 
 from repro.core.archive import RolledUpMeasure, TarArchive, WindowMeasure
@@ -44,6 +45,7 @@ from repro.core.queries import (
     WindowDiff,
 )
 from repro.core.regions import ParameterSetting, StableRegion, WindowSlice
+from repro.core.snapshot import DEFAULT_SEGMENT_CAPACITY, Snapshot, SnapshotHandle
 from repro.core.rollup import max_support_error, rolled_up_mine
 from repro.core.trajectory import TrajectorySummary, summarize_trajectory
 
@@ -67,6 +69,9 @@ __all__ = [
     "RollupAnswer",
     "RollupQuery",
     "RuleTrajectory",
+    "Snapshot",
+    "SnapshotHandle",
+    "DEFAULT_SEGMENT_CAPACITY",
     "TrajectoryQuery",
     "StableRegion",
     "TarArchive",

@@ -228,6 +228,25 @@ class TarArchive:
         self._staged[rule_id] = series
         return series
 
+    def clone(self) -> "TarArchive":
+        """An independent copy for copy-on-write snapshot publication.
+
+        Recording into the clone can never disturb a reader of this
+        archive: staged per-rule series are list-copied (appends go to
+        the clone's lists), and — crucially — a :meth:`record` that
+        :meth:`_thaw`\\ s a sealed rule deletes it from the *clone's*
+        sealed dict only.  Sealed byte blobs are immutable and shared.
+        The decode memo starts empty; it is a cache, not state.
+        """
+        copy = TarArchive()
+        copy._staged = {
+            rule_id: list(series) for rule_id, series in self._staged.items()
+        }
+        copy._sealed = dict(self._sealed)
+        copy._window_sizes = list(self._window_sizes)
+        copy._missing_count_bounds = list(self._missing_count_bounds)
+        return copy
+
     def seal(self) -> None:
         """Freeze every staged series into its byte encoding."""
         for rule_id, series in self._staged.items():

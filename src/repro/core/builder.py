@@ -148,6 +148,30 @@ class TaraKnowledgeBase:
             seen.update(self.rules_in_window[window])
         return sorted(seen)
 
+    def clone(self) -> "TaraKnowledgeBase":
+        """A private successor for copy-on-write snapshot publication.
+
+        Appending windows to the clone never disturbs readers of this
+        knowledge base: the catalog and archive are cloned (see their
+        ``clone`` docstrings for what is copied vs. shared), and the
+        window-indexed lists are copied at the outer level only — the
+        :class:`WindowSlice` objects and per-window id lists inside are
+        append-once and never mutated after construction, so sharing
+        them is what makes publication cost proportional to the archive
+        rather than to the raw data.  The phase timer is shared: it is
+        build-time accounting written only by the single publisher
+        thread, not query state.
+        """
+        return TaraKnowledgeBase(
+            config=self.config,
+            catalog=self.catalog.clone(),
+            archive=self.archive.clone(),
+            slices=list(self.slices),
+            rules_in_window=list(self.rules_in_window),
+            window_sizes=list(self.window_sizes),
+            timer=self.timer,
+        )
+
 
 @dataclass(frozen=True)
 class WindowTask:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union, overload
 
+from repro.common.deprecation import warn_deprecated
 from repro.common.errors import QueryError
 from repro.core.archive import WindowMeasure
 from repro.core.builder import TaraKnowledgeBase
@@ -163,7 +164,15 @@ class TaraExplorer:
 
         Answers a coarse-granularity request from archived counts; see
         :mod:`repro.core.rollup` for the exactness guarantee.
+
+        .. deprecated:: PR 8
+           Use ``execute(RollupQuery(...))``.
         """
+        warn_deprecated(
+            "explorer.mine_rolled_up",
+            "TaraExplorer.mine_rolled_up() is deprecated: use "
+            "execute(RollupQuery(setting=..., spec=...))",
+        )
         return self.execute(RollupQuery(setting=setting, spec=spec))
 
     def _mine_rolled_up(self, query: RollupQuery) -> RollupAnswer:
@@ -184,7 +193,15 @@ class TaraExplorer:
         The anchor ruleset comes from the EPS slice; each rule's values
         in the other requested windows are decoded from the archive
         (``None`` where the rule was not archived).
+
+        .. deprecated:: PR 8
+           Use ``execute(TrajectoryQuery(...))``.
         """
+        warn_deprecated(
+            "explorer.trajectories",
+            "TaraExplorer.trajectories() is deprecated: use "
+            "execute(TrajectoryQuery(setting=..., anchor_window=...))",
+        )
         return self.execute(
             TrajectoryQuery(
                 setting=setting, anchor_window=anchor_window, spec=spec
@@ -226,7 +243,15 @@ class TaraExplorer:
         ``SINGLE`` mode reports a rule if the two settings disagree on it
         in at least one window; ``EXACT`` mode only if they disagree in
         every window of *spec*.
+
+        .. deprecated:: PR 8
+           Use ``execute(CompareQuery(...))``.
         """
+        warn_deprecated(
+            "explorer.compare",
+            "TaraExplorer.compare() is deprecated: use "
+            "execute(CompareQuery(first=..., second=...))",
+        )
         return self.execute(
             CompareQuery(first=first, second=second, spec=spec, mode=mode)
         )
@@ -283,7 +308,15 @@ class TaraExplorer:
         far can I move the thresholds without changing the result"; the
         neighbors preview the ruleset-size effect of crossing each
         boundary.
+
+        .. deprecated:: PR 8
+           Use ``execute(RecommendQuery(...))``.
         """
+        warn_deprecated(
+            "explorer.recommend",
+            "TaraExplorer.recommend() is deprecated: use "
+            "execute(RecommendQuery(setting=..., window=...))",
+        )
         return self.execute(RecommendQuery(setting=setting, window=window))
 
     def _recommend(self, query: RecommendQuery) -> Recommendation:
@@ -354,7 +387,15 @@ class TaraExplorer:
 
         Requires a knowledge base built with ``build_item_index=True``
         (the TARA-S variant).
+
+        .. deprecated:: PR 8
+           Use ``execute(ContentQuery(...))``.
         """
+        warn_deprecated(
+            "explorer.content",
+            "TaraExplorer.content() is deprecated: use "
+            "execute(ContentQuery(setting=..., items=...))",
+        )
         return self.execute(
             ContentQuery(setting=setting, items=tuple(items), spec=spec)
         )

@@ -1,4 +1,4 @@
-"""Incremental knowledge-base maintenance (the iPARAS strategy).
+"""Incremental knowledge-base maintenance as a snapshot publisher.
 
 The companion iPARAS work (Qin et al., BigMine'14) — cited by the paper
 as TARA's speedup for fast-arriving data — constructs the parameter
@@ -7,97 +7,207 @@ mined and indexed; all previously built per-window structures (archive
 series, EPS slices) are reused untouched, because the EPS is sliced by
 time and the archive is append-only.
 
-:class:`IncrementalTara` wraps a knowledge base with an ``append_batch``
-operation and keeps an explorer view that is always current.  The
-ablation benchmark contrasts this against rebuilding from scratch on
-every batch (the behaviour the paper ascribes to PARAS).
+PR 8 turns that append operation into MVCC publication.
+:class:`IncrementalTara` no longer mutates a knowledge base readers are
+concurrently querying; instead it owns a *current*
+:class:`~repro.core.snapshot.Snapshot` and builds each new window
+against a private copy-on-write successor:
+
+1. :meth:`publish` admits one writer at a time (a second concurrent
+   call raises :class:`~repro.common.errors.BuildInFlightError`, which
+   the serving tier maps to HTTP 409);
+2. the predecessor's knowledge base is cloned (cheap: outer containers
+   only — windows, archive series, and interned rules are append-once
+   and shared), and the new batches are mined into the clone via
+   :meth:`TaraBuilder.add_windows` (vertical kernel, under
+   :func:`~repro.common.gcscope.paused_gc`);
+3. a new snapshot wraps the successor and is *atomically swapped in*
+   under the publisher lock; readers that pinned the predecessor keep
+   answering against it, and it retires — cache segment and explorer
+   freed — when its last reader drains.
+
+Readers obtain a pinned view with :meth:`snapshot`, which returns a
+context-managed :class:`~repro.core.snapshot.SnapshotHandle`.
+
+The pre-PR-8 mutation surface (``append_batch`` / ``append_batches`` /
+``subscribe``) survives as thin shims that emit one
+:class:`DeprecationWarning` per process and delegate to
+:meth:`publish`.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Sequence
 
-from repro.common.errors import ValidationError
+from repro.common.deprecation import warn_deprecated
+from repro.common.errors import BuildInFlightError, ValidationError
 from repro.core.archive import TarArchive
 from repro.core.builder import GenerationConfig, TaraBuilder, TaraKnowledgeBase
 from repro.core.explorer import TaraExplorer
 from repro.core.regions import WindowSlice
+from repro.core.snapshot import DEFAULT_SEGMENT_CAPACITY, Snapshot, SnapshotHandle
 from repro.data.transactions import Transaction
 from repro.mining.rules import RuleCatalog
 
 
 class IncrementalTara:
-    """A TARA knowledge base that grows one window at a time."""
+    """A TARA snapshot publisher that grows the database window-wise."""
 
-    def __init__(self, config: GenerationConfig) -> None:
+    def __init__(
+        self,
+        config: GenerationConfig,
+        *,
+        segment_capacity: int = DEFAULT_SEGMENT_CAPACITY,
+    ) -> None:
         self.config = config
         self._builder = TaraBuilder(config)
-        self.knowledge_base = TaraKnowledgeBase(
-            config=config,
-            catalog=RuleCatalog(),
-            archive=TarArchive(),
-        )
+        self._segment_capacity = segment_capacity
         self._lock = threading.Lock()
         self._listeners: List[Callable[[int], None]] = []  # repro-lint: guarded-by=_lock
+        self._building = False  # repro-lint: guarded-by=_lock
+        self._retired_entries = 0  # repro-lint: guarded-by=_lock
+        self._retired_snapshots = 0  # repro-lint: guarded-by=_lock
+        initial = Snapshot(
+            0,
+            TaraKnowledgeBase(
+                config=config,
+                catalog=RuleCatalog(),
+                archive=TarArchive(),
+            ),
+            segment_capacity=segment_capacity,
+            on_retire=self._record_retirement,
+        )
+        # The publisher holds one standing pin on the current snapshot,
+        # so "current" can never retire out from under a new reader.
+        initial.pin()
+        self._current = initial  # repro-lint: guarded-by=_lock
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SnapshotHandle:
+        """Pin the current snapshot and return a context-managed handle.
+
+        Pinning happens under the publisher lock, so the returned view
+        cannot retire between the read of ``current`` and the pin.
+        """
+        with self._lock:
+            pinned = self._current.pin()
+        return SnapshotHandle(pinned)
+
+    @property
+    def current(self) -> Snapshot:
+        """The currently published snapshot (unpinned; prefer
+        :meth:`snapshot` for anything longer than a single read)."""
+        with self._lock:
+            return self._current
+
+    @property
+    def knowledge_base(self) -> TaraKnowledgeBase:
+        """The current snapshot's knowledge base."""
+        with self._lock:
+            return self._current.knowledge_base
 
     @property
     def window_count(self) -> int:
-        """Windows incorporated so far."""
-        return self.knowledge_base.window_count
+        """Windows incorporated so far (in the current snapshot)."""
+        with self._lock:
+            return self._current.window_count
 
-    def subscribe(self, listener: Callable[[int], None]) -> None:
-        """Register *listener* to be called after every append.
+    def explorer(self) -> TaraExplorer:
+        """A query processor over the current snapshot.
 
-        The callback receives the new window count.  The online serving
-        layer (:class:`repro.service.TaraService`) uses this to advance
-        its cache epoch — invalidating generation-scoped entries without
-        flushing still-valid per-window ones.
+        Convenience for single-threaded callers; concurrent readers
+        should hold a :meth:`snapshot` handle so the view they query
+        cannot retire mid-flight.
         """
         with self._lock:
-            self._listeners.append(listener)
+            current = self._current
+        return current.explorer()
 
-    def _notify_appended(self) -> None:
-        # Snapshot under the lock, call outside it: a listener such as
-        # TaraService._on_append acquires its own lock, and holding ours
-        # across that call would nest the two.  The global acquisition
-        # order, for any path that must nest them, is:
-        # repro-lint: lock-order=IncrementalTara._lock,TaraService._lock
+    def snapshot_stats(self) -> Dict[str, object]:
+        """Publisher introspection for ``GET /v1/snapshot``."""
         with self._lock:
-            listeners = tuple(self._listeners)
-        count = self.knowledge_base.window_count
-        for listener in listeners:
-            listener(count)
+            current = self._current
+            building = self._building
+            retired_snapshots = self._retired_snapshots
+            retired_entries = self._retired_entries
+        return {
+            "epoch": current.epoch,
+            "windows": current.window_count,
+            "refs": current.refs,
+            "building": building,
+            "retired_snapshots": retired_snapshots,
+            "retired_entries": retired_entries,
+        }
 
-    def append_batch(self, transactions: Sequence[Transaction]) -> WindowSlice:
-        """Incorporate the next batch as a new basic window.
+    def retired_entries(self) -> int:
+        """Cache-segment entries dropped by snapshot retirement so far.
 
-        Cost is that of mining and indexing *this batch only* — the
-        incremental claim.  Batches must be non-empty and in time order
-        relative to previous batches.
+        :class:`repro.service.TaraService` polls this to account
+        retirements as invalidations in its metrics.
         """
-        batch = list(transactions)
-        if not batch:
-            raise ValidationError("cannot append an empty batch")
-        self._check_order(
-            batch, is_first_window=self.knowledge_base.window_count == 0
-        )
-        window_slice = self._builder.add_window(self.knowledge_base, batch)
-        self._notify_appended()
-        return window_slice
+        with self._lock:
+            return self._retired_entries
 
-    def append_batches(
-        self, batches: Iterable[Sequence[Transaction]]
-    ) -> List[WindowSlice]:
-        """Append several batches in order; returns their new slices.
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(self, batches: Iterable[Sequence[Transaction]]) -> Snapshot:
+        """Mine *batches* into a successor snapshot and install it.
 
-        Validation (non-empty, time-sorted) happens up front for every
-        batch; the incorporation itself goes through
-        :meth:`TaraBuilder.add_windows`, so a parallel
-        :attr:`GenerationConfig.executor` mines the batches concurrently
-        while the merge keeps the resulting knowledge base identical to
-        appending them one by one.
+        One writer at a time: a concurrent call observes the in-flight
+        build and raises :class:`BuildInFlightError` immediately rather
+        than queueing (the serving tier surfaces this as HTTP 409 so the
+        ingest client can retry after the current build lands).
+
+        Readers are never blocked: they keep executing against the
+        predecessor until the atomic swap, and pinned handles remain
+        valid until released.  Returns the newly installed snapshot.
         """
+        with self._lock:
+            if self._building:
+                raise BuildInFlightError(
+                    "a snapshot build is already in flight; retry after it lands"
+                )
+            self._building = True
+            predecessor = self._current
+        try:
+            validated = self._validate_batches(
+                batches, window_count=predecessor.window_count
+            )
+            if not validated:
+                raise ValidationError("publish requires at least one batch")
+            successor_kb = predecessor.knowledge_base.clone()
+            self._builder.add_windows(successor_kb, validated)
+            successor = Snapshot(
+                successor_kb.window_count,
+                successor_kb,
+                segment_capacity=self._segment_capacity,
+                on_retire=self._record_retirement,
+            )
+            # Standing pin first, then swap: between these two lines the
+            # successor is simply not yet visible to anyone.
+            successor.pin()
+            with self._lock:
+                self._current = successor
+        finally:
+            with self._lock:
+                self._building = False
+        # Drop the publisher's standing pin on the predecessor outside
+        # every lock: if no reader still holds it, retirement (and its
+        # callback into our own lock) runs right here.
+        predecessor.release()
+        self._notify_appended(successor.window_count)
+        return successor
+
+    def _validate_batches(
+        self,
+        batches: Iterable[Sequence[Transaction]],
+        *,
+        window_count: int,
+    ) -> List[List[Transaction]]:
         validated: List[List[Transaction]] = []
         for index, transactions in enumerate(batches):
             batch = list(transactions)
@@ -105,20 +215,92 @@ class IncrementalTara:
                 raise ValidationError("cannot append an empty batch")
             self._check_order(
                 batch,
-                is_first_window=(
-                    self.knowledge_base.window_count == 0 and index == 0
-                ),
+                is_first_window=(window_count == 0 and index == 0),
             )
             validated.append(batch)
-        slices = self._builder.add_windows(self.knowledge_base, validated)
-        if slices:
-            self._notify_appended()
-        return slices
+        return validated
 
-    def explorer(self) -> TaraExplorer:
-        """A query processor over the current state."""
-        return TaraExplorer(self.knowledge_base)
+    def _record_retirement(self, dropped_entries: int) -> None:
+        # Fired by Snapshot.release *after* it dropped Snapshot._lock,
+        # so taking our lock here never nests inside the snapshot's.
+        with self._lock:
+            self._retired_snapshots += 1
+            self._retired_entries += dropped_entries
 
+    def _notify_appended(self, window_count: int) -> None:
+        # Snapshot under the lock, call outside it: a legacy listener
+        # may acquire its own lock, and holding ours across that call
+        # would nest the two.  The global acquisition order, for any
+        # path that must nest, is:
+        # repro-lint: lock-order=IncrementalTara._lock,TaraService._lock,Snapshot._lock
+        with self._lock:
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            listener(window_count)
+
+    # ------------------------------------------------------------------
+    # deprecated pre-PR-8 mutation surface
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: Callable[[int], None]) -> None:
+        """Deprecated: register *listener* for post-publish callbacks.
+
+        .. deprecated:: PR 8
+           The serving layer no longer advances an epoch counter on
+           append; readers pin immutable snapshots instead.  Poll
+           :meth:`snapshot_stats` or compare :attr:`Snapshot.epoch`
+           identities if you need to observe publication.
+        """
+        warn_deprecated(
+            "incremental.subscribe",
+            "IncrementalTara.subscribe() is deprecated: the serving tier pins "
+            "immutable snapshots (IncrementalTara.snapshot()) instead of "
+            "reacting to append notifications",
+        )
+        with self._lock:
+            self._listeners.append(listener)
+
+    def append_batch(self, transactions: Sequence[Transaction]) -> WindowSlice:
+        """Deprecated: incorporate one batch as a new basic window.
+
+        .. deprecated:: PR 8
+           Use :meth:`publish`, which returns the installed
+           :class:`Snapshot`; the new window's slice is
+           ``snapshot.knowledge_base.slices[-1]``.
+        """
+        warn_deprecated(
+            "incremental.append_batch",
+            "IncrementalTara.append_batch() is deprecated: use "
+            "publish([batch]), which returns the installed Snapshot",
+        )
+        snapshot = self.publish([transactions])
+        return snapshot.knowledge_base.slices[-1]
+
+    def append_batches(
+        self, batches: Iterable[Sequence[Transaction]]
+    ) -> List[WindowSlice]:
+        """Deprecated: append several batches in order.
+
+        .. deprecated:: PR 8
+           Use :meth:`publish`, which installs all batches as one new
+           snapshot (the per-batch mining still runs through
+           :meth:`TaraBuilder.add_windows`, so a parallel
+           :attr:`GenerationConfig.executor` is honoured).
+        """
+        warn_deprecated(
+            "incremental.append_batches",
+            "IncrementalTara.append_batches() is deprecated: use "
+            "publish(batches), which returns the installed Snapshot",
+        )
+        staged = [list(batch) for batch in batches]
+        if not staged:
+            return []
+        before = self.window_count
+        snapshot = self.publish(staged)
+        return list(snapshot.knowledge_base.slices[before:])
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
     def _check_order(
         self, batch: Sequence[Transaction], *, is_first_window: bool
     ) -> None:

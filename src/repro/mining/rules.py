@@ -238,6 +238,22 @@ class RuleCatalog:
     def __iter__(self) -> Iterator[Rule]:
         return iter(self._rules)
 
+    def clone(self) -> "RuleCatalog":
+        """An independent copy for copy-on-write snapshot publication.
+
+        The id table and rule list are copied (interning into the clone
+        never changes this catalog); the :class:`Rule` values themselves
+        are immutable and shared.  Split plans are derivation scratch —
+        replayed and overwritten during mining, never read by queries —
+        so the memo dict is copied shallowly: the clone reuses existing
+        plans but memoizes new itemsets privately.
+        """
+        copy = RuleCatalog()
+        copy._rule_to_id = dict(self._rule_to_id)
+        copy._rules = list(self._rules)
+        copy._split_plans = dict(self._split_plans)
+        return copy
+
     def intern(self, rule: Rule) -> RuleId:
         """Return the id of *rule*, assigning the next id if unseen."""
         key = (rule.antecedent, rule.consequent)

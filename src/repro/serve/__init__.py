@@ -24,8 +24,10 @@ from repro.serve.httpd import HttpRequest, WireError
 from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import (
     QUERY_KINDS,
+    decode_batches,
     decode_request,
     encode_answer,
+    encode_batches,
     encode_request,
 )
 from repro.serve.server import (
@@ -56,8 +58,10 @@ __all__ = [
     "WireError",
     "create_asgi_app",
     "create_server",
+    "decode_batches",
     "decode_request",
     "encode_answer",
+    "encode_batches",
     "encode_request",
     "run_server",
     "serve_until_stopped",

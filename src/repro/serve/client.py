@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.common.errors import ProtocolError
 from repro.core.queries import ExplorerQuery
+from repro.data.transactions import Transaction
 from repro.serve.httpd import read_response
-from repro.serve.protocol import JsonDict, encode_request
+from repro.serve.protocol import JsonDict, encode_batches, encode_request
 
 
 class ServeClient:
@@ -79,6 +80,22 @@ class ServeClient:
         """Encode a request dataclass and POST it (client-side protocol)."""
         kind, payload = encode_request(query)
         return await self.query(kind, payload)
+
+    async def admin_append(
+        self, batches: Sequence[Sequence[Transaction]]
+    ) -> Tuple[int, Any]:
+        """POST window batches to the writer path (``/v1/admin/append``).
+
+        A 409 with error code ``"building"`` means another publish is
+        in flight; retry after it lands.
+        """
+        return await self.request(
+            "POST", "/v1/admin/append", encode_batches(batches)
+        )
+
+    async def snapshot(self) -> Tuple[int, Any]:
+        """GET the published-snapshot introspection route."""
+        return await self.request("GET", "/v1/snapshot")
 
     async def healthz(self) -> Tuple[int, Any]:
         """GET the liveness/drain-state route."""

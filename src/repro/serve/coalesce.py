@@ -8,14 +8,16 @@ keyed by the same canonical integer region key the cache uses
 (:mod:`repro.service.keys`), and while one execution for a key is in
 flight every further arrival awaits its result instead of executing.
 
-Epoch safety rides on the key itself: generation-scoped queries embed
-the serving epoch in their canonical key, so a request that arrives
-*after* an ``append_batches`` canonicalizes to a different key than the
-pre-append in-flight execution and can never attach to its (stale)
-answer.  Epoch-free keys (explicit windows) are append-immune by the
-archive's immutability.  The gateway adds one defensive re-check on top
-(see :meth:`repro.serve.gateway.QueryGateway`) for the race where the
-epoch moves between canonicalization and joining.
+Snapshot safety rides on the key itself: generation-scoped queries
+embed the epoch of the pinned snapshot in their canonical key, and
+epochs are strictly increasing window counts, so a request pinned to a
+*newer* snapshot canonicalizes to a different key than any older
+in-flight execution and can never attach to its answer — attaching is
+only possible between requests pinned to the *same* immutable snapshot.
+Epoch-free keys (explicit windows) are publish-immune by the archive's
+immutability.  No defensive re-check exists downstream anymore: the
+pre-PR-8 gateway re-executed scoped requests when the epoch moved
+mid-await, but a pinned snapshot cannot move.
 
 The coalescer is event-loop-confined: all state is touched only from
 the owning asyncio loop, so it needs no lock.

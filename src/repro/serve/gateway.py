@@ -14,19 +14,26 @@ Routes::
 
     GET  /healthz             liveness + drain state + serving epoch
     GET  /metrics             counters, latency histograms, coalescing
+    GET  /v1/snapshot         published epoch, window count, refcounts
     POST /v1/query/<kind>     one query; kinds in protocol.QUERY_KINDS
+    POST /v1/admin/append     writer path: publish new window batches
 
 Envelope: success is ``{"ok": true, "query_class", "epoch",
-"coalesced", "answer"}``; every failure is ``{"ok": false, "error":
-{"code", "message"}}`` with the HTTP status carrying the family
-(400 protocol/domain, 404/405 routing, 503 draining, 500 bug).
+"snapshot_epoch", "coalesced", "answer"}``; every failure is ``{"ok":
+false, "error": {"code", "message"}}`` with the HTTP status carrying
+the family (400 protocol/domain, 404/405 routing, 409 build in flight,
+503 draining, 500 bug).
 
-Epoch consistency: the gateway canonicalizes on the event loop at the
-epoch it observed, coalesces on the canonical key (which embeds the
-epoch for generation-scoped queries — see :mod:`repro.serve.coalesce`),
-and re-checks the epoch after awaiting a coalesced answer.  If an
-append moved the epoch underneath a scoped request, the request
-re-executes directly instead of returning the pre-append answer.
+Snapshot consistency: the gateway pins the current MVCC snapshot
+*before* decoding work begins, canonicalizes against the pinned view,
+coalesces on the canonical key (which embeds the snapshot epoch for
+generation-scoped queries, so region-equivalent requests can only ever
+share an execution on the *same* snapshot — see
+:mod:`repro.serve.coalesce`), executes on the thread pool against the
+pinned snapshot, and releases the pin after the answer is encoded.
+There is no post-await epoch re-check anymore: a publish landing
+mid-request cannot change what a pinned request observes, by
+construction.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 
 from repro.common.errors import (
+    BuildInFlightError,
     ProtocolError,
     QueryError,
     ReproError,
@@ -45,15 +53,17 @@ from repro.common.errors import (
     ValidationError,
 )
 from repro.common.timing import stopwatch
+from repro.core.snapshot import Snapshot
 from repro.serve.coalesce import RequestCoalescer
 from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import (
     QUERY_KINDS,
     JsonDict,
+    decode_batches,
     decode_request,
     encode_answer,
 )
-from repro.service.keys import EPOCH_FREE, canonicalize
+from repro.service.keys import canonicalize
 from repro.service.service import TaraService
 
 #: Route prefix for the query endpoints.
@@ -164,6 +174,10 @@ class QueryGateway:
                 return f"query/{kind}"
         if target in ("/healthz", "/metrics"):
             return target.lstrip("/")
+        if target == "/v1/snapshot":
+            return "snapshot"
+        if target == "/v1/admin/append":
+            return "admin/append"
         return "other"
 
     async def _route(
@@ -180,6 +194,21 @@ class QueryGateway:
                 "ok": True,
                 "metrics": self.metrics.as_dict(self.coalescer.counters()),
             }
+        if target == "/v1/snapshot":
+            if method != "GET":
+                return 405, error_payload("method", "use GET for /v1/snapshot")
+            return 200, {
+                "ok": True,
+                "snapshot": self._service.snapshot_stats(),
+            }
+        if target == "/v1/admin/append":
+            if method != "POST":
+                return 405, error_payload(
+                    "method", "use POST for /v1/admin/append"
+                )
+            if self._draining:
+                return 503, error_payload("draining", "server is draining")
+            return await self._append(body)
         if target.startswith(QUERY_ROUTE_PREFIX):
             kind = target[len(QUERY_ROUTE_PREFIX) :]
             if kind not in QUERY_KINDS:
@@ -217,33 +246,78 @@ class QueryGateway:
         # out-of-range setting) both surface here; dispatch maps them
         # to a 400 envelope with the class-specific code.
         query = decode_request(kind, payload)
-        canonical = canonicalize(
-            query, self._service.knowledge_base, self._service.epoch
-        )
+        # Pin first: decode, canonicalization, coalescing, and execution
+        # all observe this one immutable snapshot, no matter how many
+        # publishes land while the request is in flight.
+        handle = self._service.pin()
+        try:
+            snapshot: Snapshot = handle.snapshot
+            canonical = canonicalize(
+                query, snapshot.knowledge_base, snapshot.epoch
+            )
+            loop = asyncio.get_running_loop()
+
+            def execute() -> object:
+                return self._service.execute_on(snapshot, query)
+
+            def supplier() -> "asyncio.Future[object]":
+                return loop.run_in_executor(self._pool, execute)
+
+            if canonical.key is None:
+                # Roll-up: not region-cacheable, so not coalescible either.
+                answer: object = await supplier()
+                coalesced = False
+            else:
+                # Scoped keys embed the snapshot epoch, and epochs are
+                # strictly increasing window counts, so attaching to an
+                # in-flight execution is only possible when both
+                # requests pinned the same snapshot.  Epoch-free keys
+                # name explicit immutable windows; any snapshot's
+                # answer is the answer.
+                answer, coalesced = await self.coalescer.run(
+                    canonical.key, supplier
+                )
+            return 200, {
+                "ok": True,
+                "query_class": canonical.query_class,
+                # "epoch" predates PR 8 and is kept for wire
+                # compatibility; "snapshot_epoch" is the same value
+                # under its honest name.
+                "epoch": snapshot.epoch,
+                "snapshot_epoch": snapshot.epoch,
+                "coalesced": coalesced,
+                "answer": encode_answer(canonical.query_class, answer),
+            }
+        finally:
+            handle.release()
+
+    async def _append(self, body: bytes) -> Tuple[int, JsonDict]:
+        """The writer path: publish new window batches as one snapshot.
+
+        One writer at a time — a publish racing an in-flight build gets
+        HTTP 409 with code ``"building"`` and should retry after the
+        current build lands.  Readers are never blocked: they keep
+        answering from the predecessor snapshot until the atomic swap.
+        """
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, error_payload(
+                "protocol", f"request body is not valid JSON: {error}"
+            )
+        batches = decode_batches(payload)
         loop = asyncio.get_running_loop()
 
-        def execute() -> object:
-            return self._service.execute(query)
+        def publish() -> Snapshot:
+            return self._service.publish(batches)
 
-        def supplier() -> "asyncio.Future[object]":
-            return loop.run_in_executor(self._pool, execute)
-
-        if canonical.key is None:
-            # Roll-up: not region-cacheable, so not coalescible either.
-            answer: object = await supplier()
-            coalesced = False
-        else:
-            answer, coalesced = await self.coalescer.run(canonical.key, supplier)
-            if canonical.epoch not in (EPOCH_FREE, self._service.epoch):
-                # An append landed while the coalesced execution ran; a
-                # generation-scoped answer from the old epoch must not
-                # be served.  Re-execute at the current epoch.
-                answer = await supplier()
-                coalesced = False
+        try:
+            snapshot = await loop.run_in_executor(self._pool, publish)
+        except BuildInFlightError as error:
+            return 409, error_payload("building", str(error))
         return 200, {
             "ok": True,
-            "query_class": canonical.query_class,
-            "epoch": self._service.epoch,
-            "coalesced": coalesced,
-            "answer": encode_answer(canonical.query_class, answer),
+            "snapshot_epoch": snapshot.epoch,
+            "windows": snapshot.window_count,
+            "windows_added": len(batches),
         }

@@ -18,9 +18,21 @@ values.  The contract (documented for clients in docs/serving.md):
   ``ProtocolError`` (HTTP 400), never a silently-ignored default.
 
 The error envelope is ``{"ok": false, "error": {"code", "message"}}``;
-success is ``{"ok": true, "query_class", "epoch", "coalesced",
-"answer"}``.  The envelope is assembled by the gateway
+success is ``{"ok": true, "query_class", "epoch", "snapshot_epoch",
+"coalesced", "answer"}``.  The envelope is assembled by the gateway
 (:mod:`repro.serve.gateway`); this module only maps values.
+
+**Compatibility rule (PR 8).**  The envelope's ``"epoch"`` field
+predates the MVCC snapshot redesign and is frozen for existing
+clients; ``"snapshot_epoch"`` carries the identical value under its
+honest name — the epoch of the immutable snapshot the request was
+pinned to, which is also the window count the answer reflects.  New
+fields are only ever *added* to the success envelope (clients must
+ignore fields they do not know); request decoding stays strict in the
+other direction (unknown request fields remain errors).  The writer
+path (``POST /v1/admin/append``) carries window batches in the shape
+``{"batches": [[{"items": [...], "time": t}, ...], ...]}`` — one inner
+array per basic window, strict like every other request.
 """
 
 from __future__ import annotations
@@ -46,6 +58,7 @@ from repro.core.queries import (
 )
 from repro.core.regions import ParameterSetting, StableRegion
 from repro.data.periods import PeriodSpec
+from repro.data.transactions import Transaction
 from repro.mining.rules import Rule, RuleId
 
 #: JSON object type used throughout the wire layer.
@@ -226,6 +239,72 @@ def encode_request(query: ExplorerQuery) -> Tuple[str, JsonDict]:
             "windows": list(query.spec.windows),
         }
     raise ProtocolError(f"cannot encode a {type(query).__name__!r} request")
+
+
+# ----------------------------------------------------------------------
+# writer path: window batches (POST /v1/admin/append)
+# ----------------------------------------------------------------------
+def decode_batches(payload: object) -> List[List[Transaction]]:
+    """Decode an append request into window batches of transactions.
+
+    Wire shape (strict — unknown fields are :class:`ProtocolError`)::
+
+        {"batches": [[{"items": [2, 7], "time": 3}, ...], ...]}
+
+    Each inner array becomes one basic window, in order.  Structural
+    problems raise :class:`ProtocolError`; domain problems (empty
+    batch, unsorted timestamps, non-canonical itemsets) surface as the
+    usual :class:`~repro.common.errors.ValidationError` /
+    ``DataFormatError`` when the publisher validates.
+    """
+    body = _require_object(payload, "append request")
+    _reject_unknown(body, ("batches",), "append request")
+    batches = body.get("batches")
+    if not isinstance(batches, list) or not batches:
+        raise ProtocolError(
+            "append request needs a non-empty 'batches' array"
+        )
+    decoded: List[List[Transaction]] = []
+    for batch_index, batch in enumerate(batches):
+        what = f"batches[{batch_index}]"
+        if not isinstance(batch, list):
+            raise ProtocolError(f"{what} must be an array of transactions")
+        window: List[Transaction] = []
+        for txn_index, txn in enumerate(batch):
+            txn_what = f"{what}[{txn_index}]"
+            obj = _require_object(txn, txn_what)
+            _reject_unknown(obj, ("items", "time"), txn_what)
+            if "items" not in obj or "time" not in obj:
+                raise ProtocolError(f"{txn_what} needs 'items' and 'time'")
+            items = obj["items"]
+            if not isinstance(items, list) or not items:
+                raise ProtocolError(
+                    f"{txn_what}.items must be a non-empty array of item ids"
+                )
+            window.append(
+                Transaction.create(
+                    items=[
+                        _int_field(item, f"{txn_what}.items[]")
+                        for item in items
+                    ],
+                    time=_int_field(obj["time"], f"{txn_what}.time"),
+                )
+            )
+        decoded.append(window)
+    return decoded
+
+
+def encode_batches(batches: Sequence[Sequence[Transaction]]) -> JsonDict:
+    """Encode window batches for the wire — inverse of :func:`decode_batches`."""
+    return {
+        "batches": [
+            [
+                {"items": list(txn.items), "time": txn.time}
+                for txn in batch
+            ]
+            for batch in batches
+        ]
+    }
 
 
 # ----------------------------------------------------------------------

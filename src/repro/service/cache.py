@@ -1,97 +1,13 @@
-"""Bounded LRU cache over canonical region keys, with epoch retirement.
+"""Serving-tier re-export of the region-keyed cache container.
 
-The cache is deliberately small and boring: an :class:`~collections.OrderedDict`
-in least-recently-used order, a hard entry bound, an eviction counter,
-and one operation the serving layer's invalidation protocol needs —
-:meth:`RegionKeyedCache.purge_scoped_except`, which retires every
-*epoch-scoped* entry whose tag differs from the new epoch while leaving
-epoch-free entries (explicit-window answers, valid forever because
-archived windows are immutable) untouched.  No global flush exists on
-the hot path by design.
-
-The cache itself is **not** synchronized; :class:`repro.service.service.TaraService`
-owns the lock and is the only caller.
+The implementation moved to :mod:`repro.core.cache` in PR 8: the
+per-snapshot cache *segment* is owned by :class:`repro.core.Snapshot`,
+which sits below this layer, so the container had to live below it too.
+This module keeps the historical import path for the serving tier
+(``from repro.service.cache import RegionKeyedCache``) working
+unchanged.
 """
 
-from __future__ import annotations
+from repro.core.cache import CacheEntry, CacheKey, RegionKeyedCache
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import List, Optional
-
-from repro.common.errors import ValidationError
-from repro.service.keys import EPOCH_FREE, CacheKey
-
-
-@dataclass(frozen=True)
-class CacheEntry:
-    """One memoized answer: the frozen value plus its epoch scope.
-
-    ``epoch`` is :data:`repro.service.keys.EPOCH_FREE` for entries that
-    can never go stale, or the serving epoch the entry is scoped to.
-    """
-
-    value: object
-    epoch: int
-
-
-class RegionKeyedCache:
-    """A bounded, LRU-evicting map from canonical keys to answers."""
-
-    def __init__(self, max_entries: int = 1024) -> None:
-        if max_entries <= 0:
-            raise ValidationError(
-                f"cache max_entries must be positive, got {max_entries}"
-            )
-        self.max_entries = max_entries
-        self.evictions = 0
-        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
-
-    def get(self, key: CacheKey) -> Optional[CacheEntry]:
-        """The entry at *key* (refreshing its recency), or ``None``."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
-
-    def put(self, key: CacheKey, value: object, epoch: int) -> int:
-        """Insert (or refresh) *key*; returns how many entries were evicted."""
-        self._entries[key] = CacheEntry(value=value, epoch=epoch)
-        self._entries.move_to_end(key)
-        evicted = 0
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            evicted += 1
-        self.evictions += evicted
-        return evicted
-
-    def purge_scoped_except(self, epoch: int) -> int:
-        """Drop epoch-scoped entries not tagged *epoch*; returns the count.
-
-        Validity is identity, not age: a scoped entry serves only while
-        its tag *equals* the current epoch, so retirement compares by
-        equality rather than ordering (which would silently break the
-        moment epochs recycle or fork).  Epoch-free entries survive:
-        they answer explicit-window requests whose underlying windows
-        are immutable once built.
-        """
-        stale: List[CacheKey] = [
-            key
-            for key, entry in self._entries.items()
-            if entry.epoch != EPOCH_FREE and entry.epoch != epoch
-        ]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
-
-    def clear(self) -> int:
-        """Drop every entry (test/bench aid); returns how many were dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        return dropped
+__all__ = ["CacheEntry", "CacheKey", "RegionKeyedCache"]

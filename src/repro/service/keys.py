@@ -27,10 +27,13 @@ Q3     ``(3, tag, window, region_id)``
 Q5     ``(5, tag, n, *windows, *region_ids, m, *items)``
 =====  ================================================================
 
-``tag`` is :data:`EPOCH_FREE` for fully-explicit queries and the
-current epoch for generation-scoped ones.  Roll-up requests canonicalize
-with ``key=None``: their answers threshold *merged* counts, so stable
-regions do not imply equal answers and the service never caches them.
+``tag`` is :data:`EPOCH_FREE` for fully-explicit queries and the pinned
+snapshot's epoch for generation-scoped ones.  Epoch-free entries live in
+the service-owned shared cache; scoped entries live in the pinned
+snapshot's private segment and are retired wholesale with it.  Roll-up
+requests canonicalize with ``key=None``: their answers threshold
+*merged* counts, so stable regions do not imply equal answers and the
+service never caches them.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from typing import List, Optional, Tuple
 
 from repro.common.errors import QueryError
 from repro.core.builder import TaraKnowledgeBase
+from repro.core.cache import CacheKey
 from repro.core.queries import (
     CompareQuery,
     ContentQuery,
@@ -55,8 +59,8 @@ from repro.data.periods import PeriodSpec
 #: Epoch tag of entries that never go stale (explicit windows only).
 EPOCH_FREE = -1
 
-#: A fully-integer cache key (see the module docstring for layouts).
-CacheKey = Tuple[int, ...]
+#: :data:`repro.core.cache.CacheKey`, re-exported — a fully-integer
+#: cache key (see the module docstring for layouts).
 
 _MODE_CODES = {MatchMode.SINGLE: 0, MatchMode.EXACT: 1}
 
@@ -80,6 +84,16 @@ class CanonicalQuery:
     resolved: ExplorerQuery
     key: Optional[CacheKey]
     epoch: int
+
+    @property
+    def scoped(self) -> bool:
+        """True when the key belongs in one snapshot's cache segment.
+
+        Scoped keys resolved a generation default (``spec=None`` /
+        ``window=None``) against a particular snapshot; epoch-free keys
+        name explicit immutable windows and live in the shared cache.
+        """
+        return self.epoch != EPOCH_FREE
 
 
 def _resolve_spec(

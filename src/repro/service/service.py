@@ -1,7 +1,7 @@
 """The thread-safe online serving façade over the TARA explorer.
 
 :class:`TaraService` answers the explorer's Q1/Q2/Q3/Q5 request classes
-through a bounded, region-keyed LRU cache:
+through bounded, region-keyed LRU caches:
 
 1. every request is canonicalized (:mod:`repro.service.keys`) to an
    all-integer key built from stable-region ids, so two settings inside
@@ -10,25 +10,40 @@ through a bounded, region-keyed LRU cache:
    the way out — callers receive fresh mutable containers and answers
    that echo their own request's float settings, never another
    caller's region-equivalent ones;
-3. when the service wraps an :class:`repro.core.IncrementalTara`, it
-   subscribes to window appends and advances its *epoch*:
-   generation-scoped entries (those that resolved a ``spec=None`` /
-   ``window=None`` default) are retired, while explicit-window entries
-   — still correct, because archived windows are immutable — keep
-   serving.  There is no global flush.
+3. every request executes against a **pinned snapshot**
+   (:class:`repro.core.Snapshot`): the service pins the current view,
+   canonicalizes and answers against it, and releases the pin when the
+   answer is thawed.  Epoch-free entries (explicit windows, valid
+   forever because archived windows are immutable) live in a cache the
+   service owns; generation-scoped entries live in the *snapshot's own
+   segment* and vanish wholesale when the snapshot retires.  There is
+   no epoch re-check anywhere: an answer computed under a pin is
+   correct for that pin by construction.
 
-Concurrency: one re-entrant lock guards canonicalization, cache access,
-epoch transitions, and metrics.  Cache misses compute *outside* the
-lock, so a slow first query does not serialize the service; concurrent
-misses on the same key each compute and the last write wins (benign —
-region equivalence guarantees they computed equal answers).
+Concurrency: one re-entrant lock guards the shared cache and metrics;
+the pinned snapshot guards its segment with its own lock (global order:
+``IncrementalTara._lock`` → ``TaraService._lock`` → ``Snapshot._lock``;
+no path here holds two of them at once).  Cache misses compute *outside*
+every lock, so a slow first query does not serialize the service;
+concurrent misses on the same key each compute and the last write wins
+(benign — region equivalence guarantees they computed equal answers).
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union, cast, overload
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    cast,
+    overload,
+)
 
 from repro.common.errors import ValidationError
 from repro.common.timing import stopwatch
@@ -50,11 +65,13 @@ from repro.core.queries import (
     TrajectoryQuery,
 )
 from repro.core.regions import ParameterSetting
+from repro.core.snapshot import Snapshot, SnapshotHandle
 from repro.data.items import ItemId
 from repro.data.periods import PeriodSpec
+from repro.data.transactions import Transaction
 from repro.mining.rules import RuleId
-from repro.service.cache import RegionKeyedCache
-from repro.service.keys import EPOCH_FREE, CanonicalQuery, canonicalize
+from repro.service.cache import CacheEntry, RegionKeyedCache
+from repro.service.keys import EPOCH_FREE, CacheKey, CanonicalQuery, canonicalize
 from repro.service.metrics import ServiceMetrics
 
 #: Sources a service can wrap.
@@ -65,9 +82,10 @@ class TaraService:
     """Thread-safe, cached query serving over one TARA knowledge base.
 
     Wraps a :class:`TaraKnowledgeBase`, an existing
-    :class:`TaraExplorer`, or an :class:`IncrementalTara` (in which case
-    the service subscribes to appends and epoch-invalidates
-    generation-scoped cache entries automatically).
+    :class:`TaraExplorer` (both served as a single static snapshot), or
+    an :class:`IncrementalTara` publisher (in which case every request
+    pins whatever snapshot is current; publishes never disturb requests
+    already in flight).
     """
 
     def __init__(
@@ -78,64 +96,132 @@ class TaraService:
         metrics: Optional[ServiceMetrics] = None,
     ) -> None:
         self._lock = threading.RLock()
-        self._cache = RegionKeyedCache(max_entries=max_entries)  # repro-lint: guarded-by=_lock
+        self._shared = RegionKeyedCache(max_entries=max_entries)  # repro-lint: guarded-by=_lock
         self.metrics = metrics if metrics is not None else ServiceMetrics()
-        self._explorer: Optional[TaraExplorer] = None  # repro-lint: guarded-by=_lock
+        self._retired_seen = 0  # repro-lint: guarded-by=_lock
+        # Exactly one of the two is set, in __init__, and never rebound:
+        # either we front a publisher, or we hold one static snapshot
+        # pinned for the service's whole lifetime.
+        self._publisher: Optional[IncrementalTara] = None
+        self._static: Optional[Snapshot] = None
         if isinstance(source, IncrementalTara):
-            self._knowledge_base = source.knowledge_base
-            source.subscribe(self._on_append)
+            self._publisher = source
         elif isinstance(source, TaraExplorer):
-            self._knowledge_base = source.knowledge_base
-            self._explorer = source
+            static = Snapshot(
+                source.knowledge_base.window_count,
+                source.knowledge_base,
+                segment_capacity=max_entries,
+                explorer=source,
+            )
+            static.pin()
+            self._static = static
         elif isinstance(source, TaraKnowledgeBase):
-            self._knowledge_base = source
+            static = Snapshot(
+                source.window_count, source, segment_capacity=max_entries
+            )
+            static.pin()
+            self._static = static
         else:
             raise ValidationError(
                 f"cannot serve from a {type(source).__name__!r}"
             )
-        self._epoch = self._knowledge_base.window_count  # repro-lint: guarded-by=_lock
 
     # ------------------------------------------------------------------
     # state
     # ------------------------------------------------------------------
+    def pin(self) -> SnapshotHandle:
+        """Pin the current snapshot; release promptly (``with`` it).
+
+        Against a publisher this is the MVCC read barrier: the returned
+        view is immutable and survives any number of concurrent
+        publishes until the handle is released.  Against a static
+        source it pins the service's single long-lived snapshot.
+        """
+        if self._publisher is not None:
+            return self._publisher.snapshot()
+        assert self._static is not None
+        return self._static.handle()
+
     @property
     def knowledge_base(self) -> TaraKnowledgeBase:
-        """The knowledge base being served."""
-        return self._knowledge_base
+        """The knowledge base of the currently published snapshot."""
+        if self._publisher is not None:
+            return self._publisher.knowledge_base
+        assert self._static is not None
+        return self._static.knowledge_base
 
     @property
     def epoch(self) -> int:
-        """Current serving epoch (the window count last observed)."""
-        with self._lock:
-            return self._epoch
+        """Epoch of the currently published snapshot."""
+        with self.pin() as snapshot:
+            return snapshot.epoch
 
     def cache_info(self) -> Dict[str, int]:
-        """Snapshot of cache occupancy and lifetime eviction count."""
+        """Occupancy and lifetime evictions across both cache tiers.
+
+        ``entries`` counts the shared (epoch-free) cache plus the
+        current snapshot's segment; segments of retired snapshots are
+        gone and accounted as invalidations in :attr:`metrics`.
+        """
+        self._sync_retirements()
+        with self.pin() as snapshot:
+            segment_entries, segment_evictions = snapshot.segment_info()
+            epoch = snapshot.epoch
         with self._lock:
             return {
-                "entries": len(self._cache),
-                "max_entries": self._cache.max_entries,
-                "evictions": self._cache.evictions,
-                "epoch": self._epoch,
+                "entries": len(self._shared) + segment_entries,
+                "max_entries": self._shared.max_entries,
+                "evictions": self._shared.evictions + segment_evictions,
+                "epoch": epoch,
             }
 
-    def _on_append(self, window_count: int) -> None:
-        """Append listener: advance the epoch, retire scoped entries."""
-        with self._lock:
-            self._epoch = window_count
-            invalidated = self._cache.purge_scoped_except(window_count)
-            self.metrics.record_invalidations(invalidated)
+    def snapshot_stats(self) -> Dict[str, object]:
+        """Publisher/snapshot introspection for ``GET /v1/snapshot``."""
+        if self._publisher is not None:
+            return self._publisher.snapshot_stats()
+        assert self._static is not None
+        static = self._static
+        return {
+            "epoch": static.epoch,
+            "windows": static.window_count,
+            "refs": static.refs,
+            "building": False,
+            "retired_snapshots": 0,
+            "retired_entries": 0,
+        }
 
-    def _get_explorer(self) -> TaraExplorer:
-        # Lazy creation races without the lock: two concurrent misses
-        # could each observe None and publish different explorers, and
-        # the unlocked write is not a safe publication of the one kept.
+    def publish(
+        self, batches: Iterable[Sequence[Transaction]]
+    ) -> Snapshot:
+        """Forward a publish to the wrapped publisher.
+
+        Raises :class:`ValidationError` when the service fronts a
+        static source (nothing can be appended to it).
+        """
+        if self._publisher is None:
+            raise ValidationError(
+                "this service fronts a static knowledge base; "
+                "serve an IncrementalTara to accept appends"
+            )
+        return self._publisher.publish(batches)
+
+    def _sync_retirements(self) -> None:
+        """Fold snapshot retirements into the invalidation metric.
+
+        Retirement happens on whatever thread drops the last pin; the
+        publisher counts dropped segment entries and we pull the delta
+        here (on the serving path) rather than re-entering the service
+        from the retirement callback.
+        """
+        publisher = self._publisher
+        if publisher is None:
+            return
+        total = publisher.retired_entries()
         with self._lock:
-            explorer = self._explorer
-            if explorer is None:
-                explorer = TaraExplorer(self._knowledge_base)
-                self._explorer = explorer
-        return explorer
+            delta = total - self._retired_seen
+            if delta > 0:
+                self._retired_seen = total
+                self.metrics.record_invalidations(delta)
 
     # ------------------------------------------------------------------
     # serving
@@ -156,53 +242,95 @@ class TaraService:
     def execute(self, query: RollupQuery) -> RollupAnswer: ...
 
     def execute(self, query: ExplorerQuery) -> ExplorerAnswer:
-        """Serve one request, through the region-keyed cache.
+        """Serve one request against a freshly pinned snapshot.
 
         Cache hits thaw the stored answer; misses execute the resolved
-        request on the underlying explorer (outside the lock), freeze
-        and store the answer, and return it.  Roll-up requests pass
-        through uncached (their answers are not region-invariant).
+        request on the pinned snapshot's explorer (outside every lock),
+        freeze and store the answer, and return it.  Roll-up requests
+        pass through uncached (their answers are not region-invariant).
+        """
+        with self.pin() as snapshot:
+            return self.execute_on(snapshot, query)
+
+    def execute_on(
+        self, snapshot: Snapshot, query: ExplorerQuery
+    ) -> ExplorerAnswer:
+        """Serve one request against an already-pinned *snapshot*.
+
+        The serving gateway pins once per request (so canonicalization,
+        coalescing, and execution all observe one view) and calls this;
+        the caller owns the pin and must hold it until the answer is
+        returned.
         """
         with stopwatch() as clock:
-            with self._lock:
-                canonical = canonicalize(query, self._knowledge_base, self._epoch)
-                hit = False
-                frozen: object = None
-                if canonical.key is not None:
-                    entry = self._cache.get(canonical.key)
-                    if entry is not None:
-                        hit = True
-                        frozen = entry.value
+            canonical = canonicalize(
+                query, snapshot.knowledge_base, snapshot.epoch
+            )
+            hit = False
+            frozen: object = None
+            if canonical.key is not None:
+                entry = self._cache_get(canonical.key, canonical, snapshot)
+                if entry is not None:
+                    hit = True
+                    frozen = entry.value
             if not hit:
-                answer = self._get_explorer().execute(canonical.resolved)
+                answer = snapshot.explorer().execute(canonical.resolved)
                 frozen = self._freeze(canonical, answer)
                 if canonical.key is not None:
+                    evicted = self._cache_put(
+                        canonical.key, canonical, snapshot, frozen
+                    )
                     with self._lock:
-                        # An append may have landed while we computed; a
-                        # scoped answer from the old epoch must not be
-                        # stored under the (already purged) old tag.
-                        if (
-                            canonical.epoch == EPOCH_FREE
-                            or canonical.epoch == self._epoch
-                        ):
-                            evicted = self._cache.put(
-                                canonical.key, frozen, canonical.epoch
-                            )
-                            self.metrics.record_evictions(evicted)
+                        self.metrics.record_evictions(evicted)
             result = self._thaw(canonical, query, frozen)
+        self._sync_retirements()
         with self._lock:
             self.metrics.observe(canonical.query_class, hit, clock.seconds)
         return result
 
     def uncached(self, query: ExplorerQuery) -> ExplorerAnswer:
-        """Execute *query* directly on the explorer, bypassing the cache.
+        """Execute *query* on a pinned snapshot, bypassing both caches.
 
-        The bench-online harness uses this to verify that cached answers
-        equal freshly computed ones before it writes results.
+        The bench harnesses use this to verify that cached answers
+        equal freshly computed ones before they write results.
         """
+        with self.pin() as snapshot:
+            canonical = canonicalize(
+                query, snapshot.knowledge_base, snapshot.epoch
+            )
+            return snapshot.explorer().execute(canonical.resolved)
+
+    # ------------------------------------------------------------------
+    # the two cache tiers
+    # ------------------------------------------------------------------
+    def _cache_get(
+        self, key: CacheKey, canonical: CanonicalQuery, snapshot: Snapshot
+    ) -> Optional[CacheEntry]:
+        """Look *key* up in the tier the canonical query belongs to."""
+        if canonical.scoped:
+            return snapshot.cached(key)
         with self._lock:
-            canonical = canonicalize(query, self._knowledge_base, self._epoch)
-        return self._get_explorer().execute(canonical.resolved)
+            return self._shared.get(key)
+
+    def _cache_put(
+        self,
+        key: CacheKey,
+        canonical: CanonicalQuery,
+        snapshot: Snapshot,
+        frozen: object,
+    ) -> int:
+        """Store into the right tier; returns how many entries evicted.
+
+        Scoped answers go into the pinned snapshot's segment — always
+        correct, because the value was computed against exactly that
+        view; when the snapshot retires, the whole segment goes with
+        it.  Epoch-free answers go into the service-owned shared cache
+        and outlive every snapshot.
+        """
+        if canonical.scoped:
+            return snapshot.store(key, frozen)
+        with self._lock:
+            return self._shared.put(key, frozen, EPOCH_FREE)
 
     # ------------------------------------------------------------------
     # freeze / thaw
@@ -267,7 +395,7 @@ class TaraService:
         anchor_window: int,
         spec: Optional[PeriodSpec] = None,
     ) -> List[RuleTrajectory]:
-        """Q1 via the cache; see :meth:`TaraExplorer.trajectories`."""
+        """Q1 via the cache; see :class:`TrajectoryQuery`."""
         return self.execute(
             TrajectoryQuery(
                 setting=setting, anchor_window=anchor_window, spec=spec
@@ -281,7 +409,7 @@ class TaraService:
         spec: Optional[PeriodSpec] = None,
         mode: MatchMode = MatchMode.SINGLE,
     ) -> ComparisonResult:
-        """Q2 via the cache; see :meth:`TaraExplorer.compare`."""
+        """Q2 via the cache; see :class:`CompareQuery`."""
         return self.execute(
             CompareQuery(first=first, second=second, spec=spec, mode=mode)
         )
@@ -289,7 +417,7 @@ class TaraService:
     def recommend(
         self, setting: ParameterSetting, window: Optional[int] = None
     ) -> Recommendation:
-        """Q3 via the cache; see :meth:`TaraExplorer.recommend`."""
+        """Q3 via the cache; see :class:`RecommendQuery`."""
         return self.execute(RecommendQuery(setting=setting, window=window))
 
     def content(
@@ -298,7 +426,7 @@ class TaraService:
         items: Sequence[ItemId],
         spec: Optional[PeriodSpec] = None,
     ) -> Dict[int, List[RuleId]]:
-        """Q5 via the cache; see :meth:`TaraExplorer.content`."""
+        """Q5 via the cache; see :class:`ContentQuery`."""
         return self.execute(
             ContentQuery(setting=setting, items=tuple(items), spec=spec)
         )
@@ -319,7 +447,8 @@ class TaraService:
         layer meters them without caching.
         """
         with stopwatch() as clock:
-            answer = self._get_explorer().mine(setting, spec)
+            with self.pin() as snapshot:
+                answer = snapshot.explorer().mine(setting, spec)
         with self._lock:
             self.metrics.observe("mine", False, clock.seconds)
         return answer

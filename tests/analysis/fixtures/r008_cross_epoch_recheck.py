@@ -1,0 +1,13 @@
+"""R008 positive fixture: post-await epoch re-check outside Snapshot."""
+
+
+class Gateway:
+    def __init__(self, service) -> None:
+        self._service = service
+
+    async def query(self, canonical, supplier):
+        pinned_epoch = self._service.epoch
+        answer = await supplier()
+        if pinned_epoch != self._service.epoch:  # cross-epoch -> finding
+            answer = await supplier()
+        return answer

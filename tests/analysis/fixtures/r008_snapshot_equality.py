@@ -1,0 +1,21 @@
+"""R008 negative fixture: epoch identity inside Snapshot; sentinels."""
+
+EPOCH_FREE = -1
+
+
+class Snapshot:
+    def __init__(self, epoch) -> None:
+        self.epoch = epoch
+
+    def accepts(self, entry_epoch) -> bool:
+        # Inside Snapshot the epoch relationship is the point: a
+        # segment entry is valid iff it was stored under this snapshot.
+        return entry_epoch == self.epoch
+
+
+class Service:
+    def __init__(self, snapshot) -> None:
+        self._snapshot = snapshot
+
+    def scoped(self, query_epoch) -> bool:
+        return query_epoch != EPOCH_FREE  # sentinel check stays legal

@@ -215,6 +215,26 @@ class TestR008EpochDiscipline:
         findings, _ = lint_source(source, self.PATH, [get_rule("R008")])
         assert findings == []
 
+    def test_cross_epoch_recheck_fires(self):
+        findings, _ = fixture_findings(
+            "R008", "r008_cross_epoch_recheck.py", self.PATH
+        )
+        assert [f.rule_id for f in findings] == ["R008"]
+        assert "outside class Snapshot" in findings[0].message
+
+    def test_snapshot_equality_and_sentinels_are_clean(self):
+        findings, _ = fixture_findings(
+            "R008", "r008_snapshot_equality.py", "repro/core/snapshot.py"
+        )
+        assert findings == []
+
+    def test_single_epoch_equality_unaffected(self):
+        # One epoch-valued operand against a plain value classifies an
+        # entry; it is not a relationship between two epochs.
+        source = "def f(entry, epoch):\n    return entry.tag == epoch\n"
+        findings, _ = lint_source(source, self.PATH, [get_rule("R008")])
+        assert findings == []
+
 
 class TestR009ExecutorPicklability:
     PATH = "repro/core/fixture.py"

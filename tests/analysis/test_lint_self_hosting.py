@@ -39,26 +39,33 @@ class TestTreeIsClean:
 
 
 class TestLockRemovalSentinel:
-    """Deleting a ``with self._lock:`` from the real service must fail R006.
+    """Deleting a ``with self._lock:`` from the real tree must fail R006.
 
     This is the contract CI stakes its value on: the rule set is not
     just clean on the tree, it actually *notices* when the tree's lock
     discipline regresses.
     """
 
-    def test_removing_service_lock_trips_r006(self):
-        source = (SRC / "service" / "service.py").read_text("utf-8")
+    def test_removing_snapshot_lock_trips_r006(self):
+        source = (SRC / "core" / "snapshot.py").read_text("utf-8")
         target = (
             "        with self._lock:\n"
-            "            return self._epoch\n"
+            "            return self._refs\n"
         )
-        assert target in source, "epoch property changed; update sentinel"
-        mutated = source.replace(target, "        return self._epoch\n")
+        assert target in source, "refs property changed; update sentinel"
+        mutated = source.replace(target, "        return self._refs\n")
         findings, _ = lint_source(
-            mutated, "repro/service/service.py", [get_rule("R006")]
+            mutated, "repro/core/snapshot.py", [get_rule("R006")]
         )
         assert [f.rule_id for f in findings] == ["R006"]
-        assert "self._epoch" in findings[0].message
+        assert "self._refs" in findings[0].message
+
+    def test_unmutated_snapshot_is_clean(self):
+        source = (SRC / "core" / "snapshot.py").read_text("utf-8")
+        findings, _ = lint_source(
+            source, "repro/core/snapshot.py", [get_rule("R006")]
+        )
+        assert findings == []
 
     def test_unmutated_service_is_clean(self):
         source = (SRC / "service" / "service.py").read_text("utf-8")

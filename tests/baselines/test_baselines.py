@@ -145,13 +145,15 @@ class TestGenericOperations:
 
     def test_compare_against_tara(self, hmine, small_kb, small_windows):
         from repro.baselines import rule_key
-        from repro.core import TaraExplorer
+        from repro.core import CompareQuery, TaraExplorer
 
         loose = ParameterSetting(0.04, 0.25)
         tight = ParameterSetting(0.08, 0.4)
         spec = PeriodSpec(range(small_windows.window_count))
         explorer = TaraExplorer(small_kb)
-        tara = explorer.compare(loose, tight, spec, MatchMode.SINGLE)
+        tara = explorer.execute(
+            CompareQuery(first=loose, second=tight, spec=spec, mode=MatchMode.SINGLE)
+        )
         tara_first = {rule_key(small_kb.catalog.get(r)) for r in tara.only_first}
         tara_second = {rule_key(small_kb.catalog.get(r)) for r in tara.only_second}
         base_first, base_second = hmine.compare(loose, tight, spec, MatchMode.SINGLE)

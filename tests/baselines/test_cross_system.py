@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.baselines import Dctar, HMineOnline, Paras, rule_key
-from repro.core import ParameterSetting, TaraExplorer
+from repro.core import ParameterSetting, TaraExplorer, TrajectoryQuery
 from repro.data.periods import PeriodSpec
 
 GEN_SUPPORT = 0.02
@@ -57,7 +57,9 @@ def test_trajectory_measures_agree_where_archived(
             w: (m.support, m.confidence) if m else None
             for w, m in t.measures.items()
         }
-        for t in tara.trajectories(setting, anchor, spec)
+        for t in tara.execute(
+            TrajectoryQuery(setting=setting, anchor_window=anchor, spec=spec)
+        )
     }
     dctar_traj = systems[0].trajectory(setting, anchor, spec)
     assert set(tara_traj) == set(dctar_traj)

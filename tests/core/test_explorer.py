@@ -4,9 +4,14 @@ import pytest
 
 from repro.common.errors import QueryError
 from repro.core import (
+    CompareQuery,
+    ContentQuery,
     MatchMode,
     ParameterSetting,
+    RecommendQuery,
+    RollupQuery,
     TaraExplorer,
+    TrajectoryQuery,
 )
 from repro.data.periods import PeriodSpec
 from repro.mining.apriori import mine_apriori
@@ -74,21 +79,27 @@ class TestMining:
 
 class TestTrajectories:
     def test_anchored_rules_match_ruleset(self, explorer):
-        trajectories = explorer.trajectories(SETTING, anchor_window=2)
+        trajectories = explorer.execute(
+            TrajectoryQuery(setting=SETTING, anchor_window=2)
+        )
         assert sorted(t.rule_id for t in trajectories) == explorer.ruleset(
             SETTING, 2
         )
 
     def test_measures_cover_requested_spec(self, explorer, small_kb):
         spec = PeriodSpec([0, 3])
-        trajectories = explorer.trajectories(SETTING, 3, spec)
+        trajectories = explorer.execute(
+            TrajectoryQuery(setting=SETTING, anchor_window=3, spec=spec)
+        )
         for trajectory in trajectories:
             assert set(trajectory.measures) == {0, 3}
             # The anchor window always has a measure (rule valid there).
             assert trajectory.measures[3] is not None
 
     def test_series_helpers(self, explorer):
-        trajectory = explorer.trajectories(SETTING, 2)[0]
+        trajectory = explorer.execute(
+            TrajectoryQuery(setting=SETTING, anchor_window=2)
+        )[0]
         present = trajectory.present_windows()
         assert len(trajectory.support_series()) == len(present)
         assert len(trajectory.confidence_series()) == len(present)
@@ -100,7 +111,9 @@ class TestCompare:
     TIGHT = ParameterSetting(0.08, 0.25)
 
     def test_per_window_diffs_match_rulesets(self, explorer, small_kb):
-        result = explorer.compare(self.LOOSE, self.TIGHT)
+        result = explorer.execute(
+            CompareQuery(first=self.LOOSE, second=self.TIGHT)
+        )
         for diff in result.per_window:
             loose_rules = set(explorer.ruleset(self.LOOSE, diff.window))
             tight_rules = set(explorer.ruleset(self.TIGHT, diff.window))
@@ -109,12 +122,22 @@ class TestCompare:
             assert set(diff.common) == loose_rules & tight_rules
 
     def test_tighter_setting_is_subset(self, explorer):
-        result = explorer.compare(self.LOOSE, self.TIGHT)
+        result = explorer.execute(
+            CompareQuery(first=self.LOOSE, second=self.TIGHT)
+        )
         assert result.only_second == ()  # tight ⊆ loose always
 
     def test_single_vs_exact_mode(self, explorer, small_kb):
-        single = explorer.compare(self.LOOSE, self.TIGHT, mode=MatchMode.SINGLE)
-        exact = explorer.compare(self.LOOSE, self.TIGHT, mode=MatchMode.EXACT)
+        single = explorer.execute(
+            CompareQuery(
+                first=self.LOOSE, second=self.TIGHT, mode=MatchMode.SINGLE
+            )
+        )
+        exact = explorer.execute(
+            CompareQuery(
+                first=self.LOOSE, second=self.TIGHT, mode=MatchMode.EXACT
+            )
+        )
         assert set(exact.only_first) <= set(single.only_first)
         # EXACT keeps only rules differing in every window.
         window_count = small_kb.window_count
@@ -126,28 +149,36 @@ class TestCompare:
         assert list(exact.only_first) == expected_exact
 
     def test_identical_settings_no_difference(self, explorer):
-        result = explorer.compare(self.LOOSE, self.LOOSE)
+        result = explorer.execute(
+            CompareQuery(first=self.LOOSE, second=self.LOOSE)
+        )
         assert result.difference_size == 0
 
 
 class TestRecommend:
     def test_region_contains_setting(self, explorer):
-        recommendation = explorer.recommend(SETTING, window=1)
+        recommendation = explorer.execute(
+            RecommendQuery(setting=SETTING, window=1)
+        )
         assert recommendation.region.contains(SETTING)
         assert recommendation.window == 1
 
     def test_defaults_to_latest_window(self, explorer, small_kb):
-        recommendation = explorer.recommend(SETTING)
+        recommendation = explorer.execute(RecommendQuery(setting=SETTING))
         assert recommendation.window == small_kb.window_count - 1
 
     def test_region_size_equals_ruleset(self, explorer):
-        recommendation = explorer.recommend(SETTING, window=0)
+        recommendation = explorer.execute(
+            RecommendQuery(setting=SETTING, window=0)
+        )
         assert recommendation.region.ruleset_size == len(
             explorer.ruleset(SETTING, 0)
         )
 
     def test_ruleset_delta_signs(self, explorer):
-        recommendation = explorer.recommend(SETTING, window=0)
+        recommendation = explorer.execute(
+            RecommendQuery(setting=SETTING, window=0)
+        )
         looser = recommendation.ruleset_delta("looser_support")
         if looser is not None:
             assert looser >= 0
@@ -184,17 +215,21 @@ class TestTopRules:
 
 class TestContent:
     def test_content_rules_mention_item(self, explorer, small_kb):
-        answer = explorer.content(SETTING, [3], PeriodSpec([1]))
+        answer = explorer.execute(
+            ContentQuery(setting=SETTING, items=(3,), spec=PeriodSpec([1]))
+        )
         for rule_id in answer[1]:
             assert 3 in small_kb.catalog.get(rule_id).items
 
     def test_content_subset_of_ruleset(self, explorer):
-        answer = explorer.content(SETTING, [3], PeriodSpec([1]))
+        answer = explorer.execute(
+            ContentQuery(setting=SETTING, items=(3,), spec=PeriodSpec([1]))
+        )
         assert set(answer[1]) <= set(explorer.ruleset(SETTING, 1))
 
     def test_empty_items_rejected(self, explorer):
         with pytest.raises(QueryError):
-            explorer.content(SETTING, [])
+            explorer.execute(ContentQuery(setting=SETTING, items=()))
 
 
 class TestSummarize:
@@ -209,35 +244,39 @@ class TestSummarize:
         )
 
 
-class TestExecuteDispatch:
-    """The unified request entry point equals the legacy named methods."""
+class TestDeprecatedMethodShims:
+    """The legacy named methods warn, then answer exactly like execute()."""
 
-    def test_each_request_class_matches_its_shim(self, explorer):
-        from repro.core import (
-            CompareQuery,
-            ContentQuery,
-            RecommendQuery,
-            RollupQuery,
-            TrajectoryQuery,
+    def test_each_shim_warns_and_matches_execute(self, explorer):
+        other = ParameterSetting(0.08, 0.4)
+        with pytest.warns(DeprecationWarning, match="TrajectoryQuery"):
+            legacy = explorer.trajectories(SETTING, anchor_window=0)
+        assert legacy == explorer.execute(
+            TrajectoryQuery(setting=SETTING, anchor_window=0)
+        )
+        with pytest.warns(DeprecationWarning, match="CompareQuery"):
+            legacy = explorer.compare(SETTING, other, mode=MatchMode.EXACT)
+        assert legacy == explorer.execute(
+            CompareQuery(first=SETTING, second=other, mode=MatchMode.EXACT)
+        )
+        with pytest.warns(DeprecationWarning, match="RecommendQuery"):
+            legacy = explorer.recommend(SETTING, window=1)
+        assert legacy == explorer.execute(
+            RecommendQuery(setting=SETTING, window=1)
+        )
+        with pytest.warns(DeprecationWarning, match="ContentQuery"):
+            legacy = explorer.content(SETTING, [3])
+        assert legacy == explorer.execute(
+            ContentQuery(setting=SETTING, items=(3,))
+        )
+        with pytest.warns(DeprecationWarning, match="RollupQuery"):
+            legacy = explorer.mine_rolled_up(SETTING, PeriodSpec([0, 1]))
+        assert legacy == explorer.execute(
+            RollupQuery(setting=SETTING, spec=PeriodSpec([0, 1]))
         )
 
-        other = ParameterSetting(0.08, 0.4)
-        assert explorer.execute(
-            TrajectoryQuery(setting=SETTING, anchor_window=0)
-        ) == explorer.trajectories(SETTING, anchor_window=0)
-        assert explorer.execute(
-            CompareQuery(first=SETTING, second=other, mode=MatchMode.EXACT)
-        ) == explorer.compare(SETTING, other, mode=MatchMode.EXACT)
-        assert explorer.execute(
-            RecommendQuery(setting=SETTING, window=1)
-        ) == explorer.recommend(SETTING, window=1)
-        assert explorer.execute(
-            ContentQuery(setting=SETTING, items=(3,))
-        ) == explorer.content(SETTING, [3])
-        assert explorer.execute(
-            RollupQuery(setting=SETTING, spec=PeriodSpec([0, 1]))
-        ) == explorer.mine_rolled_up(SETTING, PeriodSpec([0, 1]))
 
+class TestExecuteDispatch:
     def test_unknown_request_type_rejected(self, explorer):
         with pytest.raises(QueryError, match="unknown"):
             explorer.execute(SETTING)  # a setting is not a request

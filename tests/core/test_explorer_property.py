@@ -5,9 +5,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
+    CompareQuery,
     GenerationConfig,
     ParameterSetting,
+    RecommendQuery,
     TaraExplorer,
+    TrajectoryQuery,
     build_knowledge_base,
 )
 from repro.data import TransactionDatabase, WindowedDatabase
@@ -54,7 +57,9 @@ def test_region_boundary_consistency(transactions, supp, conf):
     cut is the space's maximum)."""
     kb, explorer = build(transactions)
     setting = ParameterSetting(supp, conf)
-    recommendation = explorer.recommend(setting, window=0)
+    recommendation = explorer.execute(
+        RecommendQuery(setting=setting, window=0)
+    )
     region = recommendation.region
     reference = explorer.ruleset(setting, 0)
     assert region.ruleset_size == len(reference)
@@ -75,8 +80,8 @@ def test_comparison_is_antisymmetric(transactions, supp, conf):
     kb, explorer = build(transactions)
     first = ParameterSetting(supp, conf)
     second = ParameterSetting(min(supp + 0.1, 1.0), conf)
-    forward = explorer.compare(first, second)
-    backward = explorer.compare(second, first)
+    forward = explorer.execute(CompareQuery(first=first, second=second))
+    backward = explorer.execute(CompareQuery(first=second, second=first))
     assert forward.only_first == backward.only_second
     assert forward.only_second == backward.only_first
 
@@ -99,5 +104,7 @@ def test_trajectory_anchor_always_present(transactions):
     kb, explorer = build(transactions)
     setting = ParameterSetting(0.1, 0.2)
     anchor = kb.window_count - 1
-    for trajectory in explorer.trajectories(setting, anchor):
+    for trajectory in explorer.execute(
+        TrajectoryQuery(setting=setting, anchor_window=anchor)
+    ):
         assert trajectory.measures[anchor] is not None

@@ -1,8 +1,8 @@
-"""Incremental construction must equal the from-scratch build."""
+"""Incremental publication must equal the from-scratch build."""
 
 import pytest
 
-from repro.common.errors import ValidationError
+from repro.common.errors import BuildInFlightError, ValidationError
 from repro.core import GenerationConfig, IncrementalTara, build_knowledge_base
 from repro.core.regions import ParameterSetting
 
@@ -17,7 +17,7 @@ class TestEquivalenceWithBatchBuild:
         batch_kb = build_knowledge_base(small_windows, config)
         incremental = IncrementalTara(config)
         for index in range(small_windows.window_count):
-            incremental.append_batch(small_windows.window(index))
+            incremental.publish([small_windows.window(index)])
         inc_kb = incremental.knowledge_base
         assert inc_kb.window_count == batch_kb.window_count
         setting = ParameterSetting(0.05, 0.3)
@@ -35,8 +35,11 @@ class TestEquivalenceWithBatchBuild:
     def test_same_archive_content(self, small_windows, config):
         batch_kb = build_knowledge_base(small_windows, config)
         incremental = IncrementalTara(config)
-        incremental.append_batches(
-            small_windows.window(i) for i in range(small_windows.window_count)
+        incremental.publish(
+            [
+                small_windows.window(i)
+                for i in range(small_windows.window_count)
+            ]
         )
         inc_kb = incremental.knowledge_base
         for rule in batch_kb.catalog:
@@ -57,66 +60,130 @@ class TestEquivalenceWithBatchBuild:
 class TestIncrementalBehaviour:
     def test_explorer_is_always_current(self, small_windows, config):
         incremental = IncrementalTara(config)
-        incremental.append_batch(small_windows.window(0))
+        incremental.publish([small_windows.window(0)])
         assert incremental.explorer().knowledge_base.window_count == 1
-        incremental.append_batch(small_windows.window(1))
+        incremental.publish([small_windows.window(1)])
         assert incremental.explorer().knowledge_base.window_count == 2
 
     def test_window_count_tracks_batches(self, small_windows, config):
         incremental = IncrementalTara(config)
         assert incremental.window_count == 0
-        slices = incremental.append_batches(
-            small_windows.window(i) for i in range(3)
+        snapshot = incremental.publish(
+            [small_windows.window(i) for i in range(3)]
         )
         assert incremental.window_count == 3
-        assert [s.window for s in slices] == [0, 1, 2]
+        assert snapshot.epoch == 3
+        assert [s.window for s in snapshot.knowledge_base.slices] == [0, 1, 2]
+
+    def test_empty_publish_rejected(self, config):
+        with pytest.raises(ValidationError):
+            IncrementalTara(config).publish([])
 
     def test_empty_batch_rejected(self, config):
         with pytest.raises(ValidationError):
-            IncrementalTara(config).append_batch([])
+            IncrementalTara(config).publish([[]])
 
     def test_unsorted_batch_rejected(self, small_windows, config):
         incremental = IncrementalTara(config)
-        incremental.append_batch(small_windows.window(0))
+        incremental.publish([small_windows.window(0)])
         shuffled = list(reversed(small_windows.window(1)))
         with pytest.raises(ValidationError, match="time-sorted"):
-            incremental.append_batch(shuffled)
+            incremental.publish([shuffled])
+
+    def test_failed_publish_keeps_the_current_snapshot(
+        self, small_windows, config
+    ):
+        incremental = IncrementalTara(config)
+        incremental.publish([small_windows.window(0)])
+        before = incremental.current
+        with pytest.raises(ValidationError):
+            incremental.publish([[]])
+        assert incremental.current is before
+        assert not incremental.snapshot_stats()["building"]
+        # The publisher recovers: the next valid publish lands normally.
+        incremental.publish([small_windows.window(1)])
+        assert incremental.window_count == 2
 
     def test_only_new_window_is_mined(self, small_windows, config):
-        """The per-phase counters show one mining run per appended batch."""
+        """The per-phase counters show one mining run per published batch."""
         from repro.core.builder import PHASE_ITEMSETS
 
         incremental = IncrementalTara(config)
-        incremental.append_batch(small_windows.window(0))
+        incremental.publish([small_windows.window(0)])
         timer = incremental.knowledge_base.timer
         assert timer.counts[PHASE_ITEMSETS] == 1
-        incremental.append_batch(small_windows.window(1))
+        incremental.publish([small_windows.window(1)])
         assert timer.counts[PHASE_ITEMSETS] == 2
 
 
-class TestSubscribe:
-    def test_listener_sees_every_append(self, small_windows, config):
+class TestPublishSnapshots:
+    def test_publish_returns_the_installed_snapshot(
+        self, small_windows, config
+    ):
         incremental = IncrementalTara(config)
-        observed = []
-        incremental.subscribe(observed.append)
-        incremental.append_batch(small_windows.window(0))
-        incremental.append_batch(small_windows.window(1))
-        assert observed == [1, 2]
+        first = incremental.publish([small_windows.window(0)])
+        assert first is incremental.current
+        second = incremental.publish([small_windows.window(1)])
+        assert second is incremental.current
+        assert (first.epoch, second.epoch) == (1, 2)
 
-    def test_append_batches_notifies_once(self, small_windows, config):
-        """Bulk appends coalesce to one notification at the final count."""
+    def test_predecessor_kb_is_never_mutated(self, small_windows, config):
         incremental = IncrementalTara(config)
-        observed = []
-        incremental.subscribe(observed.append)
-        incremental.append_batches(
-            small_windows.window(i) for i in range(small_windows.window_count)
+        with incremental.snapshot() as genesis:
+            assert genesis.epoch == 0
+            incremental.publish([small_windows.window(0)])
+            # The pinned predecessor still sees zero windows: the
+            # publish built against a private clone.
+            assert genesis.knowledge_base.window_count == 0
+        assert incremental.window_count == 1
+
+    def test_build_in_flight_is_conflict(
+        self, small_windows, config, monkeypatch
+    ):
+        import repro.core.incremental as incremental_module
+
+        incremental = IncrementalTara(config)
+        original = incremental_module.TaraBuilder.add_windows
+
+        def reentrant_add(builder, kb, batches):
+            with pytest.raises(BuildInFlightError, match="in flight"):
+                incremental.publish([small_windows.window(1)])
+            return original(builder, kb, batches)
+
+        monkeypatch.setattr(
+            incremental_module.TaraBuilder, "add_windows", reentrant_add
         )
-        assert observed == [small_windows.window_count]
+        incremental.publish([small_windows.window(0)])
+        assert incremental.window_count == 1
 
-    def test_late_subscriber_only_sees_future_appends(self, small_windows, config):
+
+class TestDeprecatedShims:
+    """The PR-7 mutation surface still works, but warns once per key."""
+
+    def test_append_batch_warns_and_publishes(self, small_windows, config):
         incremental = IncrementalTara(config)
-        incremental.append_batch(small_windows.window(0))
+        with pytest.warns(DeprecationWarning, match="publish"):
+            slice_ = incremental.append_batch(small_windows.window(0))
+        assert slice_.window == 0
+        assert incremental.window_count == 1
+
+    def test_append_batches_warns_and_returns_new_slices(
+        self, small_windows, config
+    ):
+        incremental = IncrementalTara(config)
+        with pytest.warns(DeprecationWarning, match="publish"):
+            slices = incremental.append_batches(
+                small_windows.window(i) for i in range(2)
+            )
+        assert [s.window for s in slices] == [0, 1]
+        # Same key, same process: the second call stays silent.
+        assert incremental.append_batches([]) == []
+
+    def test_subscribe_warns_and_still_notifies(self, small_windows, config):
+        incremental = IncrementalTara(config)
         observed = []
-        incremental.subscribe(observed.append)
-        incremental.append_batch(small_windows.window(1))
-        assert observed == [2]
+        with pytest.warns(DeprecationWarning, match="snapshot"):
+            incremental.subscribe(observed.append)
+        incremental.publish([small_windows.window(0)])
+        incremental.publish([small_windows.window(1)])
+        assert observed == [1, 2]

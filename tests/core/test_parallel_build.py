@@ -23,6 +23,7 @@ from repro.core import (
     GenerationConfig,
     IncrementalTara,
     ParameterSetting,
+    RecommendQuery,
     TaraExplorer,
     TaraKnowledgeBase,
     build_knowledge_base,
@@ -91,8 +92,8 @@ class TestExecutorDeterminism:
     ):
         parallel_kb = build_knowledge_base(retail_windows, _config(strategy))
         setting = ParameterSetting(0.03, 0.3)
-        expected = TaraExplorer(serial_kb).recommend(setting)
-        actual = TaraExplorer(parallel_kb).recommend(setting)
+        expected = TaraExplorer(serial_kb).execute(RecommendQuery(setting=setting))
+        actual = TaraExplorer(parallel_kb).execute(RecommendQuery(setting=setting))
         assert actual.region == expected.region
         assert actual.neighbors == expected.neighbors
 
@@ -139,18 +140,18 @@ class TestExecutorDeterminism:
 
 class TestIncrementalParallelAppend:
     @pytest.mark.parametrize("strategy", PARALLEL)
-    def test_append_batches_matches_serial_appends(self, retail_windows, strategy):
+    def test_publishes_match_serial_publishes(self, retail_windows, strategy):
         batches = [retail_windows.window(i) for i in range(retail_windows.window_count)]
 
         serial = IncrementalTara(_config("serial"))
         for batch in batches:
-            serial.append_batch(batch)
+            serial.publish([batch])
 
         parallel = IncrementalTara(_config(strategy))
         # Two calls so the second exercises appends onto existing windows.
-        parallel.append_batches(batches[:2])
-        slices = parallel.append_batches(batches[2:])
+        parallel.publish(batches[:2])
+        snapshot_after = parallel.publish(batches[2:])
 
-        assert len(slices) == len(batches) - 2
+        assert snapshot_after.epoch == len(batches)
         assert parallel.window_count == serial.window_count
         assert snapshot(parallel.knowledge_base) == snapshot(serial.knowledge_base)

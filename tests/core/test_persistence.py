@@ -5,7 +5,12 @@ import json
 import pytest
 
 from repro.common.errors import DataFormatError
-from repro.core import ParameterSetting, TaraExplorer
+from repro.core import (
+    ContentQuery,
+    ParameterSetting,
+    RollupQuery,
+    TaraExplorer,
+)
 from repro.core.persistence import (
     FORMAT_VERSION,
     load_knowledge_base,
@@ -69,16 +74,18 @@ class TestRoundtrip:
             setting = ParameterSetting(0.05, 0.3)
             explorer = TaraExplorer(loaded)
             original = TaraExplorer(small_kb)
-            assert explorer.content(setting, [3], PeriodSpec([1])) == original.content(
-                setting, [3], PeriodSpec([1])
+            query = ContentQuery(
+                setting=setting, items=(3,), spec=PeriodSpec([1])
             )
+            assert explorer.execute(query) == original.execute(query)
 
     def test_rollup_identical(self, small_kb, saved_path):
         loaded = load_knowledge_base(saved_path)
         spec = PeriodSpec(range(small_kb.window_count))
         setting = ParameterSetting(0.03, 0.2)
-        original = TaraExplorer(small_kb).mine_rolled_up(setting, spec)
-        restored = TaraExplorer(loaded).mine_rolled_up(setting, spec)
+        query = RollupQuery(setting=setting, spec=spec)
+        original = TaraExplorer(small_kb).execute(query)
+        restored = TaraExplorer(loaded).execute(query)
         assert [e.rule_id for e in original.certain] == [
             e.rule_id for e in restored.certain
         ]

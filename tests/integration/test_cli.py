@@ -73,8 +73,8 @@ class TestBuildAndQuery:
             [
                 "mine",
                 "--kb", str(kb_file),
-                "--min-support", "0.02",
-                "--min-confidence", "0.4",
+                "--minsupp", "0.02",
+                "--minconf", "0.4",
                 "--top", "5",
             ]
         )
@@ -88,8 +88,8 @@ class TestBuildAndQuery:
             [
                 "mine",
                 "--kb", str(kb_file),
-                "--min-support", "0.02",
-                "--min-confidence", "0.4",
+                "--minsupp", "0.02",
+                "--minconf", "0.4",
                 "--window", "0",
             ]
         )
@@ -101,8 +101,8 @@ class TestBuildAndQuery:
             [
                 "recommend",
                 "--kb", str(kb_file),
-                "--min-support", "0.02",
-                "--min-confidence", "0.4",
+                "--minsupp", "0.02",
+                "--minconf", "0.4",
             ]
         )
         assert code == 0
@@ -114,8 +114,8 @@ class TestBuildAndQuery:
             [
                 "compare",
                 "--kb", str(kb_file),
-                "--first", "0.015", "0.3",
-                "--second", "0.03", "0.3",
+                "--minsupp", "0.015", "--minconf", "0.3",
+                "--second-minsupp", "0.03", "--second-minconf", "0.3",
                 "--mode", "exact",
             ]
         )
@@ -205,8 +205,8 @@ class TestErrorPaths:
             [
                 "mine",
                 "--kb", str(tmp_path / "nope.json"),
-                "--min-support", "0.1",
-                "--min-confidence", "0.1",
+                "--minsupp", "0.1",
+                "--minconf", "0.1",
             ]
         )
         assert code == 1
@@ -217,8 +217,8 @@ class TestErrorPaths:
             [
                 "mine",
                 "--kb", str(kb_file),
-                "--min-support", "0.001",
-                "--min-confidence", "0.4",
+                "--minsupp", "0.001",
+                "--minconf", "0.4",
             ]
         )
         assert code == 1
@@ -280,12 +280,13 @@ class TestThresholdFlagUnification:
         assert "only under the first setting" in output
 
     def test_compare_legacy_and_new_agree(self, kb_file, capsys):
-        assert main(
-            [
-                "compare", "--kb", str(kb_file),
-                "--first", "0.015", "0.3", "--second", "0.03", "0.3",
-            ]
-        ) == 0
+        with pytest.warns(DeprecationWarning, match="minsupp"):
+            assert main(
+                [
+                    "compare", "--kb", str(kb_file),
+                    "--first", "0.015", "0.3", "--second", "0.03", "0.3",
+                ]
+            ) == 0
         legacy = capsys.readouterr().out
         assert main(
             [
@@ -296,6 +297,7 @@ class TestThresholdFlagUnification:
         ) == 0
         assert capsys.readouterr().out == legacy
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_compare_mixed_spellings_rejected(self, kb_file, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(
@@ -309,6 +311,7 @@ class TestThresholdFlagUnification:
         assert excinfo.value.code == 2
         assert "not both" in capsys.readouterr().err
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_compare_incomplete_setting_rejected(self, kb_file, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(

@@ -4,8 +4,10 @@ import pytest
 
 from repro.baselines import Dctar, HMineOnline, Paras, rule_key
 from repro.core import (
+    ContentQuery,
     GenerationConfig,
     ParameterSetting,
+    RollupQuery,
     TaraExplorer,
     build_knowledge_base,
 )
@@ -69,7 +71,9 @@ class TestTaraOnRetail:
         concentrated = 0
         considered = 0
         for item, peak in zip(truth.seasonal_items, truth.seasonal_schedule):
-            content = explorer.content(setting, [item])
+            content = explorer.execute(
+                ContentQuery(setting=setting, items=(item,))
+            )
             counts = {w: len(ids) for w, ids in content.items()}
             if sum(counts.values()) < 3:
                 continue
@@ -107,7 +111,9 @@ class TestTaraOnQuest:
             len(explorer.ruleset(setting, w)) for w in range(windows.window_count)
         ]
         assert any(count > 0 for count in per_window)
-        answer = explorer.mine_rolled_up(setting, PeriodSpec.window_range(0, 4))
+        answer = explorer.execute(
+            RollupQuery(setting=setting, spec=PeriodSpec.window_range(0, 4))
+        )
         assert {e.rule_id for e in answer.certain} <= {
             e.rule_id for e in answer.possible
         }

@@ -17,7 +17,9 @@ import pytest
 from repro.core import (
     GenerationConfig,
     ParameterSetting,
+    RecommendQuery,
     TaraExplorer,
+    TrajectoryQuery,
     build_knowledge_base,
 )
 from repro.data import PeriodSpec
@@ -178,7 +180,9 @@ class TestFigure5StableRegions:
             ), (supp, conf)
 
     def test_region_recommendation_matches_figure(self, explorer):
-        recommendation = explorer.recommend(ParameterSetting(0.2, 0.6), window=1)
+        recommendation = explorer.execute(
+            RecommendQuery(setting=ParameterSetting(0.2, 0.6), window=1)
+        )
         region = recommendation.region
         assert region.cut is not None
         assert region.cut.support == Fraction(3, 9)
@@ -198,8 +202,12 @@ class TestFigure5StableRegions:
 class TestTrajectoryAcrossTheExample:
     def test_r6_has_a_gap_in_t1(self, kb, explorer):
         r6 = kb.catalog.find((B,), (C,))
-        trajectories = explorer.trajectories(
-            ParameterSetting(0.05, 0.25), anchor_window=1, spec=PeriodSpec([0, 1])
+        trajectories = explorer.execute(
+            TrajectoryQuery(
+                setting=ParameterSetting(0.05, 0.25),
+                anchor_window=1,
+                spec=PeriodSpec([0, 1]),
+            )
         )
         trajectory = next(t for t in trajectories if t.rule_id == r6)
         assert trajectory.measures[0] is None

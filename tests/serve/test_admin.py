@@ -1,0 +1,203 @@
+"""The writer path (`POST /v1/admin/append`) and snapshot introspection.
+
+End-to-end over real sockets: a client publishes window batches into a
+running server while other clients read, and the snapshot route exposes
+the publisher's state.  The 409 writer-conflict path is made
+deterministic by holding the publisher's build flag open from the test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core import (
+    GenerationConfig,
+    IncrementalTara,
+    ParameterSetting,
+    TrajectoryQuery,
+)
+from repro.serve import ServeClient
+from repro.service import TaraService
+
+CONFIG = GenerationConfig(0.02, 0.1)
+SETTING = ParameterSetting(min_support=0.03, min_confidence=0.2)
+
+
+def _publisher(small_windows, count=2) -> IncrementalTara:
+    incremental = IncrementalTara(CONFIG)
+    incremental.publish([small_windows.window(i) for i in range(count)])
+    return incremental
+
+
+class TestAppendRoute:
+    def test_append_publishes_and_answers_from_the_new_snapshot(
+        self, small_windows, running_server
+    ):
+        async def scenario():
+            incremental = _publisher(small_windows)
+            async with running_server(TaraService(incremental)) as server:
+                host, port = server.address
+                client = await ServeClient.open(host, port)
+                before_status, before = await client.snapshot()
+                status, envelope = await client.admin_append(
+                    [small_windows.window(2)]
+                )
+                after_status, after = await client.snapshot()
+                query_status, answer = await client.execute(
+                    TrajectoryQuery(setting=SETTING, anchor_window=0)
+                )
+                await client.aclose()
+            return (
+                before_status, before, status, envelope,
+                after_status, after, query_status, answer,
+            )
+
+        (
+            before_status, before, status, envelope,
+            after_status, after, query_status, answer,
+        ) = asyncio.run(scenario())
+        assert before_status == 200
+        assert before["snapshot"]["windows"] == 2
+        assert before["snapshot"]["building"] is False
+        assert status == 200
+        assert envelope["ok"] is True
+        assert envelope["snapshot_epoch"] == 3
+        assert envelope["windows"] == 3
+        assert envelope["windows_added"] == 1
+        assert after_status == 200
+        assert after["snapshot"]["windows"] == 3
+        assert after["snapshot"]["retired_snapshots"] >= 1
+        assert query_status == 200
+        # The read after the append answers from the new snapshot.
+        assert answer["snapshot_epoch"] == 3
+        assert {len(t["measures"]) for t in answer["answer"]["trajectories"]} == {3}
+
+    def test_append_while_building_is_409(self, small_windows, running_server):
+        async def scenario():
+            incremental = _publisher(small_windows)
+            async with running_server(
+                TaraService(incremental), pool_size=2
+            ) as server:
+                host, port = server.address
+                client = await ServeClient.open(host, port)
+                # Deterministic conflict: claim the writer slot directly,
+                # as a concurrent in-flight build would.
+                with incremental._lock:
+                    incremental._building = True
+                try:
+                    status, envelope = await client.admin_append(
+                        [small_windows.window(2)]
+                    )
+                finally:
+                    with incremental._lock:
+                        incremental._building = False
+                retry_status, retry = await client.admin_append(
+                    [small_windows.window(2)]
+                )
+                await client.aclose()
+            return status, envelope, retry_status, retry
+
+        status, envelope, retry_status, retry = asyncio.run(scenario())
+        assert status == 409
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "building"
+        # The canonical client reaction — retry once the build lands.
+        assert retry_status == 200
+        assert retry["windows"] == 3
+
+    def test_malformed_batches_are_400(self, small_windows, running_server):
+        async def scenario():
+            incremental = _publisher(small_windows)
+            async with running_server(TaraService(incremental)) as server:
+                host, port = server.address
+                client = await ServeClient.open(host, port)
+                results = [
+                    await client.request("POST", "/v1/admin/append", body)
+                    for body in (
+                        {"batches": []},
+                        {"batches": [[{"items": [], "time": 0}]]},
+                        {"batches": [[{"items": [1], "time": 0, "extra": 1}]]},
+                        {"windows": [[]]},
+                    )
+                ]
+                await client.aclose()
+            return results
+
+        for status, envelope in asyncio.run(scenario()):
+            assert status == 400
+            assert envelope["ok"] is False
+            assert envelope["error"]["code"] == "protocol"
+
+    def test_static_source_rejects_appends(self, small_kb, running_server):
+        async def scenario():
+            async with running_server(small_kb) as server:
+                host, port = server.address
+                client = await ServeClient.open(host, port)
+                status, envelope = await client.request(
+                    "POST",
+                    "/v1/admin/append",
+                    {"batches": [[{"items": [1], "time": 0}]]},
+                )
+                await client.aclose()
+            return status, envelope
+
+        status, envelope = asyncio.run(scenario())
+        assert status == 400
+        assert envelope["error"]["code"] == "validation"
+        assert "static" in envelope["error"]["message"]
+
+    def test_draining_server_rejects_appends(
+        self, small_windows, running_server
+    ):
+        async def scenario():
+            incremental = _publisher(small_windows)
+            async with running_server(TaraService(incremental)) as server:
+                host, port = server.address
+                client = await ServeClient.open(host, port)
+                server.gateway.begin_drain()
+                status, envelope = await client.admin_append(
+                    [small_windows.window(2)]
+                )
+                await client.aclose()
+            return status, envelope
+
+        status, envelope = asyncio.run(scenario())
+        assert status == 503
+        assert envelope["error"]["code"] == "draining"
+
+    def test_wrong_methods_are_405(self, small_kb, running_server):
+        async def scenario():
+            async with running_server(small_kb) as server:
+                host, port = server.address
+                client = await ServeClient.open(host, port)
+                get_append = await client.request("GET", "/v1/admin/append")
+                post_snapshot = await client.request(
+                    "POST", "/v1/snapshot", {}
+                )
+                await client.aclose()
+            return get_append, post_snapshot
+
+        get_append, post_snapshot = asyncio.run(scenario())
+        assert get_append[0] == 405
+        assert post_snapshot[0] == 405
+
+
+class TestSnapshotRoute:
+    def test_static_source_reports_one_standing_snapshot(
+        self, small_kb, running_server
+    ):
+        async def scenario():
+            async with running_server(small_kb) as server:
+                host, port = server.address
+                client = await ServeClient.open(host, port)
+                status, envelope = await client.snapshot()
+                await client.aclose()
+            return status, envelope
+
+        status, envelope = asyncio.run(scenario())
+        assert status == 200
+        snapshot = envelope["snapshot"]
+        assert snapshot["windows"] == small_kb.window_count
+        assert snapshot["building"] is False
+        assert snapshot["retired_snapshots"] == 0
+        assert snapshot["refs"] >= 1

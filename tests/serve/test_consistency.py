@@ -1,4 +1,4 @@
-"""Coalescing and epoch-consistency guarantees, end to end.
+"""Coalescing and snapshot-consistency guarantees, end to end.
 
 These tests pin the two serving-tier invariants that cannot be seen
 from a single request:
@@ -6,13 +6,14 @@ from a single request:
 * a concurrent burst of region-identical requests executes **once**
   (the coalescer collapses it) and every response carries the same
   answer;
-* an ``append_batch`` landing while a generation-scoped request is in
-  flight never yields a stale answer — the gateway's post-await epoch
-  re-check re-executes at the new epoch.
+* a publish landing while a generation-scoped request is in flight
+  never changes the request's answer — the request executes against
+  the snapshot it pinned, and the envelope's ``snapshot_epoch`` names
+  exactly which one.
 
-Determinism: the tests shadow ``service.execute`` on the instance with
-a wrapper that blocks (or appends) mid-flight, so the overlap window is
-guaranteed rather than hoped for.
+Determinism: the tests shadow ``service.execute_on`` on the instance
+with a wrapper that blocks (or publishes) mid-flight, so the overlap
+window is guaranteed rather than hoped for.
 """
 
 from __future__ import annotations
@@ -48,15 +49,15 @@ def test_concurrent_identical_requests_coalesce(small_kb):
         started = threading.Event()
         release = threading.Event()
         executions = []
-        original = service.execute
+        original = service.execute_on
 
-        def gated_execute(query):
+        def gated_execute(snapshot, query):
             executions.append(1)
             started.set()
             release.wait(timeout=5.0)
-            return original(query)
+            return original(snapshot, query)
 
-        service.execute = gated_execute  # instance shadow, test-only
+        service.execute_on = gated_execute  # instance shadow, test-only
         target, body = _request_bytes(
             TrajectoryQuery(setting=SETTING, anchor_window=0)
         )
@@ -88,46 +89,57 @@ def test_concurrent_identical_requests_coalesce(small_kb):
     assert coalesced == [False, True, True, True, True, True]
 
 
-def test_append_mid_flight_never_serves_stale_answer(small_windows):
+def test_publish_mid_flight_never_changes_the_pinned_answer(small_windows):
     async def scenario():
         incremental = IncrementalTara(GenerationConfig(0.02, 0.1))
-        incremental.append_batch(small_windows.window(0))
-        incremental.append_batch(small_windows.window(1))
+        incremental.publish(
+            [small_windows.window(0), small_windows.window(1)]
+        )
         service = TaraService(incremental)
         gateway = QueryGateway(service, pool_size=2)
-        original = service.execute
+        original = service.execute_on
         raced = []
 
-        def racing_execute(query):
-            # The append lands after the gateway canonicalized (scoped
-            # to epoch 2) but before the execution returns: exactly the
-            # race the post-await re-check exists for.
+        def racing_execute(snapshot, query):
+            # The publish lands after the gateway pinned its snapshot
+            # (epoch 2) but before the execution returns: exactly the
+            # race the pinned handle exists to make unobservable.
             if not raced:
                 raced.append(True)
-                incremental.append_batch(small_windows.window(2))
-            return original(query)
+                incremental.publish([small_windows.window(2)])
+            return original(snapshot, query)
 
-        service.execute = racing_execute  # instance shadow, test-only
-        # spec=None => generation-scoped: resolves to "all windows" and
-        # carries the epoch tag in its canonical key.
+        service.execute_on = racing_execute  # instance shadow, test-only
+        # spec=None => generation-scoped: resolves to "all windows" of
+        # the pinned snapshot.
         query = TrajectoryQuery(setting=SETTING, anchor_window=0)
         target, body = _request_bytes(query)
         status, envelope = await gateway.dispatch("POST", target, body)
         gateway.aclose()
-        expected = encode_answer("Q1", service.uncached(query))
+        # A serial rebuild at the pinned snapshot's window count is the
+        # reference the served answer must be identical to.
+        reference = IncrementalTara(GenerationConfig(0.02, 0.1))
+        reference.publish(
+            [small_windows.window(0), small_windows.window(1)]
+        )
+        expected = encode_answer(
+            "Q1", TaraService(reference.knowledge_base).uncached(query)
+        )
         return status, envelope, service.epoch, expected
 
     status, envelope, epoch, expected = asyncio.run(scenario())
     assert status == 200
-    assert epoch == 3  # the append moved the epoch mid-flight
-    assert envelope["epoch"] == 3
+    assert epoch == 3  # the publish landed mid-flight...
+    assert envelope["snapshot_epoch"] == 2  # ...but the request stayed pinned
+    assert envelope["epoch"] == 2  # frozen compatibility name, same value
     assert envelope["coalesced"] is False
-    # The served answer equals a fresh post-append execution: every
-    # trajectory covers the appended window 2, nothing is stale.
+    # The served answer equals the serial rebuild at two windows: the
+    # appended window 2 is invisible to the pinned request.
     assert envelope["answer"] == expected
     assert envelope["answer"]["trajectories"]
     assert all(
-        "2" in row["measures"] for row in envelope["answer"]["trajectories"]
+        "2" not in row["measures"]
+        for row in envelope["answer"]["trajectories"]
     )
 
 
@@ -136,13 +148,13 @@ def test_graceful_drain_finishes_in_flight_requests(
 ):
     async def scenario():
         service = TaraService(small_kb)
-        original = service.execute
+        original = service.execute_on
 
-        def slow_execute(query):
+        def slow_execute(snapshot, query):
             time.sleep(0.2)
-            return original(query)
+            return original(snapshot, query)
 
-        service.execute = slow_execute  # instance shadow, test-only
+        service.execute_on = slow_execute  # instance shadow, test-only
         async with running_server(service, drain_timeout=5.0) as server:
             host, port = server.address
             client = await ServeClient.open(host, port)

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ParameterSetting, TaraExplorer, TaraKnowledgeBase
+from repro.core import (
+    ParameterSetting,
+    RecommendQuery,
+    TaraExplorer,
+    TaraKnowledgeBase,
+)
 
 
 def same_region_setting(
@@ -18,7 +23,7 @@ def same_region_setting(
     """
     explorer = TaraExplorer(knowledge_base)
     regions = [
-        explorer.recommend(setting, window=window).region
+        explorer.execute(RecommendQuery(setting=setting, window=window)).region
         for window in range(knowledge_base.window_count)
     ]
     assert all(region.cut is not None for region in regions)

@@ -1,4 +1,4 @@
-"""LRU and epoch-retirement behaviour of the region-keyed cache."""
+"""LRU and segment-retirement behaviour of the region-keyed cache."""
 
 import pytest
 
@@ -46,20 +46,22 @@ class TestLru:
             RegionKeyedCache(max_entries=0)
 
 
-class TestEpochRetirement:
-    def test_purge_removes_only_stale_scoped_entries(self):
-        cache = RegionKeyedCache(max_entries=8)
-        cache.put((1,), "free", EPOCH_FREE)
-        cache.put((2,), "old", 3)
-        cache.put((3,), "current", 4)
-        purged = cache.purge_scoped_except(4)
-        assert purged == 1
-        assert cache.get((2,)) is None
-        assert cache.get((1,)) is not None  # epoch-free survives
-        assert cache.get((3,)) is not None  # already-current survives
+class TestSegmentRetirement:
+    def test_per_entry_purge_protocol_is_gone(self):
+        # PR 8 retired purge_scoped_except: scoped entries live in a
+        # snapshot's private segment and die with it, in one clear().
+        assert not hasattr(RegionKeyedCache(max_entries=2), "purge_scoped_except")
 
-    def test_purge_is_idempotent(self):
+    def test_clear_is_idempotent(self):
         cache = RegionKeyedCache(max_entries=8)
-        cache.put((1,), "old", 2)
-        assert cache.purge_scoped_except(5) == 1
-        assert cache.purge_scoped_except(5) == 0
+        cache.put((1,), "scoped", 2)
+        cache.put((2,), "free", EPOCH_FREE)
+        assert cache.clear() == 2
+        assert cache.clear() == 0
+
+    def test_canonical_home_is_core(self):
+        # The serving-tier import path must stay an alias of the core
+        # container, not a fork of it.
+        from repro.core.cache import RegionKeyedCache as core_cache
+
+        assert RegionKeyedCache is core_cache

@@ -1,13 +1,13 @@
 """Threaded stress over the paths the R006 contracts now guard.
 
-Before this round of fixes, ``TaraService._get_explorer`` mutated
-``self._explorer`` outside the lock and ``IncrementalTara`` registered
-listeners on an unsynchronized list.  These tests hammer exactly those
-paths — explorer creation from a cold service, queries racing appends,
-and concurrent subscription — and assert the served answers stay
-correct and every registration survives.  CPython's GIL makes the old
-races hard to *force*, so the assertions pin observable outcomes (equal
-answers, complete listener sets, coherent epochs) rather than timing.
+PR 8 replaced the listener/purge protocol with pinned MVCC snapshots,
+so the races worth hammering moved: explorer creation from a cold
+snapshot, queries racing *publishes* (each publish installs a new
+snapshot and retires the old one when its readers drain), and pin/
+release storms against the publisher.  CPython's GIL makes the old
+races hard to *force*, so the assertions pin observable outcomes
+(equal answers, retire-exactly-once, coherent epochs) rather than
+timing.
 """
 
 import threading
@@ -28,7 +28,7 @@ SETTING = ParameterSetting(0.05, 0.3)
 @pytest.fixture()
 def incremental(small_windows):
     inc = IncrementalTara(GenerationConfig(0.02, 0.1))
-    inc.append_batch(small_windows.window(0))
+    inc.publish([small_windows.window(0)])
     return inc
 
 
@@ -55,11 +55,13 @@ class TestExplorerCreationRace:
         run_all([threading.Thread(target=client) for _ in range(16)])
         assert not errors
         assert all(got.region == expected.region for got in results)
-        # The lock makes lazy creation single-shot: later calls reuse it.
-        assert service._get_explorer() is service._get_explorer()
+        # The snapshot lock makes lazy creation single-shot: every
+        # reader of the pinned snapshot reuses one explorer.
+        with service.pin() as snapshot:
+            assert snapshot.explorer() is snapshot.explorer()
 
 
-class TestQueriesRacingAppends:
+class TestQueriesRacingPublishes:
     def test_explicit_window_answers_survive_epoch_churn(
         self, incremental, small_windows
     ):
@@ -79,63 +81,62 @@ class TestQueriesRacingAppends:
             thread.start()
         try:
             for index in range(1, small_windows.window_count):
-                incremental.append_batch(small_windows.window(index))
+                incremental.publish([small_windows.window(index)])
         finally:
             stop.set()
             for thread in clients:
                 thread.join()
         assert not errors
-        # Every append notified the service: epochs ended in sync.
+        # Every publish installed its snapshot: epochs ended in sync.
         assert service.epoch == incremental.window_count
         assert service.cache_info()["epoch"] == incremental.window_count
 
 
-class TestConcurrentSubscription:
-    def test_no_registration_is_lost(self, incremental, small_windows):
-        notified = set()
-        lock = threading.Lock()
-
-        def register(worker, per_worker):
-            for slot in range(per_worker):
-                token = (worker, slot)
-
-                def listener(count, token=token):
-                    with lock:
-                        notified.add(token)
-
-                incremental.subscribe(listener)
-
-        workers, per_worker = 8, 25
-        run_all(
-            [
-                threading.Thread(target=register, args=(worker, per_worker))
-                for worker in range(workers)
-            ]
-        )
-        incremental.append_batch(small_windows.window(1))
-        assert len(notified) == workers * per_worker
-
-    def test_subscribe_races_appends_without_corruption(
+class TestPinReleaseStorm:
+    def test_concurrent_pins_never_see_a_retired_snapshot(
         self, incremental, small_windows
     ):
-        counts = []
-        lock = threading.Lock()
+        errors = []
+        stop = threading.Event()
 
-        def listener(count):
-            with lock:
-                counts.append(count)
+        def reader():
+            while not stop.is_set():
+                try:
+                    with incremental.snapshot() as snapshot:
+                        if snapshot.retired:
+                            errors.append(snapshot.epoch)
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
 
-        def subscriber():
-            for _ in range(50):
-                incremental.subscribe(lambda count: None)
-
-        subscribers = [threading.Thread(target=subscriber) for _ in range(4)]
-        incremental.subscribe(listener)
-        for thread in subscribers:
+        readers = [threading.Thread(target=reader) for _ in range(8)]
+        for thread in readers:
             thread.start()
-        for index in range(1, small_windows.window_count):
-            incremental.append_batch(small_windows.window(index))
-        for thread in subscribers:
-            thread.join()
-        # The pre-registered listener saw every append, in order.
-        assert counts == list(range(2, small_windows.window_count + 1))
+        try:
+            for index in range(1, small_windows.window_count):
+                incremental.publish([small_windows.window(index)])
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert not errors
+
+    def test_superseded_snapshots_retire_exactly_once(
+        self, incremental, small_windows
+    ):
+        handles = [incremental.snapshot() for _ in range(32)]
+        superseded = handles[0].snapshot
+        incremental.publish([small_windows.window(1)])
+        assert not superseded.retired  # readers still pin it
+
+        run_all(
+            [
+                threading.Thread(target=handle.release)
+                for handle in handles
+            ]
+        )
+        assert superseded.retired
+        assert superseded.retire_count == 1
+        # Two retirements total: the fixture's epoch-0 snapshot (when
+        # the first publish superseded it) and this one.
+        stats = incremental.snapshot_stats()
+        assert stats["retired_snapshots"] == 2

@@ -85,23 +85,27 @@ class TestAgainstExplorer:
     def test_wrapping_an_existing_explorer(self, small_kb, base_setting):
         explorer = TaraExplorer(small_kb)
         service = TaraService(explorer)
-        assert service.recommend(base_setting) == explorer.recommend(base_setting)
+        assert service.recommend(base_setting) == explorer.execute(
+            RecommendQuery(setting=base_setting)
+        )
 
     def test_invalid_source_rejected(self):
         with pytest.raises(ValidationError, match="serve"):
             TaraService("not a knowledge base")  # type: ignore[arg-type]
 
 
-class TestEpochInvalidation:
-    def test_append_retires_scoped_entries_and_keeps_explicit_ones(
+class TestSnapshotRetirement:
+    def test_publish_retires_scoped_entries_and_keeps_explicit_ones(
         self, small_windows, base_setting
     ):
-        """The acceptance scenario: appending a window invalidates exactly
-        the generation-scoped entries; explicit-window entries keep
-        serving because archived windows are immutable."""
+        """The acceptance scenario: publishing a window retires exactly
+        the generation-scoped entries (they die with their snapshot's
+        segment); explicit-window entries keep serving because archived
+        windows are immutable."""
         incremental = IncrementalTara(GenerationConfig(0.02, 0.1))
-        incremental.append_batch(small_windows.window(0))
-        incremental.append_batch(small_windows.window(1))
+        incremental.publish(
+            [small_windows.window(0), small_windows.window(1)]
+        )
         service = TaraService(incremental)
         assert service.epoch == 2
 
@@ -110,10 +114,10 @@ class TestEpochInvalidation:
         assert service.cache_info()["entries"] == 2
         assert {len(t.measures) for t in scoped} == {2}
 
-        incremental.append_batch(small_windows.window(2))
+        incremental.publish([small_windows.window(2)])
         assert service.epoch == 3
+        assert service.cache_info()["entries"] == 1  # segment died with its snapshot
         assert service.metrics.invalidations == 1
-        assert service.cache_info()["entries"] == 1  # scoped entry retired
 
         rescoped = service.trajectories(base_setting, anchor_window=0)
         assert service.metrics.misses["Q1"] == 2  # recomputed, not served stale
@@ -122,11 +126,12 @@ class TestEpochInvalidation:
         assert service.recommend(base_setting, window=0) == explicit
         assert service.metrics.hits["Q3"] == 1  # explicit entry survived
 
-    def test_append_with_empty_cache_is_harmless(self, small_windows):
+    def test_publish_with_empty_segment_is_harmless(self, small_windows):
         incremental = IncrementalTara(GenerationConfig(0.02, 0.1))
-        incremental.append_batch(small_windows.window(0))
+        incremental.publish([small_windows.window(0)])
         service = TaraService(incremental)
-        incremental.append_batch(small_windows.window(1))
+        incremental.publish([small_windows.window(1)])
+        assert service.cache_info()["entries"] == 0
         assert service.metrics.invalidations == 0
         assert service.epoch == 2
 
@@ -162,7 +167,9 @@ class TestMetricsAndBounds:
 
     def test_concurrent_clients_agree(self, small_kb, base_setting, equivalent_setting):
         service = TaraService(small_kb)
-        expected = TaraExplorer(small_kb).trajectories(base_setting, anchor_window=0)
+        expected = TaraExplorer(small_kb).execute(
+            TrajectoryQuery(setting=base_setting, anchor_window=0)
+        )
         failures = []
 
         def client(setting):
