@@ -2,14 +2,23 @@
 
 The architecture is a strict layering (DESIGN.md)::
 
-    _version -> common -> {data, analysis} -> mining -> core -> service
-             -> serve -> {baselines, maras} -> datagen -> bench -> cli
+    _version -> common -> {data, analysis} -> storage -> mining -> core
+             -> service -> serve -> {baselines, maras} -> datagen
+             -> bench -> cli
 
 A module may import from its own layer or from any *strictly lower*
 rank.  Layers sharing a rank (``data``/``analysis``, and the two rule
 consumers ``baselines``/``maras``) are siblings: neither may import the
 other, which keeps the baselines honest (they must not peek at TARA
 internals' siblings) and keeps the linter importable everywhere.
+
+``storage`` is the one layer whose name differs from its directory: it
+lives at ``repro/core/storage/`` (it is core's persistence substrate
+and has no meaning outside it) but ranks *below* ``mining`` and
+``core`` — the container codec/writer/reader must stay importable
+without dragging in mining or query machinery, and core calls down
+into it, never the reverse.  The mapping functions below special-case
+that subtree.
 
 ``service`` (the online serving layer: region-keyed query cache and
 metrics) sits directly above ``core`` — it wraps the explorer and must
@@ -35,24 +44,25 @@ LAYER_RANKS: Dict[str, int] = {
     "common": 1,
     "data": 2,
     "analysis": 2,
-    "mining": 3,
-    "core": 4,
-    "service": 5,
-    "serve": 6,
-    "baselines": 7,
-    "maras": 7,
-    "datagen": 8,
-    "bench": 9,
-    "cli": 10,
+    "storage": 3,
+    "mining": 4,
+    "core": 5,
+    "service": 6,
+    "serve": 7,
+    "baselines": 8,
+    "maras": 8,
+    "datagen": 9,
+    "bench": 10,
+    "cli": 11,
     # Entry-point modules sit above everything, including the CLI.
-    "__init__": 11,
-    "__main__": 11,
+    "__init__": 12,
+    "__main__": 12,
 }
 
 #: Human-readable rendering of the contract, used in findings and docs.
 LAYER_CHAIN = (
-    "common -> {data, analysis} -> mining -> core -> service -> serve -> "
-    "{baselines, maras} -> datagen -> bench -> cli"
+    "common -> {data, analysis} -> storage -> mining -> core -> service "
+    "-> serve -> {baselines, maras} -> datagen -> bench -> cli"
 )
 
 
@@ -68,6 +78,8 @@ def layer_of_logical_path(logical_path: str) -> Optional[str]:
     if len(parts) == 2:  # a top-level module such as repro/cli.py
         name = parts[1]
         return name[:-3] if name.endswith(".py") else name
+    if parts[1] == "core" and parts[2] == "storage":
+        return "storage"
     return parts[1]
 
 
@@ -78,6 +90,8 @@ def layer_of_module(module_name: str) -> Optional[str]:
         return None
     if len(parts) == 1:
         return "__init__"
+    if len(parts) >= 3 and parts[1] == "core" and parts[2] == "storage":
+        return "storage"
     return parts[1]
 
 

@@ -18,7 +18,12 @@ Two sibling harnesses share one workload vocabulary
   writer appends windows through ``/v1/admin/append`` and emits
   ``BENCH_ingest.json`` (``repro-bench-ingest/1``), verifying every
   answer against a serial rebuild at the answering snapshot's window
-  count and gating p99-under-ingest at twice the no-ingest baseline.
+  count and gating p99-under-ingest at twice the no-ingest baseline;
+* :mod:`repro.bench.persist` compares the eager v1 loader against the
+  lazy v2 container (child process per loader, so peak RSS is
+  attributable) and emits ``BENCH_persist.json``
+  (``repro-bench-persist/1``), verifying answer fingerprints across
+  loaders and gating v2 peak RSS strictly below v1 at 10x scale.
 
 For backward compatibility this package re-exports the offline
 harness's public surface under its historical ``repro.bench`` names
@@ -46,6 +51,13 @@ from repro.bench.online import (
     add_bench_online_arguments,
     run_bench_online,
     run_online_matrix,
+)
+from repro.bench.persist import (
+    DEFAULT_OUT as PERSIST_DEFAULT_OUT,
+    SCHEMA as PERSIST_SCHEMA,
+    add_bench_persist_arguments,
+    run_bench_persist,
+    run_persist_matrix,
 )
 from repro.bench.serve import (
     DEFAULT_OUT as SERVE_DEFAULT_OUT,
@@ -78,6 +90,8 @@ __all__ = [
     "ONLINE_FIXED_CONFIDENCE",
     "ONLINE_SCHEMA",
     "ONLINE_SUPPORT_SWEEP",
+    "PERSIST_DEFAULT_OUT",
+    "PERSIST_SCHEMA",
     "QUICK_DATASETS",
     "QUICK_MINERS",
     "SCHEMA",
@@ -86,16 +100,19 @@ __all__ = [
     "add_bench_arguments",
     "add_bench_ingest_arguments",
     "add_bench_online_arguments",
+    "add_bench_persist_arguments",
     "add_bench_serve_arguments",
     "knowledge_base_fingerprint",
     "online_settings",
     "run_bench",
     "run_bench_ingest",
     "run_bench_online",
+    "run_bench_persist",
     "run_bench_serve",
     "run_ingest_matrix",
     "run_matrix",
     "run_online_matrix",
+    "run_persist_matrix",
     "run_serve_matrix",
     "select_datasets",
 ]

@@ -6,7 +6,16 @@ Covers the full workflow without writing Python:
     Emit a synthetic dataset (quest / retail / webdocs as timed-FIMI
     transactions, faers as an ADR-report TSV).
 ``repro build``
-    Run the offline phase over a FIMI file and save the knowledge base.
+    Run the offline phase over a FIMI file and save the knowledge base
+    (``--format 2`` segmented container by default; ``--format 1`` for
+    the deprecated eager JSON envelope).
+``repro convert``
+    Rewrite a saved knowledge base into another format (v1 JSON ->
+    v2 segmented container, or back for old tooling).
+``repro kb-info``
+    Inspect a saved knowledge base without materializing it: format
+    version, shard layout, rule/window counts, on-disk vs decoded
+    sizes.
 ``repro mine``
     Traditional mining request against a saved knowledge base.
 ``repro recommend``
@@ -32,6 +41,15 @@ Covers the full workflow without writing Python:
 ``repro bench-ingest``
     Mixed append+query harness: concurrent clients query while a
     writer publishes snapshots; emits ``BENCH_ingest.json``.
+``repro bench-persist``
+    Storage harness: eager v1 loader vs lazy v2 container under a
+    memory budget, peak RSS measured per child process; emits
+    ``BENCH_persist.json``.
+
+Commands that read a saved knowledge base (``mine``, ``recommend``,
+``compare``, ``serve``, ``convert``) accept ``--memory-budget BYTES``
+(suffixes ``k``/``M``/``G``) to bound the decoded-series cache of a
+lazily loaded v2 container.
 
 Query thresholds are spelled ``--minsupp`` / ``--minconf`` uniformly
 across ``mine``, ``recommend``, and ``compare`` (``compare`` adds
@@ -47,7 +65,10 @@ message on stderr.
 from __future__ import annotations
 
 import argparse
+import base64
+import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro._version import __version__
@@ -56,17 +77,20 @@ from repro.bench import (
     add_bench_arguments,
     add_bench_ingest_arguments,
     add_bench_online_arguments,
+    add_bench_persist_arguments,
     add_bench_serve_arguments,
     run_bench,
     run_bench_ingest,
     run_bench_online,
+    run_bench_persist,
     run_bench_serve,
 )
 from repro.common.deprecation import warn_deprecated
-from repro.common.errors import ReproError
+from repro.common.errors import DataFormatError, ReproError
 from repro.core import (
     CompareQuery,
     GenerationConfig,
+    LazyTaraKnowledgeBase,
     MatchMode,
     ParameterSetting,
     RecommendQuery,
@@ -75,6 +99,10 @@ from repro.core import (
     load_knowledge_base,
     save_knowledge_base,
 )
+from repro.core.persistence import DEFAULT_FORMAT_VERSION, FORMAT_VERSION
+from repro.core.storage.format import DEFAULT_SHARD_SIZE, MAGIC
+from repro.core.storage.lru import DECODED_ENTRY_COST, SERIES_BASE_COST
+from repro.core.storage.reader import ShardedSeriesSource
 from repro.data import WindowedDatabase
 from repro.data.io import read_fimi, write_fimi
 from repro.maras.io import read_reports, write_reports
@@ -124,6 +152,37 @@ class _DeprecatedAlias(argparse.Action):
             f"{spelling} is deprecated: use {self._preferred}",
         )
         setattr(namespace, self.dest, values)
+
+
+def _parse_memory_budget(text: str) -> int:
+    """Parse a byte count with an optional ``k``/``M``/``G`` suffix."""
+    raw = text.strip()
+    multiplier = 1
+    if raw and raw[-1] in "kMG":
+        multiplier = {"k": 1024, "M": 1024 ** 2, "G": 1024 ** 3}[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid memory budget {text!r}: expected an integer byte "
+            f"count with an optional k/M/G suffix (e.g. 64M)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"memory budget must be positive, got {text!r}"
+        )
+    return value * multiplier
+
+
+def _add_memory_budget_argument(parser: argparse.ArgumentParser) -> None:
+    """Install ``--memory-budget`` on a KB-loading subcommand."""
+    parser.add_argument(
+        "--memory-budget", type=_parse_memory_budget, default=None,
+        metavar="BYTES",
+        help="decoded-series cache budget for lazily loaded v2 "
+             "containers (suffixes k/M/G; default: unbounded)",
+    )
 
 
 def _add_threshold_arguments(parser: argparse.ArgumentParser) -> None:
@@ -192,6 +251,32 @@ def build_parser() -> argparse.ArgumentParser:
                                 "vertical"))
     build.add_argument("--item-index", action="store_true",
                        help="build the TARA-S per-region item index")
+    build.add_argument("--format", type=int, dest="format_version",
+                       choices=(FORMAT_VERSION, DEFAULT_FORMAT_VERSION),
+                       default=DEFAULT_FORMAT_VERSION,
+                       help="knowledge-base file format: 2 = segmented "
+                            "container (default), 1 = deprecated eager JSON")
+    build.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE,
+                       help=f"rules per v2 shard (default: {DEFAULT_SHARD_SIZE})")
+
+    convert = commands.add_parser(
+        "convert", help="rewrite a saved knowledge base in another format"
+    )
+    convert.add_argument("src", help="existing knowledge-base path (v1 or v2)")
+    convert.add_argument("dst", help="output path")
+    convert.add_argument("--format", type=int, dest="format_version",
+                         choices=(FORMAT_VERSION, DEFAULT_FORMAT_VERSION),
+                         default=DEFAULT_FORMAT_VERSION,
+                         help="target format (default: 2, the segmented "
+                              "container)")
+    convert.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE,
+                         help=f"rules per v2 shard (default: {DEFAULT_SHARD_SIZE})")
+    _add_memory_budget_argument(convert)
+
+    kb_info = commands.add_parser(
+        "kb-info", help="inspect a saved knowledge base without loading it"
+    )
+    kb_info.add_argument("kb", help="knowledge-base path (v1 or v2)")
 
     mine = commands.add_parser("mine", help="mine a saved knowledge base")
     mine.add_argument("--kb", required=True)
@@ -200,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="basic window index (default: latest)")
     mine.add_argument("--top", type=int, default=20,
                       help="print at most this many rules")
+    _add_memory_budget_argument(mine)
 
     recommend = commands.add_parser(
         "recommend", help="Q3: stable region around a setting"
@@ -207,11 +293,13 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--kb", required=True)
     _add_threshold_arguments(recommend)
     recommend.add_argument("--window", type=int, default=None)
+    _add_memory_budget_argument(recommend)
 
     compare = commands.add_parser(
         "compare", help="Q2: difference of two settings"
     )
     compare.add_argument("--kb", required=True)
+    _add_memory_budget_argument(compare)
     compare.add_argument("--minsupp", type=float, default=None,
                          help="first setting's minimum support")
     compare.add_argument("--minconf", type=float, default=None,
@@ -272,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=DEFAULT_DRAIN_TIMEOUT,
                        help="graceful-shutdown drain seconds "
                             f"(default: {DEFAULT_DRAIN_TIMEOUT:g})")
+    _add_memory_budget_argument(serve)
 
     bench_serve = commands.add_parser(
         "bench-serve",
@@ -284,6 +373,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="mixed append+query harness -> BENCH_ingest.json (see docs/benchmarks.md)",
     )
     add_bench_ingest_arguments(bench_ingest)
+
+    bench_persist = commands.add_parser(
+        "bench-persist",
+        help="storage harness: eager v1 vs lazy v2 loader -> "
+             "BENCH_persist.json (see docs/storage.md)",
+    )
+    add_bench_persist_arguments(bench_persist)
     return parser
 
 
@@ -337,19 +433,118 @@ def _cmd_build(args: argparse.Namespace) -> int:
         build_item_index=args.item_index,
     )
     knowledge_base = build_knowledge_base(windows, config)
-    written = save_knowledge_base(knowledge_base, args.out)
+    written = save_knowledge_base(
+        knowledge_base, args.out,
+        format_version=args.format_version, shard_size=args.shard_size,
+    )
     print(
         f"built {knowledge_base.window_count} windows, "
         f"{len(knowledge_base.catalog)} rules, "
         f"{knowledge_base.archive.entry_count()} archive entries; "
-        f"saved {written} bytes to {args.out}"
+        f"saved {written} bytes to {args.out} "
+        f"(format v{args.format_version})"
     )
     print(knowledge_base.timer.report("offline phase"))
     return 0
 
 
+def _sniff_format(path: Path) -> int:
+    """Report a saved KB's format version from its leading bytes."""
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+    except OSError as error:
+        raise DataFormatError(f"cannot read {path}: {error}") from error
+    return DEFAULT_FORMAT_VERSION if magic == MAGIC else FORMAT_VERSION
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    src_format = _sniff_format(Path(args.src))
+    knowledge_base = load_knowledge_base(
+        args.src, memory_budget=args.memory_budget
+    )
+    try:
+        written = save_knowledge_base(
+            knowledge_base, args.dst,
+            format_version=args.format_version, shard_size=args.shard_size,
+        )
+    finally:
+        if isinstance(knowledge_base, LazyTaraKnowledgeBase):
+            knowledge_base.close()
+    src_bytes = Path(args.src).stat().st_size
+    print(
+        f"converted {args.src} (format v{src_format}, {src_bytes} bytes) "
+        f"-> {args.dst} (format v{args.format_version}, {written} bytes)"
+    )
+    return 0
+
+
+def _cmd_kb_info(args: argparse.Namespace) -> int:
+    path = Path(args.kb)
+    if _sniff_format(path) == DEFAULT_FORMAT_VERSION:
+        return _kb_info_v2(path)
+    return _kb_info_v1(path)
+
+
+def _kb_info_v2(path: Path) -> int:
+    file_bytes = path.stat().st_size
+    with ShardedSeriesSource(path) as source:
+        counts = source.meta.get("counts", {})
+        rules = len(source)
+        windows = source.window_count
+        entries = int(counts.get("entries", 0))
+        encoded = int(counts.get("encoded_bytes", 0))
+        shards = source.counters()["shard_count"]
+        shard_size = source.meta.get("shard_size", "?")
+    decoded = rules * SERIES_BASE_COST + entries * DECODED_ENTRY_COST
+    print(f"{path}: TARA knowledge base, format v2 (segmented container)")
+    print(f"  file size        {file_bytes:>14,} bytes")
+    print(f"  windows          {windows:>14,}")
+    print(f"  rules            {rules:>14,}")
+    print(f"  archive entries  {entries:>14,}")
+    print(f"  shards           {shards:>14,}  ({shard_size} rules/shard)")
+    print(f"  series on disk   {encoded:>14,} bytes (raw varint)")
+    print(f"  decoded estimate {decoded:>14,} bytes if fully materialized")
+    print("  loads lazily; bound resident decode with --memory-budget")
+    return 0
+
+
+def _kb_info_v1(path: Path) -> int:
+    file_bytes = path.stat().st_size
+    try:
+        payload = json.loads(path.read_text("utf-8"))
+    except (OSError, ValueError) as error:
+        raise DataFormatError(
+            f"{path} is neither a v2 container nor readable v1 JSON: {error}"
+        ) from error
+    version = payload.get("format_version", "?")
+    archive = payload.get("archive", {})
+    rules = len(payload.get("catalog", []))
+    windows = len(payload.get("window_sizes", []))
+    entries = sum(len(ids) for ids in payload.get("rules_in_window", []))
+    encoded_b85 = sum(len(blob) for blob in archive.values())
+    encoded = sum(
+        len(base64.b85decode(blob)) for blob in archive.values()
+    )
+    decoded = rules * SERIES_BASE_COST + entries * DECODED_ENTRY_COST
+    print(f"{path}: TARA knowledge base, format v{version} "
+          f"(eager JSON envelope)")
+    print(f"  file size        {file_bytes:>14,} bytes")
+    print(f"  windows          {windows:>14,}")
+    print(f"  rules            {rules:>14,}")
+    print(f"  archive entries  {entries:>14,}")
+    print(f"  series on disk   {encoded_b85:>14,} bytes (base85; "
+          f"{encoded:,} raw)")
+    print(f"  decoded estimate {decoded:>14,} bytes, all resident on load")
+    print("  v1 writes are deprecated; migrate with: "
+          f"repro convert {path} {path}.tara2")
+    return 0
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
-    knowledge_base = load_knowledge_base(args.kb)
+    knowledge_base = load_knowledge_base(
+        args.kb, memory_budget=args.memory_budget
+    )
     explorer = TaraExplorer(knowledge_base)
     from repro.data import PeriodSpec
 
@@ -370,7 +565,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 
 def _cmd_recommend(args: argparse.Namespace) -> int:
-    knowledge_base = load_knowledge_base(args.kb)
+    knowledge_base = load_knowledge_base(
+        args.kb, memory_budget=args.memory_budget
+    )
     explorer = TaraExplorer(knowledge_base)
     setting = ParameterSetting(args.min_support, args.min_confidence)
     recommendation = explorer.execute(
@@ -433,7 +630,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     second = _resolve_compare_setting(
         args.second, args.second_minsupp, args.second_minconf, "second"
     )
-    knowledge_base = load_knowledge_base(args.kb)
+    knowledge_base = load_knowledge_base(
+        args.kb, memory_budget=args.memory_budget
+    )
     explorer = TaraExplorer(knowledge_base)
     mode = MatchMode.EXACT if args.mode == "exact" else MatchMode.SINGLE
     result = explorer.execute(
@@ -468,7 +667,9 @@ def _cmd_maras(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    knowledge_base = load_knowledge_base(args.kb)
+    knowledge_base = load_knowledge_base(
+        args.kb, memory_budget=args.memory_budget
+    )
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -492,6 +693,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
+    "convert": _cmd_convert,
+    "kb-info": _cmd_kb_info,
     "mine": _cmd_mine,
     "recommend": _cmd_recommend,
     "compare": _cmd_compare,
@@ -502,6 +705,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "bench-serve": run_bench_serve,
     "bench-ingest": run_bench_ingest,
+    "bench-persist": run_bench_persist,
 }
 
 

@@ -19,6 +19,7 @@ from repro.core.builder import (
 )
 from repro.core.explorer import ExplorerAnswer, TaraExplorer
 from repro.core.incremental import IncrementalTara
+from repro.core.lazykb import LazyTaraKnowledgeBase, ShardedArchive
 from repro.core.locations import (
     CountLocation,
     Location,
@@ -57,6 +58,7 @@ __all__ = [
     "ExplorerQuery",
     "GenerationConfig",
     "IncrementalTara",
+    "LazyTaraKnowledgeBase",
     "Location",
     "MatchMode",
     "MinedRule",
@@ -74,6 +76,7 @@ __all__ = [
     "DEFAULT_SEGMENT_CAPACITY",
     "TrajectoryQuery",
     "StableRegion",
+    "ShardedArchive",
     "TarArchive",
     "TaraBuilder",
     "TaraExplorer",

@@ -39,23 +39,13 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.errors import (
-    CodecError,
     UnknownRuleError,
     UnknownWindowError,
     ValidationError,
 )
-from repro.common.varint import (
-    decode_svarint,
-    decode_uvarint,
-    encode_svarint,
-    encode_uvarint,
-)
+from repro.core.storage.codec import Entry, decode_series, encode_series
 from repro.data.periods import PeriodSpec
 from repro.mining.rules import RuleId, ScoredRule
-
-# One staged archive entry:
-# (window, rule_count, antecedent_count, consequent_count).
-Entry = Tuple[int, int, int, int]
 
 
 @dataclass(frozen=True)
@@ -286,6 +276,17 @@ class TarArchive:
             return self._decode(rule_id)
         raise UnknownRuleError(f"rule {rule_id} has no archived entries")
 
+    def series_entries(self, rule_id: RuleId) -> List[Entry]:
+        """One rule's decoded entries (the ``SeriesSource`` read surface).
+
+        Together with :meth:`encoded_series`, :meth:`rule_ids`,
+        ``__contains__`` and ``__len__`` this makes the archive a
+        structural :class:`repro.core.storage.source.SeriesSource`, so
+        callers written against the protocol work over both the
+        in-memory archive and the mmap-backed sharded reader.
+        """
+        return self._entries(rule_id)
+
     def _decode(self, rule_id: RuleId) -> List[Entry]:
         cached = self._decode_cache.get(rule_id)
         if cached is None:
@@ -438,61 +439,8 @@ class TarArchive:
             )
 
 
-def _encode_series(series: List[Entry]) -> bytes:
-    """Encode a rule's (window, counts...) series.
-
-    Wire layout per entry: window gap (uvarint), then zigzag-varint
-    deltas of the rule count and of the two margins
-    ``antecedent - rule`` and ``consequent - rule`` (both non-negative
-    by definition, and near-constant for a stable rule).
-    """
-    out = bytearray()
-    previous_window = -1
-    previous_rule_count = 0
-    previous_margin = 0
-    previous_consequent_margin = 0
-    for window, rule_count, antecedent_count, consequent_count in series:
-        if antecedent_count < rule_count or consequent_count < rule_count:
-            raise CodecError(
-                f"marginal counts ({antecedent_count}, {consequent_count}) "
-                f"below rule count {rule_count}"
-            )
-        gap = window - previous_window
-        if gap <= 0:
-            raise CodecError("archive series windows must be strictly increasing")
-        margin = antecedent_count - rule_count
-        consequent_margin = consequent_count - rule_count
-        encode_uvarint(gap, out)
-        encode_svarint(rule_count - previous_rule_count, out)
-        encode_svarint(margin - previous_margin, out)
-        encode_svarint(consequent_margin - previous_consequent_margin, out)
-        previous_window = window
-        previous_rule_count = rule_count
-        previous_margin = margin
-        previous_consequent_margin = consequent_margin
-    return bytes(out)
-
-
-def _decode_series(blob: bytes) -> List[Entry]:
-    """Inverse of :func:`_encode_series`."""
-    series: List[Entry] = []
-    offset = 0
-    window = -1
-    rule_count = 0
-    margin = 0
-    consequent_margin = 0
-    while offset < len(blob):
-        gap, offset = decode_uvarint(blob, offset)
-        rule_count_delta, offset = decode_svarint(blob, offset)
-        margin_delta, offset = decode_svarint(blob, offset)
-        consequent_margin_delta, offset = decode_svarint(blob, offset)
-        window += gap
-        rule_count += rule_count_delta
-        margin += margin_delta
-        consequent_margin += consequent_margin_delta
-        if rule_count < 0 or margin < 0 or consequent_margin < 0:
-            raise CodecError("corrupt archive series: negative decoded count")
-        series.append(
-            (window, rule_count, rule_count + margin, rule_count + consequent_margin)
-        )
-    return series
+# The series byte codec lives in repro.core.storage.codec (the v2
+# container stores its output raw); these historical private names are
+# kept for the persistence layer and the determinism tests.
+_encode_series = encode_series
+_decode_series = decode_series

@@ -1,0 +1,45 @@
+"""Segmented binary KB storage: the format-v2 container stack.
+
+This package is the persistence substrate introduced for 10-100x
+knowledge bases: a flat mmap-able container of already varint-encoded
+rule series, sharded by rule-id range, read lazily under a byte budget.
+It sits *below* :mod:`repro.core` in the layer order — core's archive
+and persistence modules call down into it; nothing here imports core.
+
+Modules:
+
+* :mod:`~repro.core.storage.codec` — the canonical per-rule series
+  byte codec (shared with the in-memory archive);
+* :mod:`~repro.core.storage.format` — on-disk layout constants;
+* :mod:`~repro.core.storage.writer` — deterministic v2 writer;
+* :mod:`~repro.core.storage.reader` — lazy, memory-bounded mmap reader;
+* :mod:`~repro.core.storage.lru` — the byte-budgeted LRU behind it;
+* :mod:`~repro.core.storage.source` — the :class:`SeriesSource`
+  protocol the query layer reads through.
+"""
+
+from repro.core.storage.codec import Entry, decode_series, encode_series
+from repro.core.storage.format import (
+    CONTAINER_FORMAT_VERSION,
+    DEFAULT_SHARD_SIZE,
+    MAGIC,
+)
+from repro.core.storage.lru import ByteBudgetLRU, series_cost
+from repro.core.storage.reader import ShardedSeriesSource
+from repro.core.storage.source import SeriesSource
+from repro.core.storage.writer import WindowEntry, write_container
+
+__all__ = [
+    "CONTAINER_FORMAT_VERSION",
+    "DEFAULT_SHARD_SIZE",
+    "MAGIC",
+    "Entry",
+    "ByteBudgetLRU",
+    "SeriesSource",
+    "ShardedSeriesSource",
+    "WindowEntry",
+    "decode_series",
+    "encode_series",
+    "series_cost",
+    "write_container",
+]

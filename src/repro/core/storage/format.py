@@ -1,0 +1,61 @@
+"""On-disk layout of the segmented binary KB container (format v2).
+
+A v2 file is a single flat byte stream designed for ``mmap``::
+
+    offset 0   magic          8 bytes   b"TARAKB2\\n"
+    offset 8   meta_len       u64 LE
+    offset 16  meta           meta_len bytes of UTF-8 JSON
+    ...        window dir     u64 W, then W x (u64 offset, u64 length)
+    ...        shard dir      u64 S, then S x (u64 first_rule_id,
+                                               u64 rule_count,
+                                               u64 offset, u64 length)
+    ...        window blocks  W delta+varint-coded count tables
+    ...        shard blocks   S blocks of raw encoded rule series
+
+All directory offsets are absolute file offsets, so a reader can jump
+straight from the directory into the mapped pages without accumulating
+positions.  Everything after the two directories is *lazy* territory:
+the reader touches a window block only when that window's slice is
+first queried, and a shard block only when a rule in its id range is
+first decoded.
+
+**Window block** — the per-window counts needed to rebuild that
+window's :class:`~repro.core.regions.WindowSlice` without decoding any
+per-rule series: ``uvarint entry_count`` then, per entry sorted by rule
+id, ``uvarint rule-id gap`` (from previous id, starting at -1),
+``uvarint rule_count``, ``uvarint antecedent margin``,
+``uvarint consequent margin`` (margins relative to the rule count, both
+non-negative by definition).
+
+**Shard block** — shards partition the sorted rule-id space into runs
+of at most ``shard_size`` rules.  A block is a shard-local directory
+(per rule: ``uvarint rule-id gap`` from the previous id, starting at
+``first_rule_id - 1``, then ``uvarint blob length``) followed by the
+rules' already delta+varint-encoded series blobs, concatenated in id
+order.  No base85, no JSON: the blob bytes are exactly what
+:func:`repro.core.storage.codec.encode_series` produced.
+"""
+
+from __future__ import annotations
+
+import struct
+
+#: File magic: identifies a TARA knowledge-base container, format 2.
+MAGIC = b"TARAKB2\n"
+
+#: Container format number carried redundantly inside the meta JSON.
+CONTAINER_FORMAT_VERSION = 2
+
+#: Default number of rules per shard.  512 rules x ~4 windows x ~4 bytes
+#: per entry keeps a shard-local directory and its blobs within one or
+#: two 4 KiB pages, so a point lookup faults in O(pages-per-shard), not
+#: O(file).
+DEFAULT_SHARD_SIZE = 512
+
+U64 = struct.Struct("<Q")
+#: Window directory entry: (offset, length).
+WINDOW_DIR_ENTRY = struct.Struct("<QQ")
+#: Shard directory entry: (first_rule_id, rule_count, offset, length).
+SHARD_DIR_ENTRY = struct.Struct("<QQQQ")
+
+HEADER_LEN = len(MAGIC) + U64.size

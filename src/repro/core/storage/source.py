@@ -1,0 +1,47 @@
+"""The narrow protocol behind which ``TarArchive`` reads its series.
+
+Query execution (``TaraExplorer``/``WindowSlice`` lookups, Q1-Q5
+dispatch) only ever needs four capabilities from the store of per-rule
+histories: membership, cardinality, id enumeration, and one rule's
+series — encoded or decoded.  :class:`SeriesSource` names exactly that
+surface, so the in-memory dict-backed archive and the mmap-backed
+sharded reader (:mod:`repro.core.storage.reader`) are interchangeable
+underneath :class:`~repro.core.archive.TarArchive` without the query
+layer knowing which one it is scattering over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Protocol, runtime_checkable
+
+from repro.core.storage.codec import Entry
+
+
+@runtime_checkable
+class SeriesSource(Protocol):
+    """Read-only supply of per-rule archived series."""
+
+    def __contains__(self, rule_id: int) -> bool:
+        """True when the source holds at least one entry for *rule_id*."""
+
+    def __len__(self) -> int:
+        """Number of rules with archived series."""
+
+    def rule_ids(self) -> Iterator[int]:
+        """All rule ids with archived series, in ascending id order."""
+
+    def encoded_series(self, rule_id: int) -> bytes:
+        """One rule's series in the canonical byte encoding.
+
+        Raises :class:`~repro.common.errors.UnknownRuleError` for an
+        absent rule.
+        """
+
+    def series_entries(self, rule_id: int) -> List[Entry]:
+        """One rule's decoded ``(window, counts...)`` entries.
+
+        Implementations may cache; callers must treat the returned list
+        as immutable.  Raises
+        :class:`~repro.common.errors.UnknownRuleError` for an absent
+        rule.
+        """

@@ -193,6 +193,7 @@ class QueryGateway:
             return 200, {
                 "ok": True,
                 "metrics": self.metrics.as_dict(self.coalescer.counters()),
+                "service": self._service.metrics_snapshot(),
             }
         if target == "/v1/snapshot":
             if method != "GET":

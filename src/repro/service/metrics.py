@@ -76,6 +76,7 @@ class ServiceMetrics:
         self.miss_latency: Dict[str, LatencyHistogram] = {}
         self.evictions = 0
         self.invalidations = 0
+        self.storage: Dict[str, int] = {}
         self._order: List[str] = []
 
     def _register(self, query_class: str) -> None:
@@ -104,6 +105,18 @@ class ServiceMetrics:
         """Add *count* epoch-invalidated entries to the global counter."""
         self.invalidations += count
 
+    def set_storage_counters(self, counters: Dict[str, int]) -> None:
+        """Replace the storage-layer gauge snapshot.
+
+        Populated when the served knowledge base is a lazy v2 load:
+        shard/window touch counts and the decoded-series LRU accounting
+        (``cache_hits`` / ``cache_misses`` / ``cache_evictions`` /
+        ``cache_current_bytes`` / ...).  These are *gauges* sampled from
+        :meth:`repro.core.lazykb.LazyTaraKnowledgeBase.storage_counters`,
+        not accumulators, so the setter overwrites rather than adds.
+        """
+        self.storage = dict(counters)
+
     def requests(self, query_class: str) -> int:
         """Total requests served for *query_class* (hits + misses)."""
         return self.hits.get(query_class, 0) + self.misses.get(query_class, 0)
@@ -122,6 +135,7 @@ class ServiceMetrics:
             "classes": classes,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "storage": dict(self.storage),
         }
 
     def report(self, title: str = "serving metrics") -> str:
@@ -147,4 +161,9 @@ class ServiceMetrics:
             )
         lines.append(f"  evictions      {self.evictions:6d}")
         lines.append(f"  invalidations  {self.invalidations:6d}")
+        if self.storage:
+            lines.append("  storage")
+            storage_width = max(len(name) for name in self.storage)
+            for name, value in self.storage.items():
+                lines.append(f"    {name.ljust(storage_width)}  {value:10d}")
         return "\n".join(lines)

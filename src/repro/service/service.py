@@ -175,6 +175,24 @@ class TaraService:
                 "epoch": epoch,
             }
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Service-tier metrics dict with fresh storage gauges.
+
+        When the served knowledge base is a lazy v2 load
+        (:class:`repro.core.lazykb.LazyTaraKnowledgeBase`), its
+        shard-touch and decoded-series LRU counters are sampled into the
+        metrics' storage section first, so ``/metrics`` and the bench
+        artefacts see eviction pressure without polling the reader
+        directly.  Eagerly loaded knowledge bases have no storage
+        section.
+        """
+        sampler = getattr(self.knowledge_base, "storage_counters", None)
+        counters = sampler() if callable(sampler) else None
+        with self._lock:
+            if counters is not None:
+                self.metrics.set_storage_counters(counters)
+            return self.metrics.as_dict()
+
     def snapshot_stats(self) -> Dict[str, object]:
         """Publisher/snapshot introspection for ``GET /v1/snapshot``."""
         if self._publisher is not None:

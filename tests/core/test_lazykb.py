@@ -1,0 +1,177 @@
+"""The lazy v2 knowledge base: answer parity, laziness, and read-only rules.
+
+``test_persistence`` proves save/load fidelity; this file exercises the
+lazy machinery itself — what gets materialized when, what the LRU does
+under a budget, and how the read-only sharded archive refuses writes.
+"""
+
+import pytest
+
+from repro.common.errors import UnknownWindowError, ValidationError
+from repro.core import (
+    CompareQuery,
+    ContentQuery,
+    LazyTaraKnowledgeBase,
+    ParameterSetting,
+    RecommendQuery,
+    RollupQuery,
+    TaraExplorer,
+    TaraKnowledgeBase,
+    TrajectoryQuery,
+    load_knowledge_base,
+    save_knowledge_base,
+)
+from repro.data import PeriodSpec
+from repro.service import TaraService
+
+
+@pytest.fixture
+def lazy_kb(small_kb, tmp_path):
+    path = tmp_path / "kb.tara2"
+    save_knowledge_base(small_kb, path)
+    knowledge_base = load_knowledge_base(path)
+    assert isinstance(knowledge_base, LazyTaraKnowledgeBase)
+    yield knowledge_base
+    knowledge_base.close()
+
+
+def all_queries(knowledge_base):
+    last = knowledge_base.window_count - 1
+    setting = ParameterSetting(0.2, 0.3)
+    return [
+        TrajectoryQuery(setting=setting, anchor_window=last),
+        CompareQuery(first=setting, second=ParameterSetting(0.3, 0.5)),
+        RecommendQuery(setting=setting, window=last),
+        RollupQuery(
+            setting=setting,
+            spec=PeriodSpec(range(knowledge_base.window_count)),
+        ),
+        ContentQuery(setting=setting, items=(0,)),
+    ]
+
+
+class TestAnswerParity:
+    def test_slices_match_eager(self, small_kb, lazy_kb):
+        for window in range(small_kb.window_count):
+            eager = small_kb.slice(window)
+            lazy = lazy_kb.slice(window)
+            assert lazy.window == eager.window
+            assert lazy.location_count == eager.location_count
+            assert lazy.supports == eager.supports
+            assert lazy.confidences == eager.confidences
+
+    def test_candidate_rules_match_eager(self, small_kb, lazy_kb):
+        spec = small_kb.all_windows()
+        assert lazy_kb.candidate_rules(spec) == small_kb.candidate_rules(spec)
+        single = PeriodSpec.single(0)
+        assert (
+            lazy_kb.candidate_rules(single)
+            == small_kb.candidate_rules(single)
+        )
+
+    def test_candidate_rules_out_of_range(self, lazy_kb):
+        with pytest.raises(UnknownWindowError):
+            lazy_kb.candidate_rules(PeriodSpec([lazy_kb.window_count]))
+
+    def test_every_query_answer_identical(self, small_kb, lazy_kb):
+        eager_explorer = TaraExplorer(small_kb)
+        lazy_explorer = TaraExplorer(lazy_kb)
+        for query in all_queries(small_kb):
+            assert repr(lazy_explorer.execute(query)) == repr(
+                eager_explorer.execute(query)
+            )
+
+
+class TestLaziness:
+    def test_nothing_materialized_at_load(self, lazy_kb):
+        counters = lazy_kb.storage_counters()
+        assert counters["slices_materialized"] == 0
+        assert counters["shards_decoded"] == 0
+
+    def test_slice_materializes_once(self, lazy_kb):
+        counters = lazy_kb.storage_counters()
+        assert counters["slices_materialized"] == 0
+        first = lazy_kb.slice(0)
+        assert lazy_kb.storage_counters()["slices_materialized"] == 1
+        assert lazy_kb.slice(0) is first
+
+    def test_single_window_query_stays_partial(self, small_kb, lazy_kb):
+        explorer = TaraExplorer(lazy_kb)
+        explorer.execute(
+            RecommendQuery(setting=ParameterSetting(0.2, 0.3), window=0)
+        )
+        counters = lazy_kb.storage_counters()
+        assert 0 < counters["slices_materialized"] < small_kb.window_count
+
+    def test_memory_budget_reaches_reader(self, small_kb, tmp_path):
+        path = tmp_path / "kb.tara2"
+        save_knowledge_base(small_kb, path)
+        knowledge_base = load_knowledge_base(path, memory_budget=1024)
+        try:
+            counters = knowledge_base.storage_counters()
+            assert counters["cache_budget_bytes"] == 1024
+        finally:
+            knowledge_base.close()
+
+    def test_answers_survive_eviction_pressure(self, small_kb, tmp_path):
+        path = tmp_path / "kb.tara2"
+        save_knowledge_base(small_kb, path)
+        # A budget of one decoded series: every rule lookup evicts the
+        # previous one, yet every answer must stay byte-equal.
+        knowledge_base = load_knowledge_base(path, memory_budget=400)
+        try:
+            eager_explorer = TaraExplorer(small_kb)
+            lazy_explorer = TaraExplorer(knowledge_base)
+            for _ in range(2):
+                for query in all_queries(small_kb):
+                    assert repr(lazy_explorer.execute(query)) == repr(
+                        eager_explorer.execute(query)
+                    )
+        finally:
+            knowledge_base.close()
+
+
+class TestReadOnlyArchive:
+    def test_begin_window_refused(self, lazy_kb):
+        with pytest.raises(ValidationError, match="read-only"):
+            lazy_kb.archive.begin_window(10, 5)
+
+    def test_record_refused(self, lazy_kb):
+        with pytest.raises(ValidationError, match="read-only"):
+            lazy_kb.archive.record(0, [])
+
+    def test_seal_is_noop(self, lazy_kb):
+        lazy_kb.archive.seal()
+
+
+class TestClone:
+    def test_clone_is_eager_and_equivalent(self, small_kb, lazy_kb):
+        clone = lazy_kb.clone()
+        assert type(clone) is TaraKnowledgeBase
+        assert clone.window_count == small_kb.window_count
+        explorer = TaraExplorer(clone)
+        eager_explorer = TaraExplorer(small_kb)
+        for query in all_queries(small_kb):
+            assert repr(explorer.execute(query)) == repr(
+                eager_explorer.execute(query)
+            )
+
+    def test_clone_survives_source_close(self, lazy_kb):
+        clone = lazy_kb.clone()
+        lazy_kb.close()
+        assert clone.slice(0).location_count > 0
+
+
+class TestServiceIntegration:
+    def test_metrics_snapshot_samples_storage_gauges(self, lazy_kb):
+        service = TaraService(lazy_kb)
+        service.execute(RecommendQuery(
+            setting=ParameterSetting(0.2, 0.3), window=0
+        ))
+        snapshot = service.metrics_snapshot()
+        assert snapshot["storage"]["slices_materialized"] >= 1
+        assert "cache_hits" in snapshot["storage"]
+
+    def test_eager_kb_has_empty_storage_section(self, small_kb):
+        service = TaraService(small_kb)
+        assert service.metrics_snapshot()["storage"] == {}

@@ -1,4 +1,4 @@
-"""Knowledge-base persistence: save/load roundtrip fidelity."""
+"""Knowledge-base persistence: save/load roundtrip fidelity, both formats."""
 
 import json
 
@@ -7,31 +7,61 @@ import pytest
 from repro.common.errors import DataFormatError
 from repro.core import (
     ContentQuery,
+    LazyTaraKnowledgeBase,
     ParameterSetting,
     RollupQuery,
     TaraExplorer,
 )
 from repro.core.persistence import (
+    DEFAULT_FORMAT_VERSION,
     FORMAT_VERSION,
     load_knowledge_base,
     save_knowledge_base,
 )
 from repro.data import PeriodSpec
 
+FORMATS = [FORMAT_VERSION, DEFAULT_FORMAT_VERSION]
+
+
+def _save(kb, path, format_version):
+    if format_version == FORMAT_VERSION:
+        # Writing the legacy eager format warns (once per process; the
+        # autouse registry reset makes that once per test).
+        with pytest.warns(DeprecationWarning, match="v1 JSON format"):
+            return save_knowledge_base(kb, path, format_version=format_version)
+    return save_knowledge_base(kb, path, format_version=format_version)
+
+
+@pytest.fixture(params=FORMATS, ids=["v1", "v2"])
+def saved_path(request, small_kb, tmp_path):
+    path = tmp_path / "kb.tara"
+    _save(small_kb, path, request.param)
+    return path
+
 
 @pytest.fixture()
-def saved_path(small_kb, tmp_path):
+def saved_v1_path(small_kb, tmp_path):
     path = tmp_path / "kb.json"
-    save_knowledge_base(small_kb, path)
+    _save(small_kb, path, FORMAT_VERSION)
     return path
 
 
 class TestRoundtrip:
-    def test_file_written(self, small_kb, tmp_path):
-        path = tmp_path / "kb.json"
-        written = save_knowledge_base(small_kb, path)
+    @pytest.mark.parametrize("format_version", FORMATS, ids=["v1", "v2"])
+    def test_file_written(self, small_kb, tmp_path, format_version):
+        path = tmp_path / "kb.tara"
+        written = _save(small_kb, path, format_version)
         assert written == path.stat().st_size
         assert written > 0
+
+    def test_default_write_format_is_v2(self, small_kb, tmp_path):
+        path = tmp_path / "kb.tara"
+        save_knowledge_base(small_kb, path)  # must not warn (v2 default)
+        assert isinstance(load_knowledge_base(path), LazyTaraKnowledgeBase)
+
+    def test_unknown_format_version_rejected(self, small_kb, tmp_path):
+        with pytest.raises(DataFormatError, match="format version"):
+            save_knowledge_base(small_kb, tmp_path / "kb.tara", format_version=7)
 
     def test_config_restored(self, small_kb, saved_path):
         loaded = load_knowledge_base(saved_path)
@@ -55,6 +85,16 @@ class TestRoundtrip:
                 for m in loaded.archive.series(rule_id)
             ]
             assert original == restored
+
+    def test_encoded_series_byte_identical(self, small_kb, saved_path):
+        loaded = load_knowledge_base(saved_path)
+        assert sorted(loaded.archive.rule_ids()) == sorted(
+            small_kb.archive.rule_ids()
+        )
+        for rule_id in small_kb.archive.rule_ids():
+            assert loaded.archive.encoded_series(
+                rule_id
+            ) == small_kb.archive.encoded_series(rule_id)
 
     def test_every_query_answer_identical(self, small_kb, saved_path):
         loaded = load_knowledge_base(saved_path)
@@ -91,11 +131,34 @@ class TestRoundtrip:
         ]
         assert original.max_support_error == restored.max_support_error
 
+    def test_candidate_rules_identical(self, small_kb, saved_path):
+        loaded = load_knowledge_base(saved_path)
+        spec = PeriodSpec(range(small_kb.window_count))
+        assert loaded.candidate_rules(spec) == small_kb.candidate_rules(spec)
+
+    def test_convert_v1_to_v2_round_trip(self, small_kb, saved_v1_path, tmp_path):
+        eager = load_knowledge_base(saved_v1_path)
+        v2_path = tmp_path / "kb.tara2"
+        save_knowledge_base(eager, v2_path)
+        lazy = load_knowledge_base(v2_path)
+        assert isinstance(lazy, LazyTaraKnowledgeBase)
+        for rule_id in small_kb.archive.rule_ids():
+            assert lazy.archive.encoded_series(
+                rule_id
+            ) == small_kb.archive.encoded_series(rule_id)
+
 
 class TestErrorHandling:
     def test_missing_file(self, tmp_path):
         with pytest.raises(DataFormatError):
             load_knowledge_base(tmp_path / "nope.json")
+
+    def test_missing_file_chains_cause(self, tmp_path):
+        # R003 regression: the OSError must survive as __cause__ so the
+        # operator sees *why* the file was unreadable, not just that it was.
+        with pytest.raises(DataFormatError) as excinfo:
+            load_knowledge_base(tmp_path / "nope.json")
+        assert isinstance(excinfo.value.__cause__, OSError)
 
     def test_garbage_file(self, tmp_path):
         path = tmp_path / "garbage.json"
@@ -103,16 +166,30 @@ class TestErrorHandling:
         with pytest.raises(DataFormatError):
             load_knowledge_base(path)
 
-    def test_wrong_version(self, saved_path):
-        payload = json.loads(saved_path.read_text())
-        payload["format_version"] = FORMAT_VERSION + 1
-        saved_path.write_text(json.dumps(payload))
-        with pytest.raises(DataFormatError, match="format version"):
-            load_knowledge_base(saved_path)
+    def test_garbage_file_chains_cause(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("this is not json")
+        with pytest.raises(DataFormatError) as excinfo:
+            load_knowledge_base(path)
+        assert isinstance(excinfo.value.__cause__, json.JSONDecodeError)
 
-    def test_inconsistent_windows(self, saved_path):
-        payload = json.loads(saved_path.read_text())
+    def test_wrong_version(self, saved_v1_path):
+        payload = json.loads(saved_v1_path.read_text())
+        payload["format_version"] = 3
+        saved_v1_path.write_text(json.dumps(payload))
+        with pytest.raises(DataFormatError, match="format version"):
+            load_knowledge_base(saved_v1_path)
+
+    def test_inconsistent_windows(self, saved_v1_path):
+        payload = json.loads(saved_v1_path.read_text())
         payload["window_sizes"] = payload["window_sizes"][:-1]
-        saved_path.write_text(json.dumps(payload))
+        saved_v1_path.write_text(json.dumps(payload))
         with pytest.raises(DataFormatError, match="inconsistent"):
-            load_knowledge_base(saved_path)
+            load_knowledge_base(saved_v1_path)
+
+    def test_missing_config_key(self, saved_v1_path):
+        payload = json.loads(saved_v1_path.read_text())
+        del payload["config"]["miner"]
+        saved_v1_path.write_text(json.dumps(payload))
+        with pytest.raises(DataFormatError, match="config"):
+            load_knowledge_base(saved_v1_path)

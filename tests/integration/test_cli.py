@@ -199,6 +199,127 @@ class TestBenchCommand:
         assert "--repeat" in capsys.readouterr().err
 
 
+class TestConvertAndKbInfo:
+    def test_kb_info_v2(self, kb_file, capsys):
+        assert main(["kb-info", str(kb_file)]) == 0
+        out = capsys.readouterr().out
+        assert "format v2 (segmented container)" in out
+        assert "rules/shard" in out
+        assert "--memory-budget" in out
+
+    def test_convert_to_v1_and_info(self, kb_file, tmp_path, capsys):
+        v1 = tmp_path / "kb.v1.json"
+        with pytest.warns(DeprecationWarning, match="v1 JSON format"):
+            assert main(["convert", str(kb_file), str(v1), "--format", "1"]) == 0
+        assert "format v1" in capsys.readouterr().out
+        assert main(["kb-info", str(v1)]) == 0
+        out = capsys.readouterr().out
+        assert "eager JSON envelope" in out
+        assert "repro convert" in out
+
+    def test_convert_roundtrip_bytes_identical(self, kb_file, tmp_path):
+        # v2 -> v1 -> v2 must reproduce the original container exactly:
+        # the write path is canonical.
+        v1 = tmp_path / "kb.v1.json"
+        v2 = tmp_path / "kb.back.tara2"
+        with pytest.warns(DeprecationWarning, match="v1 JSON format"):
+            assert main(["convert", str(kb_file), str(v1), "--format", "1"]) == 0
+        assert main(["convert", str(v1), str(v2)]) == 0
+        assert v2.read_bytes() == kb_file.read_bytes()
+
+    def test_build_format_1_warns_and_writes_json(
+        self, fimi_file, tmp_path, capsys
+    ):
+        out = tmp_path / "kb.v1.json"
+        with pytest.warns(DeprecationWarning, match="v1 JSON format"):
+            code = main(
+                [
+                    "build",
+                    "--input", str(fimi_file),
+                    "--out", str(out),
+                    "--batches", "2",
+                    "--min-support", "0.02",
+                    "--min-confidence", "0.3",
+                    "--format", "1",
+                ]
+            )
+        assert code == 0
+        assert json.loads(out.read_text())["format_version"] == 1
+
+    def test_kb_info_missing_file_is_domain_error(self, tmp_path, capsys):
+        assert main(["kb-info", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_mine_accepts_memory_budget_suffix(self, kb_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--kb", str(kb_file),
+                "--minsupp", "0.02",
+                "--minconf", "0.4",
+                "--memory-budget", "4M",
+            ]
+        )
+        assert code == 0
+        assert "rules in window" in capsys.readouterr().out
+
+    def test_nonpositive_memory_budget_is_usage_error(self, kb_file, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "mine",
+                    "--kb", str(kb_file),
+                    "--minsupp", "0.02",
+                    "--minconf", "0.4",
+                    "--memory-budget", "0",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "memory budget" in capsys.readouterr().err
+
+
+class TestBenchPersistCommand:
+    def test_writes_schema_json_and_summary(self, tmp_path, monkeypatch, capsys):
+        import repro.bench as bench
+
+        # Same shrink trick as the other bench tests: a tiny retail
+        # workload keeps the build+probe matrix fast; the probe children
+        # still run as real subprocesses measuring real RSS.
+        monkeypatch.setitem(bench._WORKLOADS, "retail", (150, 3, 0.05, 0.30))
+        out = tmp_path / "BENCH_persist.json"
+        summary = tmp_path / "summary.md"
+        code = main(
+            [
+                "bench-persist", "--quick",
+                "--scales", "1",
+                "--out", str(out),
+                "--summary-out", str(summary),
+            ]
+        )
+        assert code == 0
+        assert "rss ratio" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == bench.PERSIST_SCHEMA
+        assert payload["quick"] is True
+        cell = payload["results"][0]
+        assert set(cell["loaders"]) == {"v1-eager", "v2-lazy"}
+        eager = cell["loaders"]["v1-eager"]
+        lazy = cell["loaders"]["v2-lazy"]
+        # Fingerprint equality is enforced before the file is written.
+        assert eager["fingerprint"] == lazy["fingerprint"]
+        assert eager["storage"] is None
+        assert lazy["storage"]["slices_materialized"] > 0
+        assert eager["peak_rss_bytes"] > 0 and lazy["peak_rss_bytes"] > 0
+        # 1x is below the gate threshold: recorded but not gated.
+        assert cell["rss_gated"] is False
+        assert "| scale | loader |" in summary.read_text()
+
+    def test_invalid_budget_is_domain_error(self, capsys):
+        code = main(["bench-persist", "--memory-budget", "-1", "--out", "-"])
+        assert code == 1
+        assert "--memory-budget" in capsys.readouterr().err
+
+
 class TestErrorPaths:
     def test_missing_kb_returns_one(self, tmp_path, capsys):
         code = main(

@@ -1,0 +1,113 @@
+"""The byte-budgeted LRU behind the lazy read path."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.storage import ByteBudgetLRU, series_cost
+from repro.core.storage.lru import DECODED_ENTRY_COST, SERIES_BASE_COST
+
+
+class TestSeriesCost:
+    def test_linear_in_entry_count(self):
+        assert series_cost(0) == SERIES_BASE_COST
+        assert series_cost(7) == SERIES_BASE_COST + 7 * DECODED_ENTRY_COST
+
+    def test_deterministic(self):
+        # Budgets must mean the same thing on every run: the charge is a
+        # model, not a live measurement.
+        assert series_cost(3) == series_cost(3)
+
+
+class TestByteBudgetLRU:
+    def test_get_put_roundtrip(self):
+        cache = ByteBudgetLRU(budget_bytes=1000)
+        cache.put("a", [1, 2, 3], 100)
+        assert cache.get("a") == [1, 2, 3]
+        assert cache.get("b") is None
+
+    def test_eviction_is_lru_ordered(self):
+        cache = ByteBudgetLRU(budget_bytes=300)
+        cache.put("a", "A", 100)
+        cache.put("b", "B", 100)
+        cache.put("c", "C", 100)
+        # Touch "a" so "b" becomes least recently used.
+        assert cache.get("a") == "A"
+        cache.put("d", "D", 100)
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.get("c") == "C"
+        assert cache.get("d") == "D"
+
+    def test_evicts_until_within_budget(self):
+        cache = ByteBudgetLRU(budget_bytes=250)
+        cache.put("a", "A", 100)
+        cache.put("b", "B", 100)
+        cache.put("big", "BIG", 200)
+        # 200 fits only alone: both older entries must go.
+        assert len(cache) == 1
+        assert cache.get("big") == "BIG"
+        assert cache.counters()["evictions"] == 2
+
+    def test_oversize_entry_rejected_not_cached(self):
+        cache = ByteBudgetLRU(budget_bytes=100)
+        cache.put("a", "A", 60)
+        cache.put("huge", "H", 101)
+        # The oversize value is dropped; the existing entry survives.
+        assert cache.get("huge") is None
+        assert cache.get("a") == "A"
+        counters = cache.counters()
+        assert counters["rejected"] == 1
+        assert counters["evictions"] == 0
+
+    def test_replace_recharges_cost(self):
+        cache = ByteBudgetLRU(budget_bytes=1000)
+        cache.put("a", "small", 100)
+        cache.put("a", "bigger", 300)
+        counters = cache.counters()
+        assert counters["entries"] == 1
+        assert counters["current_bytes"] == 300
+        assert cache.get("a") == "bigger"
+
+    def test_counters_track_hits_misses_and_peak(self):
+        cache = ByteBudgetLRU(budget_bytes=500)
+        cache.put("a", "A", 200)
+        cache.put("b", "B", 200)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        counters = cache.counters()
+        assert counters["hits"] == 2
+        assert counters["misses"] == 1
+        assert counters["current_bytes"] == 400
+        assert counters["peak_bytes"] == 400
+        assert counters["budget_bytes"] == 500
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = ByteBudgetLRU(budget_bytes=None)
+        for index in range(100):
+            cache.put(index, index, 10**6)
+        assert len(cache) == 100
+        assert cache.counters()["evictions"] == 0
+
+    def test_clear_preserves_counters(self):
+        cache = ByteBudgetLRU(budget_bytes=500)
+        cache.put("a", "A", 100)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        counters = cache.counters()
+        assert counters["current_bytes"] == 0
+        assert counters["hits"] == 1
+        # Peak survives the clear: it is a lifetime high-water mark.
+        assert counters["peak_bytes"] == 100
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            ByteBudgetLRU(budget_bytes=0)
+        with pytest.raises(ValidationError):
+            ByteBudgetLRU(budget_bytes=-5)
+
+    def test_negative_cost_rejected(self):
+        cache = ByteBudgetLRU(budget_bytes=100)
+        with pytest.raises(ValidationError):
+            cache.put("a", "A", -1)
