@@ -13,7 +13,11 @@ keeps served answers that way.
 Three publish surfaces are checked:
 
 * the ``value`` argument of :meth:`RegionKeyedCache.put` — anything
-  stored in the cache;
+  stored in the cache — and, since PR 10, of
+  :meth:`ResponseCache.put` / :meth:`ResponseCache.put_gzip`: encoded
+  response bodies are spliced verbatim into every later matching
+  response, so a mutable value there corrupts wire bytes for all
+  future readers;
 * every ``return`` of a function marked with a trailing
   ``repro-lint: publish`` directive on its ``def`` line (seeded on the
   service's freeze hook) — the declared freeze boundary;
@@ -47,7 +51,11 @@ from repro.analysis.project import (
 )
 
 #: ``(class name, method, value-argument index)`` cache publish sinks.
-PUT_SINKS: Tuple[Tuple[str, str, int], ...] = (("RegionKeyedCache", "put", 1),)
+PUT_SINKS: Tuple[Tuple[str, str, int], ...] = (
+    ("RegionKeyedCache", "put", 1),
+    ("ResponseCache", "put", 1),
+    ("ResponseCache", "put_gzip", 1),
+)
 
 #: Annotation names that make a frozen dataclass field mutable inside.
 MUTABLE_ANNOTATIONS = frozenset(
@@ -107,6 +115,7 @@ class PublishImmutabilityRule(ProjectRule):
     scope = RuleScope(
         include=(
             "repro/service/",
+            "repro/serve/",
             "repro/core/queries.py",
         )
     )

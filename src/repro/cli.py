@@ -122,7 +122,9 @@ from repro.serve import (
     DEFAULT_MAX_ENTRIES,
     DEFAULT_POOL_SIZE,
     DEFAULT_PORT,
+    DEFAULT_RESPONSE_CACHE_BYTES,
     ServeConfig,
+    resolve_pool_size,
     run_server,
 )
 
@@ -353,10 +355,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=int, default=DEFAULT_PORT,
                        help=f"bind port (default: {DEFAULT_PORT}; 0 for ephemeral)")
-    serve.add_argument("--pool-size", type=int, default=DEFAULT_POOL_SIZE,
-                       help=f"query worker threads (default: {DEFAULT_POOL_SIZE})")
+    serve.add_argument("--pool-size", default=str(DEFAULT_POOL_SIZE),
+                       help="query worker threads: a count or 'auto' "
+                            "(one per CPU; "
+                            f"default: {DEFAULT_POOL_SIZE})")
     serve.add_argument("--max-entries", type=int, default=DEFAULT_MAX_ENTRIES,
                        help=f"region-keyed cache capacity (default: {DEFAULT_MAX_ENTRIES})")
+    serve.add_argument("--response-cache", type=_parse_memory_budget,
+                       default=DEFAULT_RESPONSE_CACHE_BYTES, metavar="BYTES",
+                       help="encoded-response byte-cache budget "
+                            "(suffixes k/M/G; default: 64M)")
     serve.add_argument("--drain-timeout", type=float, default=DEFAULT_DRAIN_TIMEOUT,
                        help="graceful-shutdown drain seconds "
                             f"(default: {DEFAULT_DRAIN_TIMEOUT:g})")
@@ -673,9 +681,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServeConfig(
         host=args.host,
         port=args.port,
-        pool_size=args.pool_size,
+        pool_size=resolve_pool_size(args.pool_size),
         max_entries=args.max_entries,
         drain_timeout=args.drain_timeout,
+        response_cache_bytes=args.response_cache,
     )
     print(
         f"serving {knowledge_base.window_count} windows, "

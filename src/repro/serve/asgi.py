@@ -16,7 +16,6 @@ extra to be installed.
 
 from __future__ import annotations
 
-import json
 from typing import Any, Awaitable, Callable, Mapping, MutableMapping, Optional
 
 from repro.serve.gateway import DEFAULT_POOL_SIZE, QueryGateway
@@ -76,21 +75,44 @@ class AsgiApp:
             body += message.get("body", b"")
             if not message.get("more_body", False):
                 break
-        status, payload = await self.gateway.dispatch(
-            scope["method"], scope["path"], body
+        headers = {
+            name.decode("latin-1").lower(): value.decode("latin-1")
+            for name, value in scope.get("headers") or ()
+        }
+        response = await self.gateway.dispatch_wire(
+            scope["method"], scope["path"], body, headers
         )
-        data = json.dumps(payload).encode("utf-8")
+        # Content-Length is always known (the chunks are in hand);
+        # chunked framing, if any, is the ASGI server's concern.
+        response_headers = [
+            (b"content-type", b"application/json"),
+            (
+                b"content-length",
+                str(response.content_length).encode("latin-1"),
+            ),
+        ]
+        for name, value in response.headers:
+            response_headers.append(
+                (name.lower().encode("latin-1"), value.encode("latin-1"))
+            )
         await send(
             {
                 "type": "http.response.start",
-                "status": status,
-                "headers": [
-                    (b"content-type", b"application/json"),
-                    (b"content-length", str(len(data)).encode("latin-1")),
-                ],
+                "status": response.status,
+                "headers": response_headers,
             }
         )
-        await send({"type": "http.response.body", "body": data})
+        if not response.chunks:
+            await send({"type": "http.response.body", "body": b""})
+            return
+        for index, chunk in enumerate(response.chunks):
+            await send(
+                {
+                    "type": "http.response.body",
+                    "body": chunk,
+                    "more_body": index + 1 < len(response.chunks),
+                }
+            )
 
 
 def create_asgi_app(

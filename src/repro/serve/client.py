@@ -11,8 +11,9 @@ implementation of the wire protocol for external clients
 from __future__ import annotations
 
 import asyncio
+import gzip
 import json
-from typing import Any, Optional, Sequence, Tuple
+from typing import Any, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ProtocolError
 from repro.core.queries import ExplorerQuery
@@ -48,6 +49,50 @@ class ServeClient:
         """True once the connection is gone (close() or server hangup)."""
         return self._closed
 
+    async def exchange(
+        self,
+        method: str,
+        target: str,
+        payload: Optional[JsonDict] = None,
+        *,
+        accept_gzip: bool = False,
+        if_none_match: Optional[str] = None,
+        decompress: bool = True,
+    ) -> Tuple[int, Mapping[str, str], bytes]:
+        """One full exchange: ``(status, response headers, body bytes)``.
+
+        The body is returned decompressed (``Content-Encoding: gzip``
+        responses are gunzipped transparently) but otherwise raw — the
+        bench harness byte-verifies served bodies through this.
+        ``accept_gzip`` advertises gzip; *if_none_match* sends a
+        conditional request (a 304 answer has an empty body);
+        ``decompress=False`` returns compressed bodies verbatim so a
+        caller can keep gunzip cost out of a timed section.  Chunked
+        responses are reassembled by the framing layer.
+        """
+        if self._closed:
+            raise ProtocolError("client connection is closed")
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        lines = [
+            f"{method} {target} HTTP/1.1",
+            f"Host: {self._host}:{self._port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        if accept_gzip:
+            lines.append("Accept-Encoding: gzip")
+        if if_none_match is not None:
+            lines.append(f"If-None-Match: {if_none_match}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status, headers, raw = await read_response(self._reader)
+        if decompress and headers.get("content-encoding", "").lower() == "gzip":
+            raw = gzip.decompress(raw)
+        if headers.get("connection", "").lower() == "close":
+            await self.aclose()
+        return status, headers, raw
+
     async def request(
         self,
         method: str,
@@ -55,21 +100,7 @@ class ServeClient:
         payload: Optional[JsonDict] = None,
     ) -> Tuple[int, Any]:
         """Send one request; returns ``(status, decoded JSON body)``."""
-        if self._closed:
-            raise ProtocolError("client connection is closed")
-        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
-        head = (
-            f"{method} {target} HTTP/1.1\r\n"
-            f"Host: {self._host}:{self._port}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "\r\n"
-        )
-        self._writer.write(head.encode("latin-1") + body)
-        await self._writer.drain()
-        status, headers, raw = await read_response(self._reader)
-        if headers.get("connection", "").lower() == "close":
-            await self.aclose()
+        status, _, raw = await self.exchange(method, target, payload)
         return status, json.loads(raw) if raw else None
 
     async def query(self, kind: str, payload: JsonDict) -> Tuple[int, Any]:

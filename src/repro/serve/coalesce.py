@@ -19,6 +19,14 @@ immutability.  No defensive re-check exists downstream anymore: the
 pre-PR-8 gateway re-executed scoped requests when the epoch moved
 mid-await, but a pinned snapshot cannot move.
 
+Since PR 10 the shared payload is the *encoded* answer — the supplier
+executes the query and serializes it through
+:func:`repro.serve.protocol.encode_answer_bytes` in one thread-pool
+hop, so followers receive the leader's byte chunks and never re-encode
+(each follower only prepends its own envelope prefix, whose
+``coalesced`` flag differs).  The coalescer itself is payload-agnostic:
+it shares whatever immutable object the supplier returns.
+
 The coalescer is event-loop-confined: all state is touched only from
 the owning asyncio loop, so it needs no lock.
 """

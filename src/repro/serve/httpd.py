@@ -3,9 +3,12 @@
 Just enough HTTP for a JSON query service, implemented on
 ``asyncio.StreamReader``/``StreamWriter`` with the stdlib only:
 
-* request line + headers + ``Content-Length`` bodies (no chunked
-  transfer, no trailers, no upgrades — a request without a length is
-  treated as bodyless);
+* request line + headers + ``Content-Length`` bodies (a request
+  without a length is treated as bodyless; no trailers, no upgrades);
+* ``Transfer-Encoding: chunked`` **response** bodies — the server
+  streams large encoded answers chunk by chunk (:func:`render_head`
+  with ``chunked=True`` + :func:`chunk_frames` + :data:`LAST_CHUNK`)
+  and the client side of :func:`read_response` reassembles them;
 * persistent connections per HTTP/1.1 defaults (``Connection: close``
   and HTTP/1.0 close after one exchange);
 * hard limits on request-line, header-block, and body sizes, mapped to
@@ -20,7 +23,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ProtocolError
 
@@ -34,6 +37,7 @@ DEFAULT_MAX_BODY = 1_048_576
 #: Reason phrases for every status the serving tier emits.
 STATUS_PHRASES: Dict[int, str] = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -136,6 +140,34 @@ async def read_request(
     )
 
 
+def render_head(
+    status: int,
+    *,
+    content_length: Optional[int] = None,
+    chunked: bool = False,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra: Sequence[Tuple[str, str]] = (),
+) -> bytes:
+    """Serialize a response head: status line + framing + *extra* headers.
+
+    Exactly one of *content_length* / *chunked* frames the body; passing
+    neither renders a bodyless head (304 conditional answers).
+    """
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {phrase}"]
+    if content_length is not None or chunked:
+        lines.append(f"Content-Type: {content_type}")
+    for name, value in extra:
+        lines.append(f"{name}: {value}")
+    if chunked:
+        lines.append("Transfer-Encoding: chunked")
+    else:
+        lines.append(f"Content-Length: {content_length or 0}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
 def render_response(
     status: int,
     body: bytes,
@@ -143,22 +175,55 @@ def render_response(
     content_type: str = "application/json",
     keep_alive: bool = True,
 ) -> bytes:
-    """Serialize one response with correct framing headers."""
-    phrase = STATUS_PHRASES.get(status, "Unknown")
-    head = (
-        f"HTTP/1.1 {status} {phrase}\r\n"
-        f"Content-Type: {content_type}\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        "\r\n"
+    """Serialize one complete fixed-length response."""
+    head = render_head(
+        status,
+        content_length=len(body),
+        content_type=content_type,
+        keep_alive=keep_alive,
     )
-    return head.encode("latin-1") + body
+    return head + body
+
+
+def chunk_frames(data: bytes) -> Tuple[bytes, bytes, bytes]:
+    """One body chunk as ``(size line, payload, trailing CRLF)``.
+
+    Returned as three pieces so the transport can write the (possibly
+    large) payload without copying it into a framed buffer.
+    """
+    return (b"%X\r\n" % len(data), data, b"\r\n")
+
+
+#: Terminating zero-length chunk of a chunked body (no trailers).
+LAST_CHUNK = b"0\r\n\r\n"
+
+
+async def _read_chunked_body(reader: asyncio.StreamReader) -> bytes:
+    """Client-side reassembly of a ``Transfer-Encoding: chunked`` body."""
+    parts = []
+    while True:
+        line = await reader.readuntil(b"\n")
+        size_text = line.decode("latin-1").strip().split(";", 1)[0]
+        try:
+            size = int(size_text, 16)
+        except ValueError as error:
+            raise WireError(400, f"bad chunk size {size_text!r}") from error
+        if size == 0:
+            await reader.readuntil(b"\n")  # trailing CRLF after last chunk
+            return b"".join(parts)
+        parts.append(await reader.readexactly(size))
+        await reader.readexactly(2)  # CRLF closing this chunk
 
 
 async def read_response(
     reader: asyncio.StreamReader,
 ) -> Tuple[int, Mapping[str, str], bytes]:
-    """Client-side: read one response as ``(status, headers, body)``."""
+    """Client-side: read one response as ``(status, headers, body)``.
+
+    Handles both framings the server emits — ``Content-Length`` and
+    ``Transfer-Encoding: chunked`` (reassembled into one byte string) —
+    plus bodyless 304 conditional answers.
+    """
     line = await reader.readuntil(b"\n")
     parts = line.decode("latin-1").strip().split(None, 2)
     if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
@@ -175,6 +240,8 @@ async def read_response(
             break
         name, _, value = text.partition(":")
         headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        return status, headers, await _read_chunked_body(reader)
     length = int(headers.get("content-length", "0"))
     body = await reader.readexactly(length) if length else b""
     return status, headers, body

@@ -14,7 +14,7 @@ same single-writer discipline :mod:`repro.serve.coalesce` relies on.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.timing import Ticker
 from repro.service.metrics import LatencyHistogram
@@ -73,11 +73,19 @@ class ServerMetrics:
         uptime = self.uptime_seconds
         return self.total_requests / uptime if uptime > 0.0 else 0.0
 
-    def as_dict(self, coalesce: Dict[str, int]) -> Dict[str, object]:
+    def as_dict(
+        self,
+        coalesce: Dict[str, int],
+        *,
+        respcache: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, object]:
         """JSON snapshot for the ``/metrics`` route.
 
         *coalesce* is the coalescer's counter snapshot
-        (:meth:`repro.serve.coalesce.RequestCoalescer.counters`).
+        (:meth:`repro.serve.coalesce.RequestCoalescer.counters`);
+        *respcache* the encoded-response cache's
+        (:meth:`repro.serve.respcache.ResponseCache.counters`) —
+        hit/miss/eviction/bytes-served accounting of the wire-hot path.
         """
         endpoints: Dict[str, object] = {}
         for endpoint in self._order:
@@ -86,7 +94,7 @@ class ServerMetrics:
                 "statuses": dict(sorted(self.statuses[endpoint].items())),
                 "latency": self.latency[endpoint].as_dict(),
             }
-        return {
+        snapshot: Dict[str, object] = {
             "uptime_seconds": self.uptime_seconds,
             "requests": self.total_requests,
             "requests_per_second": self.requests_per_second,
@@ -95,6 +103,9 @@ class ServerMetrics:
             "coalesce": dict(coalesce),
             "endpoints": endpoints,
         }
+        if respcache is not None:
+            snapshot["respcache"] = dict(respcache)
+        return snapshot
 
     def report(self, title: str = "server metrics") -> str:
         """Human-readable table, styled after the other ``report()`` methods."""

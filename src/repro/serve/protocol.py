@@ -37,8 +37,20 @@ array per basic window, strict like every other request.
 
 from __future__ import annotations
 
+import json
 from fractions import Fraction
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from functools import lru_cache
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.common.errors import ProtocolError
 from repro.core.queries import (
@@ -319,8 +331,13 @@ def _encode_rule(rule_id: RuleId, rule: Rule) -> JsonDict:
     }
 
 
+@lru_cache(maxsize=16384)
 def _encode_fraction(value: Fraction) -> str:
-    """Exact rational as ``"p/q"`` — survives the socket losslessly."""
+    """Exact rational as ``"p/q"`` — survives the socket losslessly.
+
+    Interned: exact region boundaries are epoch-stable, so the same
+    ``Fraction`` re-serializes from the memo instead of re-formatting.
+    """
     return f"{value.numerator}/{value.denominator}"
 
 
@@ -468,3 +485,159 @@ def encode_answer(query_class: str, answer: object) -> JsonDict:
         assert isinstance(answer, RollupAnswer)
         return _encode_rollup(answer)
     raise ProtocolError(f"cannot encode an answer of class {query_class!r}")
+
+
+# ----------------------------------------------------------------------
+# byte-level answer encoding (the wire-hot path)
+# ----------------------------------------------------------------------
+#: Compact separators — the canonical wire serialization.  Key order is
+#: insertion order (NOT sort_keys: measure windows are emitted in
+#: numeric order, which string sorting would scramble at window 10).
+_COMPACT: Tuple[str, str] = (",", ":")
+
+#: Target size of one streamed body chunk (rows are packed up to this).
+DEFAULT_CHUNK_TARGET = 32 * 1024
+
+
+def dumps_bytes(value: object) -> bytes:
+    """Canonical compact UTF-8 JSON — the serialization every response
+    body uses, so cached bytes and freshly-encoded bytes are comparable.
+    """
+    return json.dumps(value, separators=_COMPACT).encode("utf-8")
+
+
+@lru_cache(maxsize=65536)
+def _rule_prefix_bytes(rule_id: RuleId, rule: Rule) -> bytes:
+    """The encoded rule-row head, missing only its closing brace.
+
+    Rules are interned per knowledge base and rule ids are stable across
+    epochs, so the (id, rule) pair memoizes perfectly: a 20k-row Q1
+    answer re-encodes its per-rule fragments exactly once per process,
+    not once per request.
+    """
+    return dumps_bytes(_encode_rule(rule_id, rule))[:-1]
+
+
+def _chunked(parts: Iterable[bytes], target: int) -> Iterator[bytes]:
+    """Pack tiny row fragments into ~*target*-byte chunks."""
+    pending: List[bytes] = []
+    size = 0
+    for part in parts:
+        pending.append(part)
+        size += len(part)
+        if size >= target:
+            yield b"".join(pending)
+            pending.clear()
+            size = 0
+    if pending:
+        yield b"".join(pending)
+
+
+def _iter_trajectory_bytes(
+    trajectories: Sequence[RuleTrajectory],
+) -> Iterator[bytes]:
+    yield b'{"trajectories":['
+    comma = b""
+    for trajectory in trajectories:
+        measures: JsonDict = {}
+        for window in sorted(trajectory.measures):
+            measure = trajectory.measures[window]
+            measures[str(window)] = (
+                None
+                if measure is None
+                else {
+                    "rule_count": measure.rule_count,
+                    "antecedent_count": measure.antecedent_count,
+                    "consequent_count": measure.consequent_count,
+                    "window_size": measure.window_size,
+                    "support": measure.support,
+                    "confidence": measure.confidence,
+                }
+            )
+        yield (
+            comma
+            + _rule_prefix_bytes(trajectory.rule_id, trajectory.rule)
+            + b',"measures":'
+            + dumps_bytes(measures)
+            + b"}"
+        )
+        comma = b","
+    yield b"]}"
+
+
+def _iter_content_bytes(
+    per_window: Mapping[int, List[RuleId]]
+) -> Iterator[bytes]:
+    yield b'{"per_window":{'
+    comma = b""
+    for window in sorted(per_window):
+        yield (
+            comma
+            + dumps_bytes(str(window))
+            + b":"
+            + dumps_bytes(list(per_window[window]))
+        )
+        comma = b","
+    yield b"}}"
+
+
+def encode_answer_bytes(
+    query_class: str,
+    answer: object,
+    *,
+    chunk_target: int = DEFAULT_CHUNK_TARGET,
+) -> Iterator[bytes]:
+    """Encode one answer as an iterator of UTF-8 byte chunks.
+
+    The concatenation of the chunks is byte-identical to
+    ``dumps_bytes(encode_answer(query_class, answer))`` for every query
+    class (property-tested in ``tests/serve/test_protocol_bytes.py``) —
+    but the large row-shaped answers (Q1 trajectories, Q5 per-window
+    rulesets) are produced incrementally with memoized per-rule
+    fragments instead of one giant dict → ``dumps`` pass, so a streamed
+    body never materializes the whole answer dict and re-encoding the
+    same rules across requests is a cache lookup, not a serialization.
+    """
+    if query_class == "Q1":
+        assert isinstance(answer, (list, tuple))
+        return _chunked(_iter_trajectory_bytes(answer), chunk_target)
+    if query_class == "Q5":
+        assert isinstance(answer, dict)
+        return _chunked(_iter_content_bytes(answer), chunk_target)
+    return iter((dumps_bytes(encode_answer(query_class, answer)),))
+
+
+def encode_answer_blob(query_class: str, answer: object) -> bytes:
+    """The full canonical encoding as one contiguous byte string."""
+    return b"".join(encode_answer_bytes(query_class, answer))
+
+
+def envelope_prefix(
+    query_class: str,
+    epoch: int,
+    *,
+    coalesced: bool,
+    cached: bool,
+) -> bytes:
+    """The success envelope up to (and including) ``"answer":``.
+
+    A response body is ``prefix + answer bytes + ENVELOPE_SUFFIX`` —
+    assembling it never re-serializes the answer, which is what lets
+    the response cache and the coalescer share encoded bytes.  The
+    ``"cached"`` field is additive (clients ignore unknown fields).
+    """
+    return (
+        '{"ok":true,"query_class":%s,"epoch":%d,"snapshot_epoch":%d,'
+        '"coalesced":%s,"cached":%s,"answer":'
+        % (
+            json.dumps(query_class),
+            epoch,
+            epoch,
+            "true" if coalesced else "false",
+            "true" if cached else "false",
+        )
+    ).encode("utf-8")
+
+
+#: Closing brace of the success envelope.
+ENVELOPE_SUFFIX = b"}"

@@ -25,13 +25,22 @@ from typing import Callable, Optional, Set, Tuple
 
 from repro.common.errors import ValidationError
 from repro.common.timing import Ticker
-from repro.serve.gateway import DEFAULT_POOL_SIZE, QueryGateway, error_payload
+from repro.serve.gateway import (
+    DEFAULT_POOL_SIZE,
+    QueryGateway,
+    WireResponse,
+    error_payload,
+)
 from repro.serve.httpd import (
     DEFAULT_MAX_BODY,
+    LAST_CHUNK,
     WireError,
+    chunk_frames,
     read_request,
+    render_head,
     render_response,
 )
+from repro.serve.respcache import DEFAULT_RESPONSE_CACHE_BYTES
 from repro.service.service import ServiceSource, TaraService
 
 #: Default TCP port (unassigned range, stable across docs and tests).
@@ -62,6 +71,7 @@ class ServeConfig:
     max_entries: int = DEFAULT_MAX_ENTRIES
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT
     max_body: int = DEFAULT_MAX_BODY
+    response_cache_bytes: int = DEFAULT_RESPONSE_CACHE_BYTES
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -72,6 +82,11 @@ class ServeConfig:
             raise ValidationError(
                 f"drain_timeout must be >= 0, got {self.drain_timeout}"
             )
+        if self.response_cache_bytes < 1:
+            raise ValidationError(
+                f"response_cache_bytes must be >= 1, "
+                f"got {self.response_cache_bytes}"
+            )
 
 
 class TaraServer:
@@ -79,7 +94,11 @@ class TaraServer:
 
     def __init__(self, service: TaraService, config: ServeConfig) -> None:
         self._config = config
-        self._gateway = QueryGateway(service, pool_size=config.pool_size)
+        self._gateway = QueryGateway(
+            service,
+            pool_size=config.pool_size,
+            response_cache_bytes=config.response_cache_bytes,
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         self._handlers: Set["asyncio.Task[None]"] = set()
@@ -138,6 +157,50 @@ class TaraServer:
             )
         self._gateway.aclose()
 
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: WireResponse,
+        keep_alive: bool,
+    ) -> None:
+        """Write one response, chunked or fixed-length.
+
+        Streamed bodies (large encoded answers) go out as chunked
+        transfer with a drain per chunk, so a slow client bounds the
+        write buffer instead of ballooning it; everything else is a
+        fixed-length body whose chunks are written without joining
+        (cached blobs are served zero-copy).
+        """
+        if response.stream and response.chunks:
+            writer.write(
+                render_head(
+                    response.status,
+                    chunked=True,
+                    keep_alive=keep_alive,
+                    extra=response.headers,
+                )
+            )
+            for chunk in response.chunks:
+                if not chunk:
+                    continue  # an empty chunk would terminate the body
+                for frame in chunk_frames(chunk):
+                    writer.write(frame)
+                await writer.drain()
+            writer.write(LAST_CHUNK)
+            await writer.drain()
+            return
+        writer.write(
+            render_head(
+                response.status,
+                content_length=response.content_length,
+                keep_alive=keep_alive,
+                extra=response.headers,
+            )
+        )
+        for chunk in response.chunks:
+            writer.write(chunk)
+        await writer.drain()
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -164,18 +227,14 @@ class TaraServer:
                     return
                 if request is None:
                     return  # clean close between requests
-                status, payload = await self._gateway.dispatch(
-                    request.method, request.target, request.body
+                response = await self._gateway.dispatch_wire(
+                    request.method,
+                    request.target,
+                    request.body,
+                    request.headers,
                 )
                 keep_alive = request.keep_alive and not self._stopping
-                writer.write(
-                    render_response(
-                        status,
-                        json.dumps(payload).encode("utf-8"),
-                        keep_alive=keep_alive,
-                    )
-                )
-                await writer.drain()
+                await self._write_response(writer, response, keep_alive)
                 if not keep_alive:
                     return
         except (ConnectionError, asyncio.IncompleteReadError):

@@ -216,3 +216,28 @@ def canonicalize(
         )
 
     raise QueryError(f"unknown explorer query type {type(query).__name__!r}")
+
+
+def echo_tag(query: ExplorerQuery) -> Tuple[float, ...]:
+    """The raw caller floats an answer *echoes back* verbatim.
+
+    Region keys deliberately erase raw thresholds (two settings in one
+    stable region share a key), but Q2/Q3 answers re-echo the caller's
+    exact floats (:meth:`repro.service.service.TaraService` thaws them
+    back in), so two region-equivalent requests with different raw
+    settings produce answers that differ *in those echoed fields only*.
+    Value-level caching is unaffected — the thaw re-echoes per caller —
+    but a cache of encoded response *bytes* must key on the echo too,
+    or one caller's floats would be served to another.  Q1/Q5 answers
+    echo nothing and return the empty tag.
+    """
+    if isinstance(query, CompareQuery):
+        return (
+            query.first.min_support,
+            query.first.min_confidence,
+            query.second.min_support,
+            query.second.min_confidence,
+        )
+    if isinstance(query, RecommendQuery):
+        return (query.setting.min_support, query.setting.min_confidence)
+    return ()

@@ -9,6 +9,14 @@ class RegionKeyedCache:
         return 0
 
 
+class ResponseCache:
+    def put(self, key, value, epoch):
+        return 0
+
+    def put_gzip(self, key, value, epoch):
+        return 0
+
+
 @dataclass(frozen=True)
 class Answer:
     # Mutable container inside a "frozen" published value -> finding.
@@ -26,3 +34,16 @@ class Service:
     # repro-lint: publish
     def freeze(self, rows):
         return {row[0]: row for row in rows}  # dict published -> finding
+
+
+class Gateway:
+    def __init__(self) -> None:
+        self._respcache = ResponseCache()
+
+    def store_body(self, key, chunks) -> None:
+        value = bytearray(b"".join(chunks))
+        self._respcache.put(key, value, 3)  # bytearray body -> finding
+
+    def store_variant(self, key, frames) -> None:
+        value = list(frames)
+        self._respcache.put_gzip(key, value, 3)  # list body -> finding

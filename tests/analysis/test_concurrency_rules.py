@@ -149,11 +149,13 @@ class TestR007PublishImmutability:
         findings, _ = fixture_findings(
             "R007", "r007_mutable_publish.py", self.PATH
         )
-        assert [f.rule_id for f in findings] == ["R007"] * 3
+        assert [f.rule_id for f in findings] == ["R007"] * 5
         messages = " | ".join(f.message for f in findings)
         assert "RegionKeyedCache.put" in messages  # list into the cache
         assert "publish boundary" in messages  # dict out of freeze()
         assert "frozen dataclass Answer" in messages  # Dict field
+        assert "ResponseCache.put" in messages  # bytearray body
+        assert "ResponseCache.put_gzip" in messages  # list body
 
     def test_frozen_publish_is_clean(self):
         findings, _ = fixture_findings(

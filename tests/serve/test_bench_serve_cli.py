@@ -35,9 +35,11 @@ def test_bench_serve_quick_writes_artifact(tmp_path, tiny_retail, capsys):
     )
     assert code == 0
     payload = json.loads(out.read_text())
-    assert payload["schema"] == "repro-bench-serve/1"
+    assert payload["schema"] == "repro-bench-serve/2"
     assert payload["quick"] is True
     assert payload["concurrency"] == [2, 4]
+    assert payload["gate"]["improvement_floor"] == 50
+    assert payload["pool_size"] >= 1  # resolved from the 'auto' default
 
     results = payload["results"]
     # 4 query classes x 2 concurrency levels on the quick dataset.
@@ -50,11 +52,19 @@ def test_bench_serve_quick_writes_artifact(tmp_path, tiny_retail, capsys):
         assert row["requests"] == 8
         assert 0.0 < row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
         assert row["rps"] > 0.0
+        assert row["warm_p50_ms"] > 0.0
+        assert row["warm_identity_p50_ms"] > 0.0
+        assert row["respcache_hits"] > 0
+        assert 0.0 < row["respcache_hit_rate"] <= 1.0
+        assert row["bytes_served"] > 0
+        assert row["not_modified"] >= 1
+        assert 0 < row["gzip_bytes"]
+        assert 0 < row["body_bytes"]
     # The identical-request workload must have coalesced somewhere.
     assert sum(row["coalesce_hits"] for row in results) > 0
 
     captured = capsys.readouterr().out
-    assert "wrote" in captured and "repro-bench-serve/1" in captured
+    assert "wrote" in captured and "repro-bench-serve/2" in captured
 
 
 def test_bench_serve_rejects_bad_concurrency(tiny_retail):

@@ -1,0 +1,137 @@
+"""Byte-level answer encoding: identity with the dict encoder, chunking.
+
+The wire-hot path serves cached bytes produced by
+``encode_answer_bytes`` while every correctness statement in the test
+suite (and every external client) is written against the dict form of
+``encode_answer``.  These tests pin the bridge: for every query class
+and any chunk target, concatenating the iterator's chunks yields
+exactly ``json.dumps(encode_answer(...), separators=(",", ":"))``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ProtocolError
+from repro.core import (
+    CompareQuery,
+    ContentQuery,
+    ParameterSetting,
+    RecommendQuery,
+    RollupQuery,
+    TrajectoryQuery,
+)
+from repro.data import PeriodSpec
+from repro.serve.protocol import (
+    dumps_bytes,
+    encode_answer,
+    encode_answer_blob,
+    encode_answer_bytes,
+    envelope_prefix,
+)
+from repro.service import TaraService
+
+
+def reference_bytes(query_class, answer):
+    """The ground truth: dict encoder + canonical compact JSON."""
+    return json.dumps(
+        encode_answer(query_class, answer), separators=(",", ":")
+    ).encode("utf-8")
+
+
+def class_queries(first, second):
+    """One query per class at the given settings (first loosest)."""
+    return {
+        "Q1": TrajectoryQuery(setting=first, anchor_window=0),
+        "Q2": CompareQuery(first=first, second=second),
+        "Q3": RecommendQuery(setting=first),
+        "Q5": ContentQuery(setting=first, items=(0, 1, 5)),
+        "rollup": RollupQuery(setting=first, spec=PeriodSpec([0, 1])),
+    }
+
+
+setting_strategy = st.tuples(
+    st.floats(min_value=0.02, max_value=0.5),
+    st.floats(min_value=0.1, max_value=0.9),
+).map(lambda pair: ParameterSetting(*pair))
+
+chunk_target_strategy = st.integers(min_value=1, max_value=128 * 1024)
+
+
+class TestByteIdentity:
+    @settings(max_examples=20, deadline=None)
+    @given(setting=setting_strategy, chunk_target=chunk_target_strategy)
+    def test_all_classes_byte_identical(self, small_kb, setting, chunk_target):
+        service = TaraService(small_kb)
+        tighter = ParameterSetting(
+            min(setting.min_support * 1.5, 1.0), setting.min_confidence
+        )
+        for query_class, query in class_queries(setting, tighter).items():
+            answer = service.execute(query)
+            chunks = list(
+                encode_answer_bytes(
+                    query_class, answer, chunk_target=chunk_target
+                )
+            )
+            assert all(isinstance(chunk, bytes) for chunk in chunks)
+            assert all(chunks), "no empty chunks"
+            assert b"".join(chunks) == reference_bytes(query_class, answer)
+
+    def test_blob_equals_joined_chunks(self, small_kb):
+        service = TaraService(small_kb)
+        setting = ParameterSetting(0.02, 0.1)
+        for query_class, query in class_queries(
+            setting, ParameterSetting(0.05, 0.1)
+        ).items():
+            answer = service.execute(query)
+            assert encode_answer_blob(query_class, answer) == reference_bytes(
+                query_class, answer
+            )
+
+    def test_small_target_chunks_large_answers(self, small_kb):
+        service = TaraService(small_kb)
+        query = TrajectoryQuery(
+            setting=ParameterSetting(0.02, 0.1), anchor_window=0
+        )
+        answer = service.execute(query)
+        chunks = list(encode_answer_bytes("Q1", answer, chunk_target=256))
+        assert len(chunks) > 1
+        # Fragments pack up to roughly the target; only a single row
+        # fragment larger than the target may overshoot it.
+        assert b"".join(chunks) == reference_bytes("Q1", answer)
+
+    def test_empty_ruleset_still_encodes(self, small_kb):
+        service = TaraService(small_kb)
+        query = TrajectoryQuery(
+            setting=ParameterSetting(0.99, 0.99), anchor_window=0
+        )
+        answer = service.execute(query)
+        blob = encode_answer_blob("Q1", answer)
+        assert blob == reference_bytes("Q1", answer)
+        assert json.loads(blob) == {"trajectories": []}
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ProtocolError, match="Q4"):
+            list(encode_answer_bytes("Q4", object()))
+
+
+class TestEnvelopePrefix:
+    def test_prefix_matches_dict_envelope(self):
+        prefix = envelope_prefix("Q1", 7, coalesced=True, cached=False)
+        body = prefix + b'{"trajectories":[]}' + b"}"
+        assert json.loads(body) == {
+            "ok": True,
+            "query_class": "Q1",
+            "epoch": 7,
+            "snapshot_epoch": 7,
+            "coalesced": True,
+            "cached": False,
+            "answer": {"trajectories": []},
+        }
+
+    def test_dumps_bytes_is_compact(self):
+        assert dumps_bytes({"a": [1, 2], "b": "x"}) == b'{"a":[1,2],"b":"x"}'
